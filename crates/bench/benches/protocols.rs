@@ -1,0 +1,51 @@
+//! Criterion micro/meso benchmarks over the protocols: full-system
+//! throughput per protocol on one inter- and one intra-workgroup
+//! workload, on the small machine (so `cargo bench` stays in seconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_workloads::{Benchmark, Scale};
+
+fn protocol_shootout(c: &mut Criterion) {
+    let cfg = GpuConfig::small();
+    let scale = Scale::quick();
+    let opts = SimOptions::fast();
+    for bench in [Benchmark::Dlb, Benchmark::Hsp] {
+        let wl = bench.generate(&cfg, &scale, 7);
+        let mut group = c.benchmark_group(format!("simulate/{}", bench.name()));
+        group.sample_size(10);
+        for kind in [
+            ProtocolKind::Mesi,
+            ProtocolKind::TcStrong,
+            ProtocolKind::TcWeak,
+            ProtocolKind::RccSc,
+            ProtocolKind::RccWo,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| b.iter(|| simulate(kind, &cfg, &wl, &opts).cycles),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn sc_checking_overhead(c: &mut Criterion) {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Vpr.generate(&cfg, &Scale::quick(), 7);
+    let mut group = c.benchmark_group("scoreboard");
+    group.sample_size(10);
+    group.bench_function("vpr/rcc/unchecked", |b| {
+        b.iter(|| simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast()).cycles)
+    });
+    group.bench_function("vpr/rcc/checked", |b| {
+        b.iter(|| simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::checked()).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, protocol_shootout, sc_checking_overhead);
+criterion_main!(benches);

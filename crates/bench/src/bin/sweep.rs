@@ -1,0 +1,44 @@
+//! Sensitivity sweep: thread-level parallelism (resident warps per core)
+//! vs protocol speedup.
+//!
+//! The paper's central TLP argument (Section II-B) is that fine-grained
+//! multithreading covers most SC stalls; this sweep shows how the
+//! protocol gaps shrink as warps are added — and why the headline
+//! factors in EXPERIMENTS.md are sensitive to the chosen occupancy.
+
+use rcc_bench::{banner, Harness, SEED};
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::simulate;
+use rcc_workloads::{Benchmark, Scale};
+
+fn main() {
+    let h = Harness::from_args();
+    banner("Sweep", "speedup vs resident warps per core (bh + dlb)", &h);
+    for bench in [Benchmark::Bh, Benchmark::Dlb] {
+        println!("\n{}:", bench.name());
+        println!(
+            "{:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "warps", "MESI-cyc", "TCS", "TCW", "RCC", "IDEAL"
+        );
+        for warps in [4usize, 8, 16, 32, 48] {
+            let scale = Scale {
+                warps_per_core: warps,
+                warps_per_workgroup: 4.min(warps),
+                iters: h.scale.iters,
+            };
+            let wl = bench.generate(&h.cfg, &scale, SEED);
+            let base = simulate(ProtocolKind::Mesi, &h.cfg, &wl, &h.opts);
+            print!("{:>6} {:>10}", warps, base.cycles);
+            for k in [
+                ProtocolKind::TcStrong,
+                ProtocolKind::TcWeak,
+                ProtocolKind::RccSc,
+                ProtocolKind::IdealSc,
+            ] {
+                let m = simulate(k, &h.cfg, &wl, &h.opts);
+                print!(" {:>8.3}", m.speedup_over(&base));
+            }
+            println!();
+        }
+    }
+}

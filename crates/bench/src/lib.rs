@@ -1,0 +1,140 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (see the experiment index in DESIGN.md and the results in
+//! EXPERIMENTS.md).
+//!
+//! Each `fig*`/`table*` binary runs the simulations it needs and prints
+//! the same rows/series the paper reports. Absolute numbers differ from
+//! the paper (this is a from-scratch simulator, not the authors'
+//! GPGPU-Sim + Ruby testbed); the *shape* — who wins, by roughly what
+//! factor, where the crossovers fall — is what EXPERIMENTS.md compares.
+//!
+//! Common flags for all binaries:
+//!
+//! * `--quick` — small machine + tiny workloads (seconds; for smoke runs)
+//! * `--full`  — all 48 warp contexts per core (several minutes)
+//! * default   — the GTX 480 machine of Table III with 16 warps per core
+
+use rcc_common::stats::gmean;
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_sim::RunMetrics;
+use rcc_workloads::{Benchmark, Scale, Workload};
+
+/// Seed used by all figure runs (reproducibility).
+pub const SEED: u64 = 7;
+
+/// Harness configuration derived from the command line.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Machine configuration.
+    pub cfg: GpuConfig,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Simulation options.
+    pub opts: SimOptions,
+}
+
+impl Harness {
+    /// Parses `--quick` / `--full` from the process arguments.
+    pub fn from_args() -> Harness {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let full = args.iter().any(|a| a == "--full");
+        if quick {
+            Harness {
+                cfg: GpuConfig::small(),
+                scale: Scale::quick(),
+                opts: SimOptions::fast(),
+            }
+        } else if full {
+            Harness {
+                cfg: GpuConfig::gtx480(),
+                scale: Scale::full(),
+                opts: SimOptions::fast(),
+            }
+        } else {
+            Harness {
+                cfg: GpuConfig::gtx480(),
+                scale: Scale::standard(),
+                opts: SimOptions::fast(),
+            }
+        }
+    }
+
+    /// Generates a benchmark's workload at this harness's scale.
+    pub fn workload(&self, bench: Benchmark) -> Workload {
+        bench.generate(&self.cfg, &self.scale, SEED)
+    }
+
+    /// Runs one (protocol, benchmark) pair.
+    pub fn run(&self, kind: ProtocolKind, bench: Benchmark) -> RunMetrics {
+        let wl = self.workload(bench);
+        simulate(kind, &self.cfg, &wl, &self.opts)
+    }
+
+    /// Runs one protocol over a prepared workload.
+    pub fn run_workload(&self, kind: ProtocolKind, wl: &Workload) -> RunMetrics {
+        simulate(kind, &self.cfg, wl, &self.opts)
+    }
+}
+
+/// Prints a header with the figure id and run configuration.
+pub fn banner(fig: &str, what: &str, h: &Harness) {
+    println!("================================================================");
+    println!("{fig}: {what}");
+    println!(
+        "machine: {} cores x {} warps, L2 {} KiB x {}, scale {} warps/core x {} iters, seed {}",
+        h.cfg.num_cores,
+        h.cfg.warps_per_core,
+        h.cfg.l2.partition.size_bytes / 1024,
+        h.cfg.l2.num_partitions,
+        h.scale.warps_per_core,
+        h.scale.iters,
+        SEED,
+    );
+    println!("================================================================");
+}
+
+/// Percent formatting helper.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Geometric mean over a slice (1.0 when empty — identity for speedups).
+pub fn gmean_or_one(values: &[f64]) -> f64 {
+    gmean(values.iter().copied()).unwrap_or(1.0)
+}
+
+/// The six inter-workgroup benchmarks (left half of every figure).
+pub fn inter() -> Vec<Benchmark> {
+    Benchmark::inter_workgroup()
+}
+
+/// The six intra-workgroup benchmarks (right half of every figure).
+pub fn intra() -> Vec<Benchmark> {
+    Benchmark::intra_workgroup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_defaults_to_gtx480() {
+        let h = Harness::from_args();
+        assert!(h.cfg.num_cores >= 4);
+    }
+
+    #[test]
+    fn gmean_or_one_handles_empty() {
+        assert_eq!(gmean_or_one(&[]), 1.0);
+        assert!((gmean_or_one(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benchmark_halves() {
+        assert_eq!(inter().len(), 6);
+        assert_eq!(intra().len(), 6);
+    }
+}

@@ -1,0 +1,182 @@
+//! Byte, word, and cache-line addresses.
+//!
+//! The simulated machine uses 128-byte cache lines (Table III) and tracks
+//! data values at 4-byte word granularity, which is what the consistency
+//! scoreboard and the litmus tests operate on.
+
+use std::fmt;
+
+/// Cache line size in bytes (Table III: 128-byte lines for both L1 and L2).
+pub const LINE_BYTES: u64 = 128;
+
+/// Word size in bytes; data values are tracked per 32-bit word.
+pub const WORD_BYTES: u64 = 4;
+
+/// Number of words in a cache line.
+pub const WORDS_PER_LINE: usize = (LINE_BYTES / WORD_BYTES) as usize;
+
+/// A byte address in the simulated global memory space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The 4-byte word containing this address.
+    #[inline]
+    pub fn word(self) -> WordAddr {
+        WordAddr(self.0 / WORD_BYTES)
+    }
+
+    /// Byte offset within the cache line.
+    #[inline]
+    pub fn line_offset(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A cache-line-granular address (byte address divided by [`LINE_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// First byte address of this line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The `idx`-th word of this line (`idx < WORDS_PER_LINE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= WORDS_PER_LINE`.
+    #[inline]
+    pub fn word(self, idx: usize) -> WordAddr {
+        assert!(idx < WORDS_PER_LINE, "word index {idx} out of line");
+        WordAddr(self.0 * WORDS_PER_LINE as u64 + idx as u64)
+    }
+
+    /// Cache set index for a cache with `num_sets` sets.
+    #[inline]
+    pub fn set_index(self, num_sets: usize) -> usize {
+        (self.0 % num_sets as u64) as usize
+    }
+
+    /// Memory/L2 partition that owns this line, for `num_partitions`
+    /// line-interleaved partitions (Table III: 8 partitions).
+    ///
+    /// The partition bits are taken *above* the set-index bits of the L2 so
+    /// that consecutive lines spread across partitions, matching the
+    /// address hashing GPGPU-Sim uses for Fermi.
+    #[inline]
+    pub fn partition(self, num_partitions: usize) -> usize {
+        (self.0 % num_partitions as u64) as usize
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L0x{:x}", self.0)
+    }
+}
+
+/// A word-granular address (byte address divided by [`WORD_BYTES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordAddr(pub u64);
+
+impl WordAddr {
+    /// The cache line containing this word.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / WORDS_PER_LINE as u64)
+    }
+
+    /// Index of this word within its cache line.
+    #[inline]
+    pub fn line_word_index(self) -> usize {
+        (self.0 % WORDS_PER_LINE as u64) as usize
+    }
+
+    /// First byte address of this word.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * WORD_BYTES)
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_decomposition() {
+        let a = Addr(128 * 5 + 17);
+        assert_eq!(a.line(), LineAddr(5));
+        assert_eq!(a.line_offset(), 17);
+        assert_eq!(a.line().base(), Addr(128 * 5));
+    }
+
+    #[test]
+    fn word_decomposition() {
+        let a = Addr(128 * 5 + 16);
+        let w = a.word();
+        assert_eq!(w.line(), LineAddr(5));
+        assert_eq!(w.line_word_index(), 4);
+        assert_eq!(w.base(), a);
+    }
+
+    #[test]
+    fn words_per_line_matches_config() {
+        assert_eq!(WORDS_PER_LINE, 32);
+        assert_eq!(LineAddr(3).word(0).line(), LineAddr(3));
+        assert_eq!(LineAddr(3).word(31).line(), LineAddr(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line")]
+    fn word_index_bounds_checked() {
+        let _ = LineAddr(0).word(32);
+    }
+
+    #[test]
+    fn partition_interleaving_covers_all() {
+        let mut seen = [false; 8];
+        for i in 0..8 {
+            seen[LineAddr(i).partition(8)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "consecutive lines hit all partitions"
+        );
+    }
+
+    #[test]
+    fn set_index_in_range() {
+        for i in 0..1000 {
+            assert!(LineAddr(i).set_index(64) < 64);
+        }
+    }
+}

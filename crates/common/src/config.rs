@@ -1,0 +1,400 @@
+//! Machine configuration, reproducing Table III of the paper.
+//!
+//! The default [`GpuConfig::gtx480`] models NVIDIA's GTX 480 (Fermi) with
+//! latencies from the microbenchmark study the paper cites [Wong et al.,
+//! ISPASS 2010]: 16 SMs at 1.4 GHz with 48 warps of 32 threads each,
+//! 32 KB 4-way write-through L1s, a 1 MB L2 in 8 partitions, a flit-level
+//! crossbar NoC at 700 MHz, and GDDR DRAM with FR-FCFS scheduling.
+//!
+//! Tests use [`GpuConfig::small`], a scaled-down machine with the same
+//! structure, so that full-system simulations stay fast in debug builds.
+
+/// Parameters of one cache (an L1 or one L2 partition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (128 in Table III).
+    pub line_bytes: usize,
+    /// Number of MSHR entries.
+    pub mshrs: usize,
+    /// Maximum merged requests per MSHR entry.
+    pub mshr_merge: usize,
+    /// Access (tag + data) latency in core cycles.
+    pub latency: u64,
+}
+
+impl CacheParams {
+    /// Number of sets implied by size / (ways × line).
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Number of lines in the cache.
+    pub fn num_lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+/// L2 organization: `num_partitions` independent banks, line-interleaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L2Params {
+    /// Number of L2 partitions (each paired with a memory channel).
+    pub num_partitions: usize,
+    /// Per-partition cache parameters.
+    pub partition: CacheParams,
+}
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NocTopology {
+    /// One crossbar per direction (Table III's configuration).
+    #[default]
+    Crossbar,
+    /// 2D mesh with XY dimension-order routing; cores and L2 partitions
+    /// are interleaved over a near-square grid. Hop count scales both
+    /// latency and the dynamic energy of Fig. 9b.
+    Mesh,
+}
+
+/// Interconnect parameters (Table III: one crossbar per direction, one
+/// 32-bit flit per cycle per direction at 700 MHz).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NocParams {
+    /// Topology.
+    pub topology: NocTopology,
+    /// Flit width in bytes.
+    pub flit_bytes: usize,
+    /// Core cycles per NoC cycle (1400 MHz core / 700 MHz NoC = 2).
+    pub core_cycles_per_noc_cycle: u64,
+    /// Zero-load traversal latency in NoC cycles (crossbar + buffering).
+    pub traversal_latency: u64,
+    /// Buffer depth per virtual channel, in flits (8 in Table III).
+    pub vc_buffer_flits: usize,
+    /// Control-message payload size in bytes (header + address + timestamps).
+    pub control_bytes: usize,
+}
+
+/// GDDR DRAM timing (Table III), in DRAM cycles unless noted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramParams {
+    /// Core cycles per DRAM cycle (1400 MHz core vs 1400 MHz GDDR command
+    /// clock in Table III — ratio 1, with 8 bytes transferred per cycle).
+    pub core_cycles_per_dram_cycle: u64,
+    /// Data bus bytes per DRAM cycle (8 in Table III, 175 GB/s peak).
+    pub bytes_per_cycle: usize,
+    /// Minimum total latency in core cycles for a DRAM access, including
+    /// controller queues (460 in Table III).
+    pub min_latency: u64,
+    /// Banks per memory partition.
+    pub banks: usize,
+    /// Row size in bytes.
+    pub row_bytes: usize,
+    /// CAS latency.
+    pub t_cl: u64,
+    /// Row precharge.
+    pub t_rp: u64,
+    /// Row cycle.
+    pub t_rc: u64,
+    /// Row active time.
+    pub t_ras: u64,
+    /// Column-to-column delay.
+    pub t_ccd: u64,
+    /// Write latency.
+    pub t_wl: u64,
+    /// RAS-to-CAS delay.
+    pub t_rcd: u64,
+    /// Row-to-row activation delay.
+    pub t_rrd: u64,
+    /// Last-data to read command (write-to-read turnaround).
+    pub t_cdlr: u64,
+    /// Write recovery.
+    pub t_wr: u64,
+}
+
+/// Parameters specific to the RCC protocol (Section III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RccParams {
+    /// Minimum predicted lease (8 in Section III-E).
+    pub lease_min: u64,
+    /// Maximum / initial predicted lease (2048 in Section III-E).
+    pub lease_max: u64,
+    /// If set, disables the predictor and uses this fixed lease everywhere.
+    pub fixed_lease: Option<u64>,
+    /// Enables the lease-extension (RENEW) mechanism (Section III-E).
+    pub renew_enabled: bool,
+    /// Enables the per-block lease predictor (Section III-E); when
+    /// disabled, all leases are `lease_max`.
+    pub predictor_enabled: bool,
+    /// Timestamp value at which the rollover/flush protocol of
+    /// Section III-D triggers. Hardware uses 32-bit timestamps; tests use
+    /// tiny thresholds to exercise rollover frequently.
+    pub rollover_threshold: u64,
+    /// Cores bump their logical `now` by 1 every this many cycles to break
+    /// read-only spin livelock (Section III-E, "Potential livelock";
+    /// the paper suggests 1 every 10,000 cycles).
+    pub livelock_bump_interval: u64,
+}
+
+impl Default for RccParams {
+    fn default() -> Self {
+        RccParams {
+            lease_min: 8,
+            lease_max: 2048,
+            fixed_lease: None,
+            renew_enabled: true,
+            predictor_enabled: true,
+            rollover_threshold: u32::MAX as u64,
+            livelock_bump_interval: 10_000,
+        }
+    }
+}
+
+/// Parameters for the physical-timestamp baselines TC-Strong and TC-Weak
+/// (Singh et al., HPCA 2013).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcParams {
+    /// Initial per-line read lease in core cycles.
+    pub lease_cycles: u64,
+    /// Lower bound of the per-line lifetime predictor.
+    pub lease_min: u64,
+    /// Upper bound of the per-line lifetime predictor.
+    pub lease_max: u64,
+}
+
+impl Default for TcParams {
+    fn default() -> Self {
+        // The TC paper pairs its fixed-lease baseline with a per-line
+        // lifetime predictor: leases grow additively while a line is only
+        // read and halve whenever a write finds an unexpired lease, so
+        // read-only data caches well while write-shared lines stop
+        // stalling TC-Strong stores.
+        TcParams {
+            lease_cycles: 6144,
+            lease_min: 16,
+            lease_max: 16384,
+        }
+    }
+}
+
+/// Full machine configuration (Table III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuConfig {
+    /// Number of SM cores (16).
+    pub num_cores: usize,
+    /// Warp contexts per core (48).
+    pub warps_per_core: usize,
+    /// Threads per warp (32).
+    pub threads_per_warp: usize,
+    /// Private L1 data cache (32 KB, 4-way, 128 B lines, 128 MSHRs).
+    pub l1: CacheParams,
+    /// Shared L2 (8 × 128 KB, 8-way, 128 B lines, 128 MSHRs; 340-cycle
+    /// minimum round-trip latency).
+    pub l2: L2Params,
+    /// Interconnect.
+    pub noc: NocParams,
+    /// DRAM.
+    pub dram: DramParams,
+    /// RCC-specific knobs.
+    pub rcc: RccParams,
+    /// TC-Strong / TC-Weak knobs.
+    pub tc: TcParams,
+    /// Simulation safety valve: abort if no instruction retires for this
+    /// many cycles (deadlock/livelock watchdog).
+    pub watchdog_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's simulated machine (Table III): GTX 480-like.
+    pub fn gtx480() -> Self {
+        GpuConfig {
+            num_cores: 16,
+            warps_per_core: 48,
+            threads_per_warp: 32,
+            l1: CacheParams {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 128,
+                mshrs: 128,
+                mshr_merge: 8,
+                latency: 1,
+            },
+            l2: L2Params {
+                num_partitions: 8,
+                partition: CacheParams {
+                    size_bytes: 128 * 1024,
+                    ways: 8,
+                    line_bytes: 128,
+                    mshrs: 128,
+                    mshr_merge: 8,
+                    // Table III gives a 340-cycle *minimum round trip* to
+                    // L2; the round trip decomposes as NoC request
+                    // serialization + traversal, L2 pipeline, and the reply
+                    // path. The L2 pipeline occupies the remainder.
+                    latency: 120,
+                },
+            },
+            noc: NocParams {
+                topology: NocTopology::Crossbar,
+                flit_bytes: 4,
+                core_cycles_per_noc_cycle: 2,
+                traversal_latency: 50,
+                vc_buffer_flits: 8,
+                control_bytes: 8,
+            },
+            dram: DramParams {
+                core_cycles_per_dram_cycle: 1,
+                bytes_per_cycle: 8,
+                min_latency: 460,
+                banks: 16,
+                row_bytes: 2048,
+                t_cl: 12,
+                t_rp: 12,
+                t_rc: 40,
+                t_ras: 28,
+                t_ccd: 2,
+                t_wl: 4,
+                t_rcd: 12,
+                t_rrd: 6,
+                t_cdlr: 5,
+                t_wr: 12,
+            },
+            rcc: RccParams::default(),
+            tc: TcParams::default(),
+            watchdog_cycles: 2_000_000,
+        }
+    }
+
+    /// A scaled-down machine with the same structure, for fast tests:
+    /// 4 cores × 8 warps, 4 KB L1s, 2 × 16 KB L2 partitions, short
+    /// latencies.
+    pub fn small() -> Self {
+        GpuConfig {
+            num_cores: 4,
+            warps_per_core: 8,
+            threads_per_warp: 32,
+            l1: CacheParams {
+                size_bytes: 4 * 1024,
+                ways: 4,
+                line_bytes: 128,
+                mshrs: 16,
+                mshr_merge: 8,
+                latency: 1,
+            },
+            l2: L2Params {
+                num_partitions: 2,
+                partition: CacheParams {
+                    size_bytes: 16 * 1024,
+                    ways: 8,
+                    line_bytes: 128,
+                    mshrs: 16,
+                    mshr_merge: 8,
+                    latency: 12,
+                },
+            },
+            noc: NocParams {
+                topology: NocTopology::Crossbar,
+                flit_bytes: 4,
+                core_cycles_per_noc_cycle: 2,
+                traversal_latency: 6,
+                vc_buffer_flits: 8,
+                control_bytes: 8,
+            },
+            dram: DramParams {
+                core_cycles_per_dram_cycle: 1,
+                bytes_per_cycle: 8,
+                min_latency: 60,
+                banks: 4,
+                row_bytes: 1024,
+                t_cl: 6,
+                t_rp: 6,
+                t_rc: 20,
+                t_ras: 14,
+                t_ccd: 2,
+                t_wl: 2,
+                t_rcd: 6,
+                t_rrd: 3,
+                t_cdlr: 3,
+                t_wr: 6,
+            },
+            rcc: RccParams::default(),
+            tc: TcParams {
+                lease_cycles: 200,
+                ..TcParams::default()
+            },
+            watchdog_cycles: 500_000,
+        }
+    }
+
+    /// Total number of warps in the machine.
+    pub fn total_warps(&self) -> usize {
+        self.num_cores * self.warps_per_core
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::gtx480()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_constants() {
+        let cfg = GpuConfig::gtx480();
+        assert_eq!(cfg.num_cores, 16);
+        assert_eq!(cfg.warps_per_core, 48);
+        assert_eq!(cfg.threads_per_warp, 32);
+        assert_eq!(cfg.l1.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1.ways, 4);
+        assert_eq!(cfg.l1.line_bytes, 128);
+        assert_eq!(cfg.l1.mshrs, 128);
+        assert_eq!(cfg.l2.num_partitions, 8);
+        assert_eq!(cfg.l2.partition.size_bytes, 128 * 1024);
+        assert_eq!(cfg.l2.partition.ways, 8);
+        assert_eq!(
+            cfg.l2.num_partitions * cfg.l2.partition.size_bytes,
+            1024 * 1024,
+            "total L2 is 1 MB"
+        );
+        assert_eq!(cfg.dram.min_latency, 460);
+        assert_eq!(cfg.dram.bytes_per_cycle, 8);
+        assert_eq!(cfg.noc.flit_bytes, 4);
+        // GDDR timing row from Table III.
+        assert_eq!(cfg.dram.t_cl, 12);
+        assert_eq!(cfg.dram.t_rp, 12);
+        assert_eq!(cfg.dram.t_rc, 40);
+        assert_eq!(cfg.dram.t_ras, 28);
+    }
+
+    #[test]
+    fn rcc_lease_bounds_match_section_iii_e() {
+        let rcc = RccParams::default();
+        assert_eq!(rcc.lease_min, 8);
+        assert_eq!(rcc.lease_max, 2048);
+        assert!(rcc.renew_enabled && rcc.predictor_enabled);
+        assert_eq!(rcc.rollover_threshold, u32::MAX as u64);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let cfg = GpuConfig::gtx480();
+        assert_eq!(cfg.l1.num_sets(), 64);
+        assert_eq!(cfg.l1.num_lines(), 256);
+        assert_eq!(cfg.l2.partition.num_sets(), 128);
+    }
+
+    #[test]
+    fn small_config_is_structurally_same() {
+        let cfg = GpuConfig::small();
+        assert!(cfg.num_cores >= 2, "needs ≥2 cores for sharing tests");
+        assert!(cfg.l2.num_partitions >= 2);
+        assert_eq!(cfg.l1.line_bytes, 128);
+        assert!(cfg.total_warps() >= 16);
+    }
+}

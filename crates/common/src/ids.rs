@@ -1,0 +1,121 @@
+//! Identifiers for hardware structures and software entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A streaming multiprocessor (SM) / GPU core; also identifies its
+    /// private L1 cache, since L1s are per-core.
+    CoreId,
+    "core"
+);
+
+id_type!(
+    /// A warp within a core (0..warps_per_core).
+    WarpId,
+    "warp"
+);
+
+id_type!(
+    /// An L2/memory partition (Table III: 8 partitions).
+    PartitionId,
+    "part"
+);
+
+id_type!(
+    /// A workgroup (threadblock / CTA). The paper's benchmark taxonomy is
+    /// built on whether data is shared *within* a workgroup (intra) or
+    /// *across* workgroups (inter).
+    WorkgroupId,
+    "wg"
+);
+
+/// A globally unique warp identifier (core, warp) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GlobalWarpId {
+    /// Core hosting the warp.
+    pub core: CoreId,
+    /// Warp slot within the core.
+    pub warp: WarpId,
+}
+
+impl GlobalWarpId {
+    /// Creates a global warp id.
+    pub fn new(core: CoreId, warp: WarpId) -> Self {
+        GlobalWarpId { core, warp }
+    }
+
+    /// Flattens to a dense index, given the number of warps per core.
+    pub fn flatten(self, warps_per_core: usize) -> usize {
+        self.core.0 * warps_per_core + self.warp.0
+    }
+}
+
+impl fmt::Display for GlobalWarpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.core, self.warp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(WarpId(7).to_string(), "warp7");
+        assert_eq!(PartitionId(1).to_string(), "part1");
+        assert_eq!(WorkgroupId(2).to_string(), "wg2");
+        assert_eq!(
+            GlobalWarpId::new(CoreId(3), WarpId(7)).to_string(),
+            "core3/warp7"
+        );
+    }
+
+    #[test]
+    fn flatten_is_dense_and_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..4 {
+            for w in 0..48 {
+                let g = GlobalWarpId::new(CoreId(c), WarpId(w));
+                assert!(seen.insert(g.flatten(48)));
+            }
+        }
+        assert_eq!(seen.len(), 4 * 48);
+        assert_eq!(*seen.iter().max().unwrap(), 4 * 48 - 1);
+    }
+
+    #[test]
+    fn from_usize() {
+        assert_eq!(CoreId::from(5), CoreId(5));
+        assert_eq!(CoreId(5).index(), 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! A small, fast, deterministic PRNG (PCG-XSH-RR 32).
+//!
+//! Whole-system simulations must be reproducible from a seed so that every
+//! figure in EXPERIMENTS.md can be regenerated bit-identically; `Pcg32`
+//! keeps the hot path free of trait dispatch. The `rand` crate is still
+//! used in tests and property-based tests where ergonomics matter more.
+
+/// PCG-XSH-RR with 64-bit state and 32-bit output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed and a stream selector.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator from a seed on the default stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire-style rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // 64-bit multiply-shift; bias is negligible for simulation purposes
+        // but we reject to keep the distribution exactly uniform.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u32() as f64) < p * (u32::MAX as f64 + 1.0)
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Pcg32::seeded(42);
+        let mut b = Pcg32::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seeded(1);
+        let mut b = Pcg32::seeded(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = Pcg32::seeded(7);
+        for bound in [1, 2, 3, 10, 1000, u32::MAX as u64] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut rng = Pcg32::seeded(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::seeded(3);
+        assert!((0..100).all(|_| rng.chance(1.0)));
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = Pcg32::seeded(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits of 25%");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seeded(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        Pcg32::seeded(0).below(0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `below(n)` stays in range and the generator is
+            /// deterministic per (seed, stream).
+            #[test]
+            fn below_in_range_and_deterministic(
+                seed: u64, stream: u64, bound in 1u64..1_000_000, n in 1usize..50,
+            ) {
+                let mut a = Pcg32::new(seed, stream);
+                let mut b = Pcg32::new(seed, stream);
+                for _ in 0..n {
+                    let x = a.below(bound);
+                    prop_assert!(x < bound);
+                    prop_assert_eq!(x, b.below(bound));
+                }
+            }
+
+            /// Different streams from the same seed diverge (the whole
+            /// point of the stream parameter).
+            #[test]
+            fn streams_diverge(seed: u64) {
+                let mut a = Pcg32::new(seed, 1);
+                let mut b = Pcg32::new(seed, 2);
+                let same = (0..16).all(|_| a.next_u32() == b.next_u32());
+                prop_assert!(!same);
+            }
+
+            /// `range(lo, hi)` is inclusive-exclusive and in bounds.
+            #[test]
+            fn range_in_bounds(seed: u64, lo in 0u64..1000, width in 1u64..1000) {
+                let mut r = Pcg32::seeded(seed);
+                let x = r.range(lo, lo + width);
+                prop_assert!(x >= lo && x < lo + width);
+            }
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Statistics plumbing: counters, latency histograms, and traffic
+//! accounting by message class.
+//!
+//! Every figure in the paper's evaluation is a function of these
+//! aggregates: Fig. 1 and Fig. 8 come from stall counters and latency
+//! histograms, Fig. 9b/9c from [`TrafficStats`] (flits by [`MsgClass`]),
+//! and Fig. 6/7 from protocol event counters.
+
+use std::fmt;
+
+/// Classes of coherence messages, used for traffic breakdown (Fig. 9c) and
+/// virtual-channel assignment. Every protocol maps its messages onto this
+/// shared taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgClass {
+    /// Load request (GETS).
+    LoadReq,
+    /// Load data reply (full cache line).
+    LoadData,
+    /// Store request (write-through data).
+    StoreReq,
+    /// Store acknowledgement.
+    StoreAck,
+    /// Atomic read-modify-write request.
+    AtomicReq,
+    /// Atomic reply (data word).
+    AtomicResp,
+    /// Invalidation request (MESI only).
+    Inv,
+    /// Invalidation acknowledgement (MESI only).
+    InvAck,
+    /// Lease renewal grant — expiration time, no data (RCC only).
+    Renew,
+    /// Dirty L2 line written back to DRAM (accounted, not NoC traffic).
+    Writeback,
+    /// Rollover flush control (RCC only).
+    Flush,
+}
+
+impl MsgClass {
+    /// All message classes, in display order.
+    pub const ALL: [MsgClass; 11] = [
+        MsgClass::LoadReq,
+        MsgClass::LoadData,
+        MsgClass::StoreReq,
+        MsgClass::StoreAck,
+        MsgClass::AtomicReq,
+        MsgClass::AtomicResp,
+        MsgClass::Inv,
+        MsgClass::InvAck,
+        MsgClass::Renew,
+        MsgClass::Writeback,
+        MsgClass::Flush,
+    ];
+
+    /// Whether this class carries a full cache line of data.
+    pub fn carries_line(self) -> bool {
+        matches!(
+            self,
+            MsgClass::LoadData | MsgClass::StoreReq | MsgClass::Writeback
+        )
+    }
+
+    /// Short label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::LoadReq => "ld-req",
+            MsgClass::LoadData => "ld-data",
+            MsgClass::StoreReq => "st-req",
+            MsgClass::StoreAck => "st-ack",
+            MsgClass::AtomicReq => "at-req",
+            MsgClass::AtomicResp => "at-resp",
+            MsgClass::Inv => "inv",
+            MsgClass::InvAck => "inv-ack",
+            MsgClass::Renew => "renew",
+            MsgClass::Writeback => "wback",
+            MsgClass::Flush => "flush",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            MsgClass::LoadReq => 0,
+            MsgClass::LoadData => 1,
+            MsgClass::StoreReq => 2,
+            MsgClass::StoreAck => 3,
+            MsgClass::AtomicReq => 4,
+            MsgClass::AtomicResp => 5,
+            MsgClass::Inv => 6,
+            MsgClass::InvAck => 7,
+            MsgClass::Renew => 8,
+            MsgClass::Writeback => 9,
+            MsgClass::Flush => 10,
+        }
+    }
+}
+
+impl fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Flit and message counts broken down by [`MsgClass`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    msgs: [u64; 11],
+    flits: [u64; 11],
+}
+
+impl TrafficStats {
+    /// Creates empty traffic statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `class` consisting of `flits` flits.
+    pub fn record(&mut self, class: MsgClass, flits: u64) {
+        self.msgs[class.idx()] += 1;
+        self.flits[class.idx()] += flits;
+    }
+
+    /// Messages sent in a class.
+    pub fn msgs(&self, class: MsgClass) -> u64 {
+        self.msgs[class.idx()]
+    }
+
+    /// Flits sent in a class.
+    pub fn flits(&self, class: MsgClass) -> u64 {
+        self.flits[class.idx()]
+    }
+
+    /// Total flits over all classes — the paper's "interconnect traffic".
+    pub fn total_flits(&self) -> u64 {
+        self.flits.iter().sum()
+    }
+
+    /// Total messages over all classes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Merges another traffic record into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..self.msgs.len() {
+            self.msgs[i] += other.msgs[i];
+            self.flits[i] += other.flits[i];
+        }
+    }
+}
+
+/// A streaming latency/size histogram with mean, min and max.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Geometric mean of a sequence of positive ratios — the aggregation used
+/// for every speedup figure in the paper ("gmean").
+///
+/// Returns `None` if the input is empty or contains a non-positive value.
+pub fn gmean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accumulates_by_class() {
+        let mut t = TrafficStats::new();
+        t.record(MsgClass::LoadReq, 2);
+        t.record(MsgClass::LoadReq, 2);
+        t.record(MsgClass::LoadData, 34);
+        assert_eq!(t.msgs(MsgClass::LoadReq), 2);
+        assert_eq!(t.flits(MsgClass::LoadReq), 4);
+        assert_eq!(t.flits(MsgClass::LoadData), 34);
+        assert_eq!(t.total_flits(), 38);
+        assert_eq!(t.total_msgs(), 3);
+        assert_eq!(t.msgs(MsgClass::Inv), 0);
+    }
+
+    #[test]
+    fn traffic_merge() {
+        let mut a = TrafficStats::new();
+        a.record(MsgClass::StoreReq, 34);
+        let mut b = TrafficStats::new();
+        b.record(MsgClass::StoreAck, 2);
+        b.record(MsgClass::StoreReq, 34);
+        a.merge(&b);
+        assert_eq!(a.flits(MsgClass::StoreReq), 68);
+        assert_eq!(a.msgs(MsgClass::StoreAck), 1);
+    }
+
+    #[test]
+    fn msg_class_taxonomy() {
+        assert!(MsgClass::LoadData.carries_line());
+        assert!(MsgClass::StoreReq.carries_line());
+        assert!(!MsgClass::Renew.carries_line());
+        assert!(!MsgClass::StoreAck.carries_line());
+        // idx() must be a bijection onto 0..ALL.len().
+        let mut seen = [false; MsgClass::ALL.len()];
+        for c in MsgClass::ALL {
+            assert!(!seen[c.idx()]);
+            seen[c.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(30));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 15.0);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(25));
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn gmean_matches_hand_computation() {
+        let g = gmean([1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(std::iter::empty()), None);
+        assert_eq!(gmean([1.0, 0.0]), None);
+        assert_eq!(gmean([1.0, -2.0]), None);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Histogram invariants: count/sum/min/max/mean agree with a
+            /// direct computation, and merging equals recording the
+            /// concatenation.
+            #[test]
+            fn histogram_matches_direct_computation(
+                xs in proptest::collection::vec(0u64..1_000_000, 1..100),
+                ys in proptest::collection::vec(0u64..1_000_000, 0..100),
+            ) {
+                let mut h = Histogram::new();
+                for &x in &xs {
+                    h.record(x);
+                }
+                prop_assert_eq!(h.count(), xs.len() as u64);
+                prop_assert_eq!(h.sum(), xs.iter().sum::<u64>());
+                prop_assert_eq!(h.min(), xs.iter().min().copied());
+                prop_assert_eq!(h.max(), xs.iter().max().copied());
+                let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+                prop_assert!((h.mean() - mean).abs() < 1e-6);
+
+                let mut h2 = Histogram::new();
+                for &y in &ys {
+                    h2.record(y);
+                }
+                let mut merged = h.clone();
+                merged.merge(&h2);
+                let mut all = Histogram::new();
+                for &v in xs.iter().chain(ys.iter()) {
+                    all.record(v);
+                }
+                prop_assert_eq!(merged.count(), all.count());
+                prop_assert_eq!(merged.sum(), all.sum());
+                prop_assert_eq!(merged.min(), all.min());
+                prop_assert_eq!(merged.max(), all.max());
+            }
+
+            /// gmean lies between min and max and is scale-equivariant.
+            #[test]
+            fn gmean_bounds_and_scaling(
+                xs in proptest::collection::vec(0.01f64..100.0, 1..20),
+                k in 0.1f64..10.0,
+            ) {
+                let g = gmean(xs.iter().copied()).expect("positive inputs");
+                let lo = xs.iter().copied().fold(f64::MAX, f64::min);
+                let hi = xs.iter().copied().fold(f64::MIN, f64::max);
+                prop_assert!(g >= lo * 0.999 && g <= hi * 1.001);
+                let gk = gmean(xs.iter().map(|x| x * k)).expect("positive");
+                prop_assert!((gk - g * k).abs() / (g * k) < 1e-9);
+            }
+
+            /// Traffic totals equal the per-class sums.
+            #[test]
+            fn traffic_totals_are_consistent(
+                events in proptest::collection::vec((0usize..11, 1u64..64), 0..60),
+            ) {
+                let mut t = TrafficStats::new();
+                for &(class, flits) in &events {
+                    t.record(MsgClass::ALL[class], flits);
+                }
+                prop_assert_eq!(t.total_msgs(), events.len() as u64);
+                prop_assert_eq!(
+                    t.total_flits(),
+                    events.iter().map(|e| e.1).sum::<u64>()
+                );
+                let per_class: u64 = MsgClass::ALL.iter().map(|&c| t.flits(c)).sum();
+                prop_assert_eq!(per_class, t.total_flits());
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Physical cycles and logical (Lamport) timestamps.
+//!
+//! RCC maintains sequential consistency in *logical* time (Section III of
+//! the paper); the baselines TC-Strong and TC-Weak use *physical* time from
+//! a globally synchronized on-chip clock. Both are represented by
+//! [`Timestamp`] — the interpretation (logical vs. physical) belongs to the
+//! protocol, not the type. [`Cycle`] is always physical simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A physical simulation cycle (core clock domain, 1.4 GHz in Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` in cycles.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A coherence timestamp: a core's logical `now`, a block's write version
+/// `ver`, a lease expiration `exp`, or a memory partition's `mnow`
+/// (Table II in the paper).
+///
+/// Hardware RCC uses 32-bit timestamps and handles arithmetic rollover with
+/// an explicit flush protocol (Section III-D). The simulator stores
+/// timestamps in a `u64` but the rollover protocol is still implemented and
+/// tested against a configurable rollover threshold
+/// ([`crate::config::RccParams::rollover_threshold`]), which defaults to
+/// `u32::MAX` to match the hardware width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Logical time zero — the value every clock is reset to at rollover.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Returns the raw timestamp value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The larger of two timestamps (used pervasively by the RCC rules:
+    /// "advance X to Y if Y > X" is `x = x.join(y)`).
+    #[inline]
+    #[must_use]
+    pub fn join(self, other: Timestamp) -> Timestamp {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// This timestamp advanced by a lease duration or other delta.
+    ///
+    /// Saturates at the top of the range; in practice the rollover
+    /// protocol quiesces the machine long before timestamps get there.
+    #[inline]
+    #[must_use]
+    pub fn plus(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+
+    /// The immediately following logical instant (`exp + 1` in the L2 write
+    /// rule of Fig. 5: `D.ver = max(M.now, D.ver, D.exp + 1)`). Saturates
+    /// at the top of the range like [`Timestamp::plus`].
+    #[inline]
+    #[must_use]
+    pub fn succ(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle(10);
+        assert_eq!(c + 5, Cycle(15));
+        assert_eq!(Cycle(15) - c, 5);
+        assert_eq!(c.since(Cycle(3)), 7);
+        assert_eq!(Cycle(3).since(c), 0, "since saturates");
+        let mut c = c;
+        c += 2;
+        assert_eq!(c.raw(), 12);
+    }
+
+    #[test]
+    fn timestamp_join_picks_max() {
+        let a = Timestamp(5);
+        let b = Timestamp(9);
+        assert_eq!(a.join(b), b);
+        assert_eq!(b.join(a), b);
+        assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn timestamp_succ_and_plus() {
+        assert_eq!(Timestamp(41).succ(), Timestamp(42));
+        assert_eq!(Timestamp(8).plus(8), Timestamp(16));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Cycle(7).to_string(), "cycle 7");
+        assert_eq!(Timestamp(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Timestamp(2) < Timestamp(10));
+        assert!(Cycle(2) < Cycle(10));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `join` is the lattice max: commutative, associative,
+            /// idempotent, and an upper bound of both operands.
+            #[test]
+            fn join_is_a_semilattice(a: u64, b: u64, c: u64) {
+                let (a, b, c) = (Timestamp(a), Timestamp(b), Timestamp(c));
+                prop_assert_eq!(a.join(b), b.join(a));
+                prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                prop_assert_eq!(a.join(a), a);
+                prop_assert!(a.join(b) >= a && a.join(b) >= b);
+            }
+
+            /// `succ` is strictly monotone and saturates only at the top.
+            #[test]
+            fn succ_strictly_increases(a in 0u64..u64::MAX) {
+                let t = Timestamp(a);
+                prop_assert!(t.succ() > t);
+                prop_assert_eq!(t.succ().raw(), a + 1);
+            }
+
+            /// `plus` saturates instead of wrapping.
+            #[test]
+            fn plus_never_wraps(a: u64, d: u64) {
+                let t = Timestamp(a).plus(d);
+                prop_assert!(t >= Timestamp(a));
+                prop_assert_eq!(t.raw(), a.saturating_add(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Lightweight, env-gated event tracing.
+//!
+//! Set `RCC_TRACE=1` to stream protocol events (L2 serves, fills,
+//! evictions, rollovers, invalidations) to stderr. The gate is read once
+//! and cached, so disabled tracing costs a single boolean load per site.
+//!
+//! ```
+//! rcc_common::trace!("cycle {}: something interesting", 42);
+//! ```
+
+use std::sync::OnceLock;
+
+static ENABLED: OnceLock<bool> = OnceLock::new();
+
+/// Whether tracing is enabled (`RCC_TRACE` set in the environment).
+pub fn enabled() -> bool {
+    *ENABLED.get_or_init(|| std::env::var_os("RCC_TRACE").is_some())
+}
+
+/// Emits a trace line to stderr when `RCC_TRACE` is set.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::trace::enabled() {
+            eprintln!("[rcc-trace] {}", format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gate_is_stable() {
+        let first = super::enabled();
+        assert_eq!(super::enabled(), first);
+    }
+
+    #[test]
+    fn macro_compiles_in_statement_position() {
+        crate::trace!("value {}", 1);
+    }
+}

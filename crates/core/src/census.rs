@@ -1,0 +1,173 @@
+//! Protocol state/transition census — the data behind Table V of the
+//! paper.
+//!
+//! Coherence protocols are notoriously hard to verify, and verification
+//! effort scales with the number of states and transitions; Table V is
+//! the paper's complexity argument for RCC. The counts follow the paper's
+//! convention (stable + transient states; distinct
+//! state × event → action rows in the transition tables). For RCC the
+//! stable/transient split is cross-checked against this crate's actual
+//! state enumerations by tests.
+
+use crate::kind::ProtocolKind;
+use std::fmt;
+
+/// State/transition counts for one protocol (one row group of Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolCensus {
+    /// Protocol.
+    pub kind: ProtocolKind,
+    /// Stable L1 states.
+    pub l1_stable: usize,
+    /// Transient L1 states.
+    pub l1_transient: usize,
+    /// L1 transitions.
+    pub l1_transitions: usize,
+    /// Stable L2 states.
+    pub l2_stable: usize,
+    /// Transient L2 states.
+    pub l2_transient: usize,
+    /// L2 transitions.
+    pub l2_transitions: usize,
+}
+
+impl ProtocolCensus {
+    /// Total L1 states (stable + transient).
+    pub fn l1_states(&self) -> usize {
+        self.l1_stable + self.l1_transient
+    }
+
+    /// Total L2 states (stable + transient).
+    pub fn l2_states(&self) -> usize {
+        self.l2_stable + self.l2_transient
+    }
+
+    /// Total transitions across both controllers.
+    pub fn total_transitions(&self) -> usize {
+        self.l1_transitions + self.l2_transitions
+    }
+
+    /// The census for a protocol, per Table V. SC-IDEAL is not a real
+    /// protocol and has no census (`None`); RCC-SC and RCC-WO share
+    /// hardware and therefore a census.
+    pub fn for_kind(kind: ProtocolKind) -> Option<ProtocolCensus> {
+        let (l1_stable, l1_transient, l1_tr, l2_stable, l2_transient, l2_tr) = match kind {
+            ProtocolKind::Mesi | ProtocolKind::MesiWb => (5, 11, 81, 4, 11, 50),
+            ProtocolKind::TcStrong => (2, 3, 27, 4, 4, 23),
+            ProtocolKind::TcWeak => (2, 3, 42, 4, 4, 34),
+            ProtocolKind::RccSc | ProtocolKind::RccWo => (2, 3, 33, 2, 2, 14),
+            ProtocolKind::IdealSc => return None,
+        };
+        Some(ProtocolCensus {
+            kind,
+            l1_stable,
+            l1_transient,
+            l1_transitions: l1_tr,
+            l2_stable,
+            l2_transient,
+            l2_transitions: l2_tr,
+        })
+    }
+
+    /// The four protocols of Table V, in column order.
+    pub fn table_v() -> [ProtocolCensus; 4] {
+        [
+            ProtocolCensus::for_kind(ProtocolKind::Mesi).expect("in table"),
+            ProtocolCensus::for_kind(ProtocolKind::TcStrong).expect("in table"),
+            ProtocolCensus::for_kind(ProtocolKind::TcWeak).expect("in table"),
+            ProtocolCensus::for_kind(ProtocolKind::RccSc).expect("in table"),
+        ]
+    }
+}
+
+impl fmt::Display for ProtocolCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: L1 {} ({}+{}) states / {} transitions, L2 {} ({}+{}) states / {} transitions",
+            self.kind,
+            self.l1_states(),
+            self.l1_stable,
+            self.l1_transient,
+            self.l1_transitions,
+            self.l2_states(),
+            self.l2_stable,
+            self.l2_transient,
+            self.l2_transitions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_row_values() {
+        // Table V verbatim.
+        let mesi = ProtocolCensus::for_kind(ProtocolKind::Mesi).unwrap();
+        assert_eq!((mesi.l1_states(), mesi.l1_transitions), (16, 81));
+        assert_eq!((mesi.l2_states(), mesi.l2_transitions), (15, 50));
+
+        let tcs = ProtocolCensus::for_kind(ProtocolKind::TcStrong).unwrap();
+        assert_eq!((tcs.l1_states(), tcs.l1_transitions), (5, 27));
+        assert_eq!((tcs.l2_states(), tcs.l2_transitions), (8, 23));
+
+        let tcw = ProtocolCensus::for_kind(ProtocolKind::TcWeak).unwrap();
+        assert_eq!((tcw.l1_states(), tcw.l1_transitions), (5, 42));
+        assert_eq!((tcw.l2_states(), tcw.l2_transitions), (8, 34));
+
+        let rcc = ProtocolCensus::for_kind(ProtocolKind::RccSc).unwrap();
+        assert_eq!((rcc.l1_states(), rcc.l1_transitions), (5, 33));
+        assert_eq!((rcc.l2_states(), rcc.l2_transitions), (4, 14));
+    }
+
+    #[test]
+    fn rcc_has_the_fewest_l2_states_and_transitions() {
+        let rcc = ProtocolCensus::for_kind(ProtocolKind::RccSc).unwrap();
+        for other in [
+            ProtocolKind::Mesi,
+            ProtocolKind::TcStrong,
+            ProtocolKind::TcWeak,
+        ] {
+            let o = ProtocolCensus::for_kind(other).unwrap();
+            assert!(rcc.l2_states() < o.l2_states());
+            assert!(rcc.l2_transitions < o.l2_transitions);
+            assert!(rcc.total_transitions() < o.total_transitions());
+        }
+    }
+
+    #[test]
+    fn rcc_census_matches_the_implementation() {
+        // Stable: V, I. Transient: IV, II, VI (rcc::L1State also exposes
+        // VExpired, which Fig. 5 does not count as a separate state — an
+        // expired V block behaves exactly like I).
+        use crate::rcc::l1_state_inventory;
+        let (stable, transient) = l1_state_inventory();
+        let census = ProtocolCensus::for_kind(ProtocolKind::RccSc).unwrap();
+        assert_eq!(stable, census.l1_stable);
+        assert_eq!(transient, census.l1_transient);
+    }
+
+    #[test]
+    fn ideal_has_no_census() {
+        assert!(ProtocolCensus::for_kind(ProtocolKind::IdealSc).is_none());
+        assert_eq!(
+            ProtocolCensus::for_kind(ProtocolKind::RccWo),
+            ProtocolCensus::for_kind(ProtocolKind::RccSc).map(|c| ProtocolCensus {
+                kind: ProtocolKind::RccWo,
+                ..c
+            })
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ProtocolCensus::for_kind(ProtocolKind::RccSc)
+            .unwrap()
+            .to_string();
+        assert!(s.contains("RCC-SC"));
+        assert!(s.contains("33"));
+        assert!(s.contains("14"));
+    }
+}

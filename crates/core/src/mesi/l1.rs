@@ -1,0 +1,345 @@
+//! MESI L1 controller: Shared-state write-through cache with external
+//! invalidations.
+
+use crate::msg::{
+    Access, AccessKind, AccessOutcome, Completion, CompletionKind, RejectReason, ReqId, ReqMsg,
+    ReqPayload, RespMsg, RespPayload,
+};
+use crate::protocol::{L1Cache, L1Outbox, L1Stats};
+use rcc_common::addr::{LineAddr, WordAddr};
+use rcc_common::config::GpuConfig;
+use rcc_common::ids::{CoreId, WarpId};
+use rcc_common::time::{Cycle, Timestamp};
+use rcc_mem::{MshrFile, MshrRejection, TagArray};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    id: ReqId,
+    warp: WarpId,
+    addr: WordAddr,
+    atomic: bool,
+}
+
+#[derive(Debug, Default)]
+struct MesiEntry {
+    /// Merged loads with their issue cycles: positioned at
+    /// `max(directory service time, issue time)` — every merged load
+    /// issued before our inv-ack, which precedes any racing write's
+    /// completion, so the fetched value is current at either point.
+    waiting_loads: Vec<(WarpId, WordAddr, u64)>,
+    pending_writes: VecDeque<PendingWrite>,
+    gets_outstanding: bool,
+    /// An invalidation raced the fetch: complete the merged loads when
+    /// the data arrives, but do not cache it, and accept no new loads.
+    poisoned: bool,
+}
+
+/// Per-line L1 metadata: the directory service slot of the fill, used as
+/// the sub-cycle position of hits.
+#[derive(Debug, Clone, Copy)]
+struct SharedMeta {
+    fill_seq: u64,
+}
+
+/// The MESI L1 controller for one core.
+#[derive(Debug)]
+pub struct MesiL1 {
+    core: CoreId,
+    tags: TagArray<SharedMeta>,
+    mshrs: MshrFile<MesiEntry>,
+    next_req: u64,
+    stats: L1Stats,
+}
+
+impl MesiL1 {
+    /// Creates the controller for `core`.
+    pub fn new(core: CoreId, cfg: &GpuConfig) -> Self {
+        MesiL1 {
+            core,
+            tags: TagArray::new(cfg.l1.num_sets(), cfg.l1.ways),
+            mshrs: MshrFile::new(cfg.l1.mshrs, cfg.l1.mshr_merge),
+            next_req: 1,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Whether `line` is cached (for tests).
+    pub fn is_resident(&self, line: LineAddr) -> bool {
+        self.tags.probe(line).is_some()
+    }
+
+    fn fresh_id(&mut self) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn hit_completion(&mut self, cycle: Cycle, warp: WarpId, addr: WordAddr) -> Completion {
+        let line = self
+            .tags
+            .access(addr.line())
+            .expect("hit path requires resident line");
+        Completion {
+            warp,
+            addr,
+            kind: CompletionKind::LoadDone {
+                value: line.data.word_at(addr),
+            },
+            ts: Timestamp(cycle.raw()),
+            // Positioned at the fill's directory slot within the cycle:
+            // before any same-cycle write this copy cannot have seen.
+            seq: line.state.fill_seq,
+        }
+    }
+
+    fn start_load(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let line = access.addr.line();
+        if self.tags.probe(line).is_some() {
+            self.stats.load_hits += 1;
+            return AccessOutcome::Done(self.hit_completion(cycle, access.warp, access.addr));
+        }
+        if self.mshrs.contains(line) {
+            if self.mshrs.get(line).expect("checked").poisoned {
+                self.stats.rejects += 1;
+                return AccessOutcome::Reject(RejectReason::TransientState);
+            }
+            if self
+                .mshrs
+                .merge(line, |e| {
+                    e.waiting_loads
+                        .push((access.warp, access.addr, cycle.raw()))
+                })
+                .is_err()
+            {
+                self.stats.rejects += 1;
+                return AccessOutcome::Reject(RejectReason::MergeFull);
+            }
+            self.send_gets(cycle, line, out);
+            return AccessOutcome::Pending;
+        }
+        let entry = MesiEntry {
+            waiting_loads: vec![(access.warp, access.addr, cycle.raw())],
+            ..MesiEntry::default()
+        };
+        if self.mshrs.allocate(line, entry).is_err() {
+            self.stats.rejects += 1;
+            return AccessOutcome::Reject(RejectReason::MshrFull);
+        }
+        self.send_gets(cycle, line, out);
+        AccessOutcome::Pending
+    }
+
+    fn send_gets(&mut self, cycle: Cycle, line: LineAddr, out: &mut L1Outbox) {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        if entry.gets_outstanding {
+            return;
+        }
+        entry.gets_outstanding = true;
+        out.to_l2.push(ReqMsg {
+            src: self.core,
+            line,
+            id: ReqId(0),
+            payload: ReqPayload::Gets {
+                now: Timestamp(cycle.raw()),
+                renew_exp: None,
+            },
+        });
+    }
+
+    fn start_write(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let line = access.addr.line();
+        let id = self.fresh_id();
+        let atomic = matches!(access.kind, AccessKind::Atomic { .. });
+        let pending = PendingWrite {
+            id,
+            warp: access.warp,
+            addr: access.addr,
+            atomic,
+        };
+        let alloc = if self.mshrs.contains(line) {
+            self.mshrs
+                .merge(line, |e| e.pending_writes.push_back(pending))
+        } else {
+            let mut entry = MesiEntry::default();
+            entry.pending_writes.push_back(pending);
+            self.mshrs.allocate(line, entry)
+        };
+        if let Err(e) = alloc {
+            self.stats.rejects += 1;
+            return AccessOutcome::Reject(match e {
+                MshrRejection::Full => RejectReason::MshrFull,
+                MshrRejection::MergeListFull => RejectReason::MergeFull,
+            });
+        }
+        // Write-through-invalidate: drop the local copy at issue so no
+        // warp on this core can read the pre-store value after the store
+        // is globally ordered.
+        if self.tags.invalidate(line).is_some() {
+            self.stats.self_invalidations += 1;
+        }
+        let word = access.addr.line_word_index();
+        let now = Timestamp(cycle.raw());
+        let payload = match access.kind {
+            AccessKind::Store { value } => ReqPayload::Write { now, word, value },
+            AccessKind::Atomic { op } => ReqPayload::Atomic { now, word, op },
+            AccessKind::Load => unreachable!("start_write is for writes"),
+        };
+        out.to_l2.push(ReqMsg {
+            src: self.core,
+            line,
+            id,
+            payload,
+        });
+        AccessOutcome::Pending
+    }
+
+    fn maybe_release_after_write(&mut self, line: LineAddr) {
+        let entry = self.mshrs.get(line).expect("entry exists");
+        if entry.pending_writes.is_empty() && !entry.gets_outstanding {
+            debug_assert!(entry.waiting_loads.is_empty());
+            self.mshrs.release(line);
+        }
+    }
+
+    fn take_pending_write(&mut self, line: LineAddr, id: ReqId) -> PendingWrite {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        let pos = entry
+            .pending_writes
+            .iter()
+            .position(|w| w.id == id)
+            .unwrap_or_else(|| panic!("no pending write {id:?} for {line}"));
+        entry.pending_writes.remove(pos).expect("position valid")
+    }
+}
+
+impl L1Cache for MesiL1 {
+    fn access(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let outcome = match access.kind {
+            AccessKind::Load => {
+                self.stats.loads += 1;
+                self.start_load(cycle, access, out)
+            }
+            AccessKind::Store { .. } => {
+                self.stats.stores += 1;
+                self.start_write(cycle, access, out)
+            }
+            AccessKind::Atomic { .. } => {
+                self.stats.atomics += 1;
+                self.start_write(cycle, access, out)
+            }
+        };
+        if matches!(outcome, AccessOutcome::Reject(_)) {
+            // Rejected accesses retry later; count them once when they
+            // are finally accepted (`rejects` tracks the retries).
+            match access.kind {
+                AccessKind::Load => self.stats.loads -= 1,
+                AccessKind::Store { .. } => self.stats.stores -= 1,
+                AccessKind::Atomic { .. } => self.stats.atomics -= 1,
+            }
+        }
+        outcome
+    }
+
+    fn handle_resp(&mut self, _cycle: Cycle, resp: RespMsg, out: &mut L1Outbox) {
+        let line = resp.line;
+        match resp.payload {
+            RespPayload::Data {
+                data,
+                ver,
+                exp: _,
+                seq,
+            } => {
+                let entry = self.mshrs.get_mut(line).expect("DATA without entry");
+                entry.gets_outstanding = false;
+                let poisoned = entry.poisoned;
+                entry.poisoned = false;
+                let loads = std::mem::take(&mut entry.waiting_loads);
+                for (warp, addr, issued) in loads {
+                    out.completions.push(Completion {
+                        warp,
+                        addr,
+                        kind: CompletionKind::LoadDone {
+                            value: data.word_at(addr),
+                        },
+                        // max(directory slot, issue time); even for a
+                        // poisoned fill this precedes the racing write's
+                        // completion (our inv-ack gates it).
+                        ts: ver.join(Timestamp(issued)),
+                        seq,
+                    });
+                }
+                if !poisoned {
+                    let mshrs = &self.mshrs;
+                    let _ = self.tags.fill(
+                        line,
+                        SharedMeta { fill_seq: seq },
+                        data,
+                        false,
+                        |addr, _| !mshrs.contains(addr),
+                    );
+                }
+                let entry = self.mshrs.get(line).expect("entry exists");
+                if entry.pending_writes.is_empty() {
+                    self.mshrs.release(line);
+                }
+            }
+            RespPayload::StoreAck { ver, seq } => {
+                let w = self.take_pending_write(line, resp.id);
+                debug_assert!(!w.atomic);
+                out.completions.push(Completion {
+                    warp: w.warp,
+                    addr: w.addr,
+                    kind: CompletionKind::StoreDone,
+                    ts: ver,
+                    seq,
+                });
+                self.maybe_release_after_write(line);
+            }
+            RespPayload::AtomicResp { value, ver, seq } => {
+                let w = self.take_pending_write(line, resp.id);
+                debug_assert!(w.atomic);
+                out.completions.push(Completion {
+                    warp: w.warp,
+                    addr: w.addr,
+                    kind: CompletionKind::AtomicDone { old: value },
+                    ts: ver,
+                    seq,
+                });
+                self.maybe_release_after_write(line);
+            }
+            RespPayload::Inv => {
+                self.stats.invs_received += 1;
+                self.tags.invalidate(line);
+                if let Some(entry) = self.mshrs.get_mut(line) {
+                    if entry.gets_outstanding {
+                        entry.poisoned = true;
+                    }
+                }
+                out.to_l2.push(ReqMsg {
+                    src: self.core,
+                    line,
+                    id: ReqId(0),
+                    payload: ReqPayload::InvAck,
+                });
+            }
+            RespPayload::Renew { .. }
+            | RespPayload::Flush
+            | RespPayload::DataEx { .. }
+            | RespPayload::Recall
+            | RespPayload::WbAck => {
+                debug_assert!(false, "write-through MESI never sends these");
+            }
+        }
+    }
+
+    fn tick(&mut self, _cycle: Cycle, _out: &mut L1Outbox) {}
+
+    fn pending(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}

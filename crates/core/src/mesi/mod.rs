@@ -1,0 +1,64 @@
+//! Directory-based invalidation coherence adapted to write-through,
+//! write-no-allocate GPU L1s — the paper's MESI baseline.
+//!
+//! With write-through L1s there is no dirty/exclusive L1 state: L1 lines
+//! are effectively Shared, the L2 directory tracks sharers, and every
+//! store must *invalidate all sharers and collect their acknowledgements
+//! before it can be acknowledged* — the invalidation round trips whose
+//! latency Fig. 1 charges SC stalls to, and the recall traffic on L2
+//! evictions that RCC's self-expiring leases avoid entirely. Five virtual
+//! networks (request, response, invalidation, inv-ack, writeback) keep
+//! the protocol deadlock-free (Table III).
+//!
+//! The transient-state count of the full MESI protocol (Table V: 16 L1
+//! and 15 L2 states, 131 transitions) reflects the complete
+//! race-resolution lattice of a writeback MESI; this write-through
+//! adaptation resolves the same races with a poisoned-fill rule (an
+//! invalidation arriving during a fetch completes the merged loads but
+//! prevents caching) and per-line deferral at the directory.
+
+mod l1;
+mod l2;
+pub mod wb;
+
+pub use l1::MesiL1;
+pub use l2::MesiL2;
+pub use wb::{MesiWbL1, MesiWbL2, MesiWbProtocol};
+
+use crate::kind::ProtocolKind;
+use crate::protocol::Protocol;
+use rcc_common::config::GpuConfig;
+use rcc_common::ids::{CoreId, PartitionId};
+
+/// Factory for the MESI baseline controllers.
+#[derive(Debug, Clone, Default)]
+pub struct MesiProtocol;
+
+impl MesiProtocol {
+    /// Creates the MESI baseline configuration.
+    pub fn new(_cfg: &GpuConfig) -> Self {
+        MesiProtocol
+    }
+}
+
+impl Protocol for MesiProtocol {
+    type L1 = MesiL1;
+    type L2 = MesiL2;
+
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Mesi
+    }
+
+    fn make_l1(&self, core: CoreId, cfg: &GpuConfig) -> MesiL1 {
+        MesiL1::new(core, cfg)
+    }
+
+    fn make_l2(&self, partition: PartitionId, cfg: &GpuConfig) -> MesiL2 {
+        MesiL2::new(partition, cfg)
+    }
+}
+
+#[cfg(test)]
+mod conformance;
+#[cfg(test)]
+mod tests;

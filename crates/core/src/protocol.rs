@@ -1,0 +1,221 @@
+//! The protocol-agnostic controller interface every coherence protocol
+//! implements, plus the per-controller statistics the figures are
+//! computed from.
+//!
+//! Controllers are pure FSMs: they never model latency. The simulator in
+//! `rcc-sim` delivers events (core accesses, network messages, DRAM fills)
+//! and moves outbox contents through the timed NoC/DRAM models.
+
+use crate::kind::ProtocolKind;
+use crate::msg::{Access, AccessOutcome, Completion, ReqMsg, RespMsg};
+use rcc_common::addr::LineAddr;
+use rcc_common::config::GpuConfig;
+use rcc_common::ids::{CoreId, PartitionId};
+use rcc_common::time::Cycle;
+use rcc_mem::LineData;
+
+/// Messages and events produced by an L1 controller in one step.
+#[derive(Debug, Default)]
+pub struct L1Outbox {
+    /// Requests to send to L2 partitions.
+    pub to_l2: Vec<ReqMsg>,
+    /// Completions to deliver to the core's LSU.
+    pub completions: Vec<Completion>,
+}
+
+impl L1Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves all contents of `other` into `self`.
+    pub fn append(&mut self, other: &mut L1Outbox) {
+        self.to_l2.append(&mut other.to_l2);
+        self.completions.append(&mut other.completions);
+    }
+
+    /// True if nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.to_l2.is_empty() && self.completions.is_empty()
+    }
+}
+
+/// A zero-cost coherence action SC-IDEAL applies to an L1 copy
+/// out-of-band — the idealization of instantaneous write permissions
+/// (Fig. 1d). Real protocols pay messages for the same effects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MagicAction {
+    /// Drop the copy (the L2 evicted the line).
+    Invalidate,
+    /// Refresh one word of the copy in place (a remote store or atomic
+    /// was applied at the L2 this cycle).
+    Update {
+        /// Word index within the line.
+        word: usize,
+        /// The word's new value.
+        value: u64,
+    },
+}
+
+/// Messages and events produced by an L2 bank in one step.
+#[derive(Debug, Default)]
+pub struct L2Outbox {
+    /// Responses to send to L1s.
+    pub to_l1: Vec<RespMsg>,
+    /// Lines to fetch from DRAM.
+    pub dram_fetch: Vec<LineAddr>,
+    /// Dirty lines written back to DRAM.
+    pub dram_writeback: Vec<(LineAddr, LineData)>,
+    /// SC-IDEAL only: coherence actions applied to L1 copies instantly,
+    /// bypassing the network (zero latency, zero traffic).
+    pub magic_inv: Vec<(CoreId, LineAddr, MagicAction)>,
+}
+
+impl L2Outbox {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if nothing was produced.
+    pub fn is_empty(&self) -> bool {
+        self.to_l1.is_empty()
+            && self.dram_fetch.is_empty()
+            && self.dram_writeback.is_empty()
+            && self.magic_inv.is_empty()
+    }
+}
+
+/// Counters maintained by every L1 controller.
+#[derive(Debug, Default, Clone)]
+pub struct L1Stats {
+    /// Load accesses presented.
+    pub loads: u64,
+    /// Loads served from the L1 (valid, unexpired).
+    pub load_hits: u64,
+    /// Loads that found the line in V state but logically expired
+    /// (numerator of Fig. 6 left).
+    pub expired_loads: u64,
+    /// Expired loads whose data was refreshed by a RENEW (no transfer) —
+    /// these expirations were premature (Fig. 6 right / Fig. 7).
+    pub renewed_loads: u64,
+    /// Store accesses presented.
+    pub stores: u64,
+    /// Atomic accesses presented.
+    pub atomics: u64,
+    /// Lines self-invalidated by lease expiry at replacement or access.
+    pub self_invalidations: u64,
+    /// Accesses rejected for structural reasons (MSHR pressure).
+    pub rejects: u64,
+    /// Invalidation messages received (MESI).
+    pub invs_received: u64,
+}
+
+/// Counters maintained by every L2 bank.
+#[derive(Debug, Default, Clone)]
+pub struct L2Stats {
+    /// GETS requests served.
+    pub gets: u64,
+    /// GETS served as lease renewals (no data transferred).
+    pub renews_granted: u64,
+    /// WRITE requests served.
+    pub writes: u64,
+    /// ATOMIC requests served.
+    pub atomics: u64,
+    /// DRAM line fetches issued.
+    pub dram_fetches: u64,
+    /// Dirty writebacks issued.
+    pub writebacks: u64,
+    /// Invalidations sent to L1 sharers (MESI).
+    pub invs_sent: u64,
+    /// Store requests that had to wait for lease expiry (TC-Strong) or
+    /// sharer invalidation (MESI) before being acknowledged.
+    pub stalled_stores: u64,
+    /// Total cycles stores spent waiting at the L2 for write permission.
+    pub store_stall_cycles: u64,
+}
+
+/// A protocol configuration: a factory for its L1 and L2 controllers.
+pub trait Protocol {
+    /// Per-core L1 controller type.
+    type L1: L1Cache;
+    /// Per-partition L2 controller type.
+    type L2: L2Bank;
+
+    /// Which configuration this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Builds the L1 controller for `core`.
+    fn make_l1(&self, core: CoreId, cfg: &GpuConfig) -> Self::L1;
+
+    /// Builds the L2 controller for `partition`.
+    fn make_l2(&self, partition: PartitionId, cfg: &GpuConfig) -> Self::L2;
+}
+
+/// Core-side coherence controller for one L1 cache.
+pub trait L1Cache {
+    /// Presents one warp memory access. On `Pending`, a [`Completion`]
+    /// with the access's `ReqId`-matched result will eventually appear in
+    /// an outbox.
+    fn access(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome;
+
+    /// Delivers a response (or MESI invalidation / RCC flush) from the L2.
+    fn handle_resp(&mut self, cycle: Cycle, resp: RespMsg, out: &mut L1Outbox);
+
+    /// Advances per-cycle state (physical lease expiry for TC, livelock
+    /// bump for RCC). Called once per core cycle.
+    fn tick(&mut self, cycle: Cycle, out: &mut L1Outbox);
+
+    /// A FENCE retired on this core (RCC-WO joins its read/write views;
+    /// other protocols need no L1 action).
+    fn fence(&mut self) {}
+
+    /// Applies a zero-cost out-of-band coherence action (SC-IDEAL only;
+    /// real protocols never receive these).
+    fn magic(&mut self, _cycle: Cycle, _line: LineAddr, _action: MagicAction) {}
+
+    /// Number of outstanding requests (used to quiesce for rollover and
+    /// to detect deadlock).
+    fn pending(&self) -> usize;
+
+    /// Statistics.
+    fn stats(&self) -> &L1Stats;
+}
+
+/// One bank/partition of the shared L2 cache.
+pub trait L2Bank {
+    /// Delivers one request from an L1.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when the bank cannot accept the request this
+    /// cycle (MSHR full / no victim way); the simulator retries it,
+    /// preserving per-source order.
+    #[allow(clippy::result_unit_err)]
+    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()>;
+
+    /// Delivers a DRAM fill for `line`.
+    fn handle_dram(&mut self, cycle: Cycle, line: LineAddr, data: LineData, out: &mut L2Outbox);
+
+    /// Advances per-cycle state (TC-Strong releases stores whose leases
+    /// have expired). Called once per core cycle.
+    fn tick(&mut self, cycle: Cycle, out: &mut L2Outbox);
+
+    /// Whether this bank's timestamps are close enough to the rollover
+    /// threshold that the global rollover protocol must run (RCC only).
+    fn needs_rollover(&self) -> bool {
+        false
+    }
+
+    /// Resets all timestamps to zero (rollover, Section III-D). Only
+    /// meaningful for timestamp protocols; called with the system
+    /// quiesced.
+    fn rollover_reset(&mut self) {}
+
+    /// Number of outstanding transactions (MSHRs + deferred requests).
+    fn pending(&self) -> usize;
+
+    /// Statistics.
+    fn stats(&self) -> &L2Stats;
+}

@@ -1,0 +1,609 @@
+//! RCC L1 cache controller (Fig. 5, left table).
+//!
+//! Stable states are V and I; the transient states IV, II and VI of the
+//! paper are *derived* here from two facts the controller tracks per
+//! MSHR entry — whether a GETS is outstanding and whether write acks are
+//! pending — combined with whether the block is readable in the tag array:
+//!
+//! | derived state | GETS outstanding | writes pending | block readable |
+//! |---------------|------------------|----------------|----------------|
+//! | IV            | yes              | no             | —              |
+//! | II            | maybe            | yes            | no             |
+//! | VI            | maybe            | yes            | yes            |
+//!
+//! This encoding makes the state transitions of Fig. 5 fall out of plain
+//! data-structure updates, and [`RccL1::derived_state`] recovers the
+//! paper's state names for tests and debugging.
+
+use crate::msg::{
+    Access, AccessKind, AccessOutcome, Completion, CompletionKind, RejectReason, ReqId, ReqMsg,
+    ReqPayload, RespMsg, RespPayload,
+};
+use crate::protocol::{L1Cache, L1Outbox, L1Stats};
+use rcc_common::addr::{LineAddr, WordAddr};
+use rcc_common::config::{GpuConfig, RccParams};
+use rcc_common::ids::{CoreId, WarpId};
+use rcc_common::time::{Cycle, Timestamp};
+use rcc_mem::{LineData, MshrFile, MshrRejection, TagArray};
+use std::collections::VecDeque;
+
+/// Whether the core keeps one logical view (SC) or split read/write views
+/// joined at fences (WO, Section III-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewMode {
+    /// RCC-SC: a single `now` per core.
+    Sc,
+    /// RCC-WO: separate read and write views.
+    Wo,
+}
+
+/// The paper's L1 state names, derived for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1State {
+    /// Invalid / not present.
+    I,
+    /// Valid with an unexpired lease.
+    V,
+    /// Valid in the tag array but the lease has logically expired
+    /// (treated as I for memory operations and replacement).
+    VExpired,
+    /// Load miss outstanding.
+    Iv,
+    /// Write(s) outstanding, block not readable.
+    Ii,
+    /// Write(s) outstanding, block still readable by other warps.
+    Vi,
+}
+
+/// Per-line metadata in the L1 tag array: the lease expiration
+/// (write-through L1s need no `ver` — Section III-A) plus the bank
+/// service slot of the fill, which orders hits against same-version
+/// writes at the bank.
+#[derive(Debug, Clone, Copy)]
+struct L1Meta {
+    exp: Timestamp,
+    fill_seq: u64,
+}
+
+/// A store or atomic awaiting its ack from the L2.
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    id: ReqId,
+    warp: WarpId,
+    addr: WordAddr,
+    atomic: bool,
+}
+
+/// A load merged into an MSHR entry. `issue_now` is the core's read view
+/// when the load was accepted: the load's SC position is
+/// `max(issue_now, data.ver)`, which stays within the granted lease even
+/// if unrelated store acks advance the core's clock while the data is in
+/// flight.
+#[derive(Debug, Clone, Copy)]
+struct WaitingLoad {
+    warp: WarpId,
+    addr: WordAddr,
+    issue_now: Timestamp,
+}
+
+/// MSHR entry: merged loads waiting for data plus writes awaiting acks.
+#[derive(Debug, Default)]
+struct L1Entry {
+    waiting_loads: Vec<WaitingLoad>,
+    pending_writes: VecDeque<PendingWrite>,
+    gets_outstanding: bool,
+}
+
+/// The RCC L1 controller for one core.
+#[derive(Debug)]
+pub struct RccL1 {
+    core: CoreId,
+    mode: ViewMode,
+    params: RccParams,
+    /// Read view (`now` in the paper; the only view in SC mode).
+    read_now: Timestamp,
+    /// Write view (equal to `read_now` in SC mode).
+    write_now: Timestamp,
+    tags: TagArray<L1Meta>,
+    mshrs: MshrFile<L1Entry>,
+    next_req: u64,
+    stats: L1Stats,
+}
+
+impl RccL1 {
+    /// Creates the controller for `core` from the machine configuration.
+    pub fn new(core: CoreId, cfg: &GpuConfig, params: RccParams, mode: ViewMode) -> Self {
+        RccL1 {
+            core,
+            mode,
+            params,
+            read_now: Timestamp::ZERO,
+            write_now: Timestamp::ZERO,
+            tags: TagArray::new(cfg.l1.num_sets(), cfg.l1.ways),
+            mshrs: MshrFile::new(cfg.l1.mshrs, cfg.l1.mshr_merge),
+            next_req: 1,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// The core's current logical read view (`now`).
+    pub fn now(&self) -> Timestamp {
+        self.read_now
+    }
+
+    /// The core's current logical write view (equals [`Self::now`] in SC
+    /// mode).
+    pub fn write_view(&self) -> Timestamp {
+        self.write_now
+    }
+
+    /// Advances the logical clock(s) directly — used by tests and by the
+    /// livelock-avoidance bump.
+    pub fn advance_now(&mut self, to: Timestamp) {
+        self.read_now = self.read_now.join(to);
+        self.write_now = self.write_now.join(to);
+    }
+
+    /// Installs a line with the given data and lease expiration, as if a
+    /// DATA response had filled it. Intended for setting up scenarios in
+    /// tests and examples (e.g. the paper's Fig. 3 walkthrough).
+    pub fn install_line(&mut self, line: LineAddr, data: LineData, exp: Timestamp) {
+        self.tags
+            .fill(line, L1Meta { exp, fill_seq: 0 }, data, false, |_, _| true)
+            .expect("install target set has room");
+    }
+
+    /// Recovers the paper's state name for `line` (tests / debugging).
+    pub fn derived_state(&self, line: LineAddr) -> L1State {
+        let readable = self.is_readable(line);
+        match self.mshrs.get(line) {
+            Some(e) if !e.pending_writes.is_empty() => {
+                if readable {
+                    L1State::Vi
+                } else {
+                    L1State::Ii
+                }
+            }
+            Some(_) => L1State::Iv,
+            None => match self.tags.probe(line) {
+                Some(l) if self.read_now <= l.state.exp => L1State::V,
+                Some(_) => L1State::VExpired,
+                None => L1State::I,
+            },
+        }
+    }
+
+    /// The lease expiration currently recorded for `line`, if resident.
+    pub fn lease_exp(&self, line: LineAddr) -> Option<Timestamp> {
+        self.tags.probe(line).map(|l| l.state.exp)
+    }
+
+    fn is_readable(&self, line: LineAddr) -> bool {
+        self.tags
+            .probe(line)
+            .is_some_and(|l| self.read_now <= l.state.exp)
+    }
+
+    fn fresh_id(&mut self) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn advance_read(&mut self, ver: Timestamp) {
+        self.read_now = self.read_now.join(ver);
+        if self.mode == ViewMode::Sc {
+            self.write_now = self.read_now;
+        }
+    }
+
+    fn advance_write(&mut self, ver: Timestamp) {
+        self.write_now = self.write_now.join(ver);
+        if self.mode == ViewMode::Sc {
+            self.read_now = self.write_now;
+        }
+    }
+
+    fn hit_completion(&mut self, warp: WarpId, addr: WordAddr) -> Completion {
+        let line = self
+            .tags
+            .access(addr.line())
+            .expect("hit path requires resident line");
+        Completion {
+            warp,
+            addr,
+            kind: CompletionKind::LoadDone {
+                value: line.data.word_at(addr),
+            },
+            ts: self.read_now,
+            // Same-version ties resolve by bank order: this copy knows
+            // exactly the writes serviced before its fill.
+            seq: line.state.fill_seq,
+        }
+    }
+
+    /// Sends a GETS for `line` if none is outstanding, carrying the
+    /// expired lease's `exp` when the stale data is still resident (the
+    /// RENEW hint of Section III-E).
+    fn send_gets(&mut self, line: LineAddr, out: &mut L1Outbox) {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        if entry.gets_outstanding {
+            return;
+        }
+        entry.gets_outstanding = true;
+        let renew_exp = if self.params.renew_enabled {
+            self.tags.probe(line).map(|l| l.state.exp)
+        } else {
+            None
+        };
+        out.to_l2.push(ReqMsg {
+            src: self.core,
+            line,
+            id: ReqId(0),
+            payload: ReqPayload::Gets {
+                now: self.read_now,
+                renew_exp,
+            },
+        });
+    }
+
+    fn start_load(&mut self, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let line = access.addr.line();
+        let waiting = WaitingLoad {
+            warp: access.warp,
+            addr: access.addr,
+            issue_now: self.read_now,
+        };
+        if self.mshrs.contains(line) {
+            if self.is_readable(line) {
+                // Derived VI: the block is still readable while writes are
+                // outstanding — important because round trips to L2 take
+                // hundreds of cycles (Section III-C).
+                self.stats.load_hits += 1;
+                return AccessOutcome::Done(self.hit_completion(access.warp, access.addr));
+            }
+            if self.tags.probe(line).is_some() {
+                // The stale copy is resident but expired: this load also
+                // "finds data in V state but expired" (Fig. 6 left).
+                self.stats.expired_loads += 1;
+            }
+            if self
+                .mshrs
+                .merge(line, |e| e.waiting_loads.push(waiting))
+                .is_err()
+            {
+                self.stats.rejects += 1;
+                return AccessOutcome::Reject(RejectReason::MergeFull);
+            }
+            self.send_gets(line, out);
+            return AccessOutcome::Pending;
+        }
+
+        match self.tags.probe(line) {
+            Some(l) if self.read_now <= l.state.exp => {
+                self.stats.load_hits += 1;
+                AccessOutcome::Done(self.hit_completion(access.warp, access.addr))
+            }
+            resident => {
+                if resident.is_some() {
+                    // V-but-expired: the numerator of Fig. 6 (left). The
+                    // stale data stays resident so a RENEW can revalidate
+                    // it without a data transfer.
+                    self.stats.expired_loads += 1;
+                }
+                let entry = L1Entry {
+                    waiting_loads: vec![waiting],
+                    ..L1Entry::default()
+                };
+                if self.mshrs.allocate(line, entry).is_err() {
+                    self.stats.rejects += 1;
+                    return AccessOutcome::Reject(RejectReason::MshrFull);
+                }
+                self.send_gets(line, out);
+                AccessOutcome::Pending
+            }
+        }
+    }
+
+    fn start_write(&mut self, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let line = access.addr.line();
+        let id = self.fresh_id();
+        let atomic = matches!(access.kind, AccessKind::Atomic { .. });
+        let pending = PendingWrite {
+            id,
+            warp: access.warp,
+            addr: access.addr,
+            atomic,
+        };
+
+        let alloc = if self.mshrs.contains(line) {
+            self.mshrs
+                .merge(line, |e| e.pending_writes.push_back(pending))
+        } else {
+            let mut entry = L1Entry::default();
+            entry.pending_writes.push_back(pending);
+            self.mshrs.allocate(line, entry)
+        };
+        if let Err(e) = alloc {
+            self.stats.rejects += 1;
+            return AccessOutcome::Reject(match e {
+                MshrRejection::Full => RejectReason::MshrFull,
+                MshrRejection::MergeListFull => RejectReason::MergeFull,
+            });
+        }
+
+        // Write-through: the request goes straight to the L2 (Fig. 5
+        // emits WRITE/ATOMIC from every state). Write permissions need no
+        // round trip — the L2 will grant them by advancing logical time.
+        let word = access.addr.line_word_index();
+        let payload = match access.kind {
+            AccessKind::Store { value } => ReqPayload::Write {
+                now: self.write_now,
+                word,
+                value,
+            },
+            AccessKind::Atomic { op } => ReqPayload::Atomic {
+                now: self.write_now,
+                word,
+                op,
+            },
+            AccessKind::Load => unreachable!("start_write is for writes"),
+        };
+        out.to_l2.push(ReqMsg {
+            src: self.core,
+            line,
+            id,
+            payload,
+        });
+        AccessOutcome::Pending
+    }
+
+    /// Releases the MSHR entry if nothing remains outstanding; after the
+    /// final write ack the block transitions to I (Fig. 4: II/VI → I on
+    /// ST/AT reply), modelling write-no-allocate.
+    fn maybe_release_after_write(&mut self, line: LineAddr) {
+        let entry = self.mshrs.get(line).expect("entry exists");
+        if entry.pending_writes.is_empty() && !entry.gets_outstanding {
+            debug_assert!(entry.waiting_loads.is_empty());
+            self.mshrs.release(line);
+            if self.tags.invalidate(line).is_some() {
+                self.stats.self_invalidations += 1;
+            }
+        }
+    }
+
+    /// Completes all merged loads against `data`. Each load is positioned
+    /// at `max(its issue-time now, ver)` — within its granted lease, and
+    /// after every write the data incorporates — with the serving bank
+    /// slot `seq` breaking same-version ties.
+    /// Completes merged loads covered by the lease (`issue_now ≤ exp`) —
+    /// rule 3 guarantees any later write's version exceeds `exp`, so the
+    /// data is current at every covered position. Loads that merged past
+    /// the lease window are returned for re-requesting.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_waiting_loads(
+        &mut self,
+        line: LineAddr,
+        data: &LineData,
+        ver: Timestamp,
+        exp: Timestamp,
+        seq: u64,
+        out: &mut L1Outbox,
+    ) -> usize {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        let loads = std::mem::take(&mut entry.waiting_loads);
+        let mut n = 0;
+        let mut refetch = Vec::new();
+        for w in loads {
+            if w.issue_now > exp {
+                refetch.push(w);
+                continue;
+            }
+            n += 1;
+            out.completions.push(Completion {
+                warp: w.warp,
+                addr: w.addr,
+                kind: CompletionKind::LoadDone {
+                    value: data.word_at(w.addr),
+                },
+                ts: w.issue_now.join(ver),
+                seq,
+            });
+        }
+        if !refetch.is_empty() {
+            let entry = self.mshrs.get_mut(line).expect("entry exists");
+            entry.waiting_loads = refetch;
+            entry.gets_outstanding = true;
+            out.to_l2.push(ReqMsg {
+                src: self.core,
+                line,
+                id: ReqId(0),
+                payload: ReqPayload::Gets {
+                    now: self.read_now,
+                    renew_exp: if self.params.renew_enabled {
+                        Some(exp)
+                    } else {
+                        None
+                    },
+                },
+            });
+        }
+        n
+    }
+
+    fn take_pending_write(&mut self, line: LineAddr, id: ReqId) -> PendingWrite {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        let pos = entry
+            .pending_writes
+            .iter()
+            .position(|w| w.id == id)
+            .unwrap_or_else(|| panic!("no pending write {id:?} for {line}"));
+        entry.pending_writes.remove(pos).expect("position valid")
+    }
+}
+
+impl L1Cache for RccL1 {
+    fn access(&mut self, _cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let outcome = match access.kind {
+            AccessKind::Load => {
+                self.stats.loads += 1;
+                self.start_load(access, out)
+            }
+            AccessKind::Store { .. } => {
+                self.stats.stores += 1;
+                self.start_write(access, out)
+            }
+            AccessKind::Atomic { .. } => {
+                self.stats.atomics += 1;
+                self.start_write(access, out)
+            }
+        };
+        if matches!(outcome, AccessOutcome::Reject(_)) {
+            // Rejected accesses retry later; count them once when they
+            // are finally accepted (`rejects` tracks the retries).
+            match access.kind {
+                AccessKind::Load => self.stats.loads -= 1,
+                AccessKind::Store { .. } => self.stats.stores -= 1,
+                AccessKind::Atomic { .. } => self.stats.atomics -= 1,
+            }
+        }
+        outcome
+    }
+
+    fn handle_resp(&mut self, _cycle: Cycle, resp: RespMsg, out: &mut L1Outbox) {
+        let line = resp.line;
+        match resp.payload {
+            RespPayload::Data {
+                data,
+                ver,
+                exp,
+                seq,
+            } => {
+                // Rule 1: never observe a value "from the future".
+                self.advance_read(ver);
+                let entry = self.mshrs.get_mut(line).expect("DATA without entry");
+                entry.gets_outstanding = false;
+                self.complete_waiting_loads(line, &data, ver, exp, seq, out);
+                // Cache the line; lines with MSHR entries are pinned so a
+                // pending RENEW always finds its data. If every way is
+                // pinned, skip allocation (the loads completed already).
+                let mshrs = &self.mshrs;
+                let _ = self.tags.fill(
+                    line,
+                    L1Meta { exp, fill_seq: seq },
+                    data,
+                    false,
+                    |addr, _| !mshrs.contains(addr),
+                );
+                let entry = self.mshrs.get(line).expect("entry exists");
+                if entry.pending_writes.is_empty() && !entry.gets_outstanding {
+                    debug_assert!(entry.waiting_loads.is_empty());
+                    self.mshrs.release(line);
+                }
+            }
+            RespPayload::Renew { exp } => {
+                let entry = self.mshrs.get_mut(line).expect("RENEW without entry");
+                entry.gets_outstanding = false;
+                let meta = self
+                    .tags
+                    .probe_mut(line)
+                    .expect("RENEW target data must be resident (pinned)");
+                meta.state.exp = exp;
+                let data = meta.data.clone();
+                let fill_seq = meta.state.fill_seq;
+                // Renewed data is unchanged since before the lease expired
+                // (any write since the fill would have denied the renew),
+                // so each load sits at its own issue-time position with
+                // the original fill's bank slot.
+                let n =
+                    self.complete_waiting_loads(line, &data, Timestamp::ZERO, exp, fill_seq, out);
+                self.stats.renewed_loads += n as u64;
+                let entry = self.mshrs.get(line).expect("entry exists");
+                if entry.pending_writes.is_empty() && !entry.gets_outstanding {
+                    debug_assert!(entry.waiting_loads.is_empty());
+                    self.mshrs.release(line);
+                }
+            }
+            RespPayload::StoreAck { ver, seq } => {
+                // Rules 2/3 landed at the L2; the ack tells us the write's
+                // version, and the core joins it (Fig. 5: L1.now =
+                // max(L1.now, M.ver)).
+                self.advance_write(ver);
+                let w = self.take_pending_write(line, resp.id);
+                debug_assert!(!w.atomic, "store ack for an atomic");
+                out.completions.push(Completion {
+                    warp: w.warp,
+                    addr: w.addr,
+                    kind: CompletionKind::StoreDone,
+                    ts: ver,
+                    seq,
+                });
+                self.maybe_release_after_write(line);
+            }
+            RespPayload::AtomicResp { value, ver, seq } => {
+                // An atomic both reads and writes: join both views.
+                self.advance_read(ver);
+                self.advance_write(ver);
+                let w = self.take_pending_write(line, resp.id);
+                debug_assert!(w.atomic, "atomic resp for a plain store");
+                out.completions.push(Completion {
+                    warp: w.warp,
+                    addr: w.addr,
+                    kind: CompletionKind::AtomicDone { old: value },
+                    ts: ver,
+                    seq,
+                });
+                self.maybe_release_after_write(line);
+            }
+            RespPayload::Inv
+            | RespPayload::DataEx { .. }
+            | RespPayload::Recall
+            | RespPayload::WbAck => {
+                debug_assert!(false, "RCC never sends these");
+            }
+            RespPayload::Flush => {
+                // Rollover (Section III-D): the system is quiesced before
+                // the flush, so no transactions are outstanding.
+                assert!(
+                    self.mshrs.is_empty(),
+                    "rollover flush requires a quiesced L1"
+                );
+                let dropped = self.tags.drain();
+                self.stats.self_invalidations += dropped.len() as u64;
+                self.read_now = Timestamp::ZERO;
+                self.write_now = Timestamp::ZERO;
+                out.to_l2.push(ReqMsg {
+                    src: self.core,
+                    line,
+                    id: ReqId(0),
+                    payload: ReqPayload::FlushAck,
+                });
+            }
+        }
+    }
+
+    fn tick(&mut self, cycle: Cycle, _out: &mut L1Outbox) {
+        // Livelock avoidance (Section III-E): periodically advance logical
+        // time so read-only spins eventually observe new versions.
+        let interval = self.params.livelock_bump_interval;
+        if interval > 0 && cycle.raw() > 0 && cycle.raw().is_multiple_of(interval) {
+            self.advance_now(self.read_now.succ());
+        }
+    }
+
+    fn fence(&mut self) {
+        // RCC-WO: a full fence joins the read and write views
+        // (Section III-F). In SC mode the views are always equal.
+        let joined = self.read_now.join(self.write_now);
+        self.read_now = joined;
+        self.write_now = joined;
+    }
+
+    fn pending(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-block lease prediction (Section III-E).
+//!
+//! > "To find the best lease, the L2 initially predicts the maximum lease
+//! > (2048) for every block. When the block is written, the prediction
+//! > drops to the minimum (8), and grows (2×) every time a read lease is
+//! > successfully renewed. This way the L2 quickly learns to predict
+//! > short leases for frequently shared read-write blocks (such as those
+//! > containing locks), but long leases for data that is mostly read and
+//! > blocks that miss in the L2 (e.g., streaming reads)."
+
+use rcc_common::config::RccParams;
+
+/// Stateless lease-prediction policy; the predicted lease itself is
+/// stored per L2 block.
+#[derive(Debug, Clone)]
+pub struct LeasePredictor {
+    min: u64,
+    max: u64,
+    fixed: Option<u64>,
+    enabled: bool,
+}
+
+impl LeasePredictor {
+    /// Builds the policy from the RCC configuration.
+    pub fn new(params: &RccParams) -> Self {
+        assert!(params.lease_min > 0, "leases must be positive");
+        assert!(params.lease_min <= params.lease_max);
+        LeasePredictor {
+            min: params.lease_min,
+            max: params.lease_max,
+            fixed: params.fixed_lease,
+            enabled: params.predictor_enabled,
+        }
+    }
+
+    /// Prediction for a block newly filled from DRAM by a read (streaming
+    /// data gets the maximum lease).
+    pub fn initial(&self) -> u64 {
+        self.fixed.unwrap_or(self.max)
+    }
+
+    /// Prediction after a block is written (drop to minimum — frequently
+    /// written shared data should hold short leases).
+    pub fn on_write(&self, _current: u64) -> u64 {
+        match self.fixed {
+            Some(f) => f,
+            None if self.enabled => self.min,
+            None => self.max,
+        }
+    }
+
+    /// Prediction after a lease is successfully renewed (the expiration
+    /// was premature — double the lease).
+    pub fn on_renew(&self, current: u64) -> u64 {
+        match self.fixed {
+            Some(f) => f,
+            None if self.enabled => (current * 2).min(self.max),
+            None => self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::config::RccParams;
+
+    fn params() -> RccParams {
+        RccParams::default()
+    }
+
+    #[test]
+    fn initial_is_max() {
+        let p = LeasePredictor::new(&params());
+        assert_eq!(p.initial(), 2048);
+    }
+
+    #[test]
+    fn write_drops_to_min() {
+        let p = LeasePredictor::new(&params());
+        assert_eq!(p.on_write(2048), 8);
+        assert_eq!(p.on_write(64), 8);
+    }
+
+    #[test]
+    fn renew_doubles_up_to_max() {
+        let p = LeasePredictor::new(&params());
+        let mut lease = p.on_write(2048);
+        let trajectory: Vec<u64> = std::iter::from_fn(|| {
+            lease = p.on_renew(lease);
+            Some(lease)
+        })
+        .take(10)
+        .collect();
+        // Section III-E: "predicted from 8–16–···–1024–2048".
+        assert_eq!(
+            trajectory,
+            vec![16, 32, 64, 128, 256, 512, 1024, 2048, 2048, 2048]
+        );
+    }
+
+    #[test]
+    fn disabled_predictor_pins_max() {
+        let mut prm = params();
+        prm.predictor_enabled = false;
+        let p = LeasePredictor::new(&prm);
+        assert_eq!(p.initial(), 2048);
+        assert_eq!(p.on_write(2048), 2048);
+        assert_eq!(p.on_renew(2048), 2048);
+    }
+
+    #[test]
+    fn fixed_lease_overrides_everything() {
+        let mut prm = params();
+        prm.fixed_lease = Some(100);
+        let p = LeasePredictor::new(&prm);
+        assert_eq!(p.initial(), 100);
+        assert_eq!(p.on_write(100), 100);
+        assert_eq!(p.on_renew(100), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lease_rejected() {
+        let mut prm = params();
+        prm.lease_min = 0;
+        let _ = LeasePredictor::new(&prm);
+    }
+}

@@ -1,0 +1,364 @@
+//! TC L1 controller: physically-timed leases, self-invalidation, no
+//! invalidation traffic. Shared by TC-Strong and TC-Weak — the store
+//! discipline lives entirely in the L2.
+
+use crate::msg::{
+    Access, AccessKind, AccessOutcome, Completion, CompletionKind, RejectReason, ReqId, ReqMsg,
+    ReqPayload, RespMsg, RespPayload,
+};
+use crate::protocol::{L1Cache, L1Outbox, L1Stats};
+use rcc_common::addr::{LineAddr, WordAddr};
+use rcc_common::config::GpuConfig;
+use rcc_common::ids::{CoreId, WarpId};
+use rcc_common::time::{Cycle, Timestamp};
+use rcc_mem::{MshrFile, MshrRejection, TagArray};
+use std::collections::VecDeque;
+
+/// Per-line metadata: physical lease expiration (exclusive — the copy is
+/// readable while `cycle < exp`) and the bank service sequence of the
+/// fill, used as the sub-cycle position of hits.
+#[derive(Debug, Clone, Copy)]
+struct TcMeta {
+    exp: Timestamp,
+    fill_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    id: ReqId,
+    warp: WarpId,
+    addr: WordAddr,
+    atomic: bool,
+}
+
+#[derive(Debug, Default)]
+struct TcEntry {
+    /// Merged loads with their issue cycles: a merged load's SC position
+    /// is `max(serve time, issue time)` — within the granted lease, so
+    /// still before any write the data could have missed.
+    waiting_loads: Vec<(WarpId, WordAddr, u64)>,
+    pending_writes: VecDeque<PendingWrite>,
+    gets_outstanding: bool,
+}
+
+/// The TC L1 controller for one core.
+#[derive(Debug)]
+pub struct TcL1 {
+    core: CoreId,
+    tags: TagArray<TcMeta>,
+    mshrs: MshrFile<TcEntry>,
+    next_req: u64,
+    stats: L1Stats,
+}
+
+impl TcL1 {
+    /// Creates the controller for `core`.
+    pub fn new(core: CoreId, cfg: &GpuConfig) -> Self {
+        TcL1 {
+            core,
+            tags: TagArray::new(cfg.l1.num_sets(), cfg.l1.ways),
+            mshrs: MshrFile::new(cfg.l1.mshrs, cfg.l1.mshr_merge),
+            next_req: 1,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Physical lease expiration of a resident line (for tests).
+    pub fn lease_exp(&self, line: LineAddr) -> Option<Timestamp> {
+        self.tags.probe(line).map(|l| l.state.exp)
+    }
+
+    fn is_readable(&self, cycle: Cycle, line: LineAddr) -> bool {
+        self.tags
+            .probe(line)
+            .is_some_and(|l| Timestamp(cycle.raw()) < l.state.exp)
+    }
+
+    fn fresh_id(&mut self) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn hit_completion(&mut self, cycle: Cycle, warp: WarpId, addr: WordAddr) -> Completion {
+        let line = self
+            .tags
+            .access(addr.line())
+            .expect("hit path requires resident line");
+        Completion {
+            warp,
+            addr,
+            kind: CompletionKind::LoadDone {
+                value: line.data.word_at(addr),
+            },
+            ts: Timestamp(cycle.raw()),
+            // Hits are positioned at their fill's bank slot within the
+            // cycle: before any same-cycle write they cannot have seen.
+            seq: line.state.fill_seq,
+        }
+    }
+
+    fn send_gets(&mut self, cycle: Cycle, line: LineAddr, out: &mut L1Outbox) {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        if entry.gets_outstanding {
+            return;
+        }
+        entry.gets_outstanding = true;
+        out.to_l2.push(ReqMsg {
+            src: self.core,
+            line,
+            id: ReqId(0),
+            payload: ReqPayload::Gets {
+                now: Timestamp(cycle.raw()),
+                renew_exp: None,
+            },
+        });
+    }
+
+    fn start_load(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let line = access.addr.line();
+        if self.mshrs.contains(line) {
+            if self.is_readable(cycle, line) {
+                self.stats.load_hits += 1;
+                return AccessOutcome::Done(self.hit_completion(cycle, access.warp, access.addr));
+            }
+            if self
+                .mshrs
+                .merge(line, |e| {
+                    e.waiting_loads
+                        .push((access.warp, access.addr, cycle.raw()))
+                })
+                .is_err()
+            {
+                self.stats.rejects += 1;
+                return AccessOutcome::Reject(RejectReason::MergeFull);
+            }
+            self.send_gets(cycle, line, out);
+            return AccessOutcome::Pending;
+        }
+        match self.tags.probe(line) {
+            Some(l) if Timestamp(cycle.raw()) < l.state.exp => {
+                self.stats.load_hits += 1;
+                AccessOutcome::Done(self.hit_completion(cycle, access.warp, access.addr))
+            }
+            resident => {
+                if resident.is_some() {
+                    // Physically expired copy: self-invalidate (no renew
+                    // mechanism in TC — drop the stale data).
+                    self.stats.expired_loads += 1;
+                    self.stats.self_invalidations += 1;
+                    self.tags.invalidate(line);
+                }
+                let entry = TcEntry {
+                    waiting_loads: vec![(access.warp, access.addr, cycle.raw())],
+                    ..TcEntry::default()
+                };
+                if self.mshrs.allocate(line, entry).is_err() {
+                    self.stats.rejects += 1;
+                    return AccessOutcome::Reject(RejectReason::MshrFull);
+                }
+                self.send_gets(cycle, line, out);
+                AccessOutcome::Pending
+            }
+        }
+    }
+
+    fn start_write(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let line = access.addr.line();
+        let id = self.fresh_id();
+        let atomic = matches!(access.kind, AccessKind::Atomic { .. });
+        let pending = PendingWrite {
+            id,
+            warp: access.warp,
+            addr: access.addr,
+            atomic,
+        };
+        let alloc = if self.mshrs.contains(line) {
+            self.mshrs
+                .merge(line, |e| e.pending_writes.push_back(pending))
+        } else {
+            let mut entry = TcEntry::default();
+            entry.pending_writes.push_back(pending);
+            self.mshrs.allocate(line, entry)
+        };
+        if let Err(e) = alloc {
+            self.stats.rejects += 1;
+            return AccessOutcome::Reject(match e {
+                MshrRejection::Full => RejectReason::MshrFull,
+                MshrRejection::MergeListFull => RejectReason::MergeFull,
+            });
+        }
+        let word = access.addr.line_word_index();
+        let now = Timestamp(cycle.raw());
+        let payload = match access.kind {
+            AccessKind::Store { value } => ReqPayload::Write { now, word, value },
+            AccessKind::Atomic { op } => ReqPayload::Atomic { now, word, op },
+            AccessKind::Load => unreachable!("start_write is for writes"),
+        };
+        out.to_l2.push(ReqMsg {
+            src: self.core,
+            line,
+            id,
+            payload,
+        });
+        AccessOutcome::Pending
+    }
+
+    fn maybe_release_after_write(&mut self, line: LineAddr) {
+        let entry = self.mshrs.get(line).expect("entry exists");
+        if entry.pending_writes.is_empty() && !entry.gets_outstanding {
+            debug_assert!(entry.waiting_loads.is_empty());
+            self.mshrs.release(line);
+            if self.tags.invalidate(line).is_some() {
+                self.stats.self_invalidations += 1;
+            }
+        }
+    }
+
+    fn take_pending_write(&mut self, line: LineAddr, id: ReqId) -> PendingWrite {
+        let entry = self.mshrs.get_mut(line).expect("entry exists");
+        let pos = entry
+            .pending_writes
+            .iter()
+            .position(|w| w.id == id)
+            .unwrap_or_else(|| panic!("no pending write {id:?} for {line}"));
+        entry.pending_writes.remove(pos).expect("position valid")
+    }
+}
+
+impl L1Cache for TcL1 {
+    fn access(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
+        let outcome = match access.kind {
+            AccessKind::Load => {
+                self.stats.loads += 1;
+                self.start_load(cycle, access, out)
+            }
+            AccessKind::Store { .. } => {
+                self.stats.stores += 1;
+                self.start_write(cycle, access, out)
+            }
+            AccessKind::Atomic { .. } => {
+                self.stats.atomics += 1;
+                self.start_write(cycle, access, out)
+            }
+        };
+        if matches!(outcome, AccessOutcome::Reject(_)) {
+            // Rejected accesses retry later; count them once when they
+            // are finally accepted (`rejects` tracks the retries).
+            match access.kind {
+                AccessKind::Load => self.stats.loads -= 1,
+                AccessKind::Store { .. } => self.stats.stores -= 1,
+                AccessKind::Atomic { .. } => self.stats.atomics -= 1,
+            }
+        }
+        outcome
+    }
+
+    fn handle_resp(&mut self, _cycle: Cycle, resp: RespMsg, out: &mut L1Outbox) {
+        let line = resp.line;
+        match resp.payload {
+            RespPayload::Data {
+                data,
+                ver,
+                exp,
+                seq,
+            } => {
+                let entry = self.mshrs.get_mut(line).expect("DATA without entry");
+                entry.gets_outstanding = false;
+                let loads = std::mem::take(&mut entry.waiting_loads);
+                let mut refetch = Vec::new();
+                for (warp, addr, issued) in loads {
+                    // The lease guarantees no write applies before `exp`,
+                    // so the value is current for any position below it.
+                    // A load that merged *after* the covered window must
+                    // re-request — its data could already be stale.
+                    if Timestamp(issued) >= exp {
+                        refetch.push((warp, addr, issued));
+                        continue;
+                    }
+                    out.completions.push(Completion {
+                        warp,
+                        addr,
+                        kind: CompletionKind::LoadDone {
+                            value: data.word_at(addr),
+                        },
+                        ts: ver.join(Timestamp(issued)),
+                        seq,
+                    });
+                }
+                let mshrs = &self.mshrs;
+                let _ = self.tags.fill(
+                    line,
+                    TcMeta { exp, fill_seq: seq },
+                    data,
+                    false,
+                    |addr, _| !mshrs.contains(addr),
+                );
+                if refetch.is_empty() {
+                    let entry = self.mshrs.get(line).expect("entry exists");
+                    if entry.pending_writes.is_empty() {
+                        debug_assert!(entry.waiting_loads.is_empty());
+                        self.mshrs.release(line);
+                    }
+                } else {
+                    let entry = self.mshrs.get_mut(line).expect("entry exists");
+                    entry.waiting_loads = refetch;
+                    entry.gets_outstanding = true;
+                    out.to_l2.push(ReqMsg {
+                        src: self.core,
+                        line,
+                        id: ReqId(0),
+                        payload: ReqPayload::Gets {
+                            now: exp, // the fresh grant will exceed this
+                            renew_exp: None,
+                        },
+                    });
+                }
+            }
+            RespPayload::StoreAck { ver, seq } => {
+                let w = self.take_pending_write(line, resp.id);
+                debug_assert!(!w.atomic);
+                out.completions.push(Completion {
+                    warp: w.warp,
+                    addr: w.addr,
+                    kind: CompletionKind::StoreDone,
+                    // TCS: the apply time. TCW: the GWCT the LSU's fences
+                    // will wait on.
+                    ts: ver,
+                    seq,
+                });
+                self.maybe_release_after_write(line);
+            }
+            RespPayload::AtomicResp { value, ver, seq } => {
+                let w = self.take_pending_write(line, resp.id);
+                debug_assert!(w.atomic);
+                out.completions.push(Completion {
+                    warp: w.warp,
+                    addr: w.addr,
+                    kind: CompletionKind::AtomicDone { old: value },
+                    ts: ver,
+                    seq,
+                });
+                self.maybe_release_after_write(line);
+            }
+            RespPayload::Renew { .. }
+            | RespPayload::Inv
+            | RespPayload::Flush
+            | RespPayload::DataEx { .. }
+            | RespPayload::Recall
+            | RespPayload::WbAck => {
+                debug_assert!(false, "TC never sends these");
+            }
+        }
+    }
+
+    fn tick(&mut self, _cycle: Cycle, _out: &mut L1Outbox) {}
+
+    fn pending(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+}

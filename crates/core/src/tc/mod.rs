@@ -1,0 +1,99 @@
+//! Temporal Coherence baselines: **TC-Strong** and **TC-Weak** (Singh et
+//! al., "Cache coherence for GPU architectures", HPCA 2013).
+//!
+//! Both protocols lease L1 copies for a fixed number of *physical* cycles
+//! against a globally synchronized on-chip clock; copies self-invalidate
+//! when the clock passes their expiration, so no invalidation traffic is
+//! needed. They differ in how stores interact with outstanding leases:
+//!
+//! * **TC-Strong** stalls each store *at the L2* until every lease for the
+//!   line has expired, then applies it and acknowledges. Write atomicity
+//!   is preserved, so TCS can support SC — at the price of exactly the
+//!   long store latencies the paper's Fig. 1 attributes SC stalls to.
+//! * **TC-Weak** applies stores immediately and returns a *global write
+//!   completion time* (GWCT = when the last stale copy expires). Fences
+//!   stall the warp until its accumulated GWCT has passed. Write atomicity
+//!   is relaxed; SC cannot be supported (Table I).
+//!
+//! ## L2 evictions
+//!
+//! Singh et al. park evicted-but-unexpired lines in MSHR entries until
+//! their leases run out. Like RCC's `mnow`, we instead track the maximum
+//! evicted expiration per partition and treat refetched lines as leased
+//! until that time — a conservative simplification with the same safety
+//! property (no store may apply while any stale copy can still be read).
+
+mod l1;
+mod l2;
+
+pub use l1::TcL1;
+pub use l2::TcL2;
+
+use crate::kind::ProtocolKind;
+use crate::protocol::Protocol;
+use rcc_common::config::{GpuConfig, TcParams};
+use rcc_common::ids::{CoreId, PartitionId};
+
+/// Store handling discipline: the one difference between TCS and TCW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreDiscipline {
+    /// Stall at the L2 until all leases expire (TC-Strong).
+    StallUntilExpiry,
+    /// Apply eagerly and return the GWCT (TC-Weak).
+    EagerWithGwct,
+}
+
+/// Factory for TC-Strong / TC-Weak controllers.
+#[derive(Debug, Clone)]
+pub struct TcProtocol {
+    params: TcParams,
+    discipline: StoreDiscipline,
+}
+
+impl TcProtocol {
+    /// TC-Strong (SC-capable baseline).
+    pub fn strong(cfg: &GpuConfig) -> Self {
+        TcProtocol {
+            params: cfg.tc.clone(),
+            discipline: StoreDiscipline::StallUntilExpiry,
+        }
+    }
+
+    /// TC-Weak (best prior non-SC GPU proposal).
+    pub fn weak(cfg: &GpuConfig) -> Self {
+        TcProtocol {
+            params: cfg.tc.clone(),
+            discipline: StoreDiscipline::EagerWithGwct,
+        }
+    }
+
+    /// The store discipline of this configuration.
+    pub fn discipline(&self) -> StoreDiscipline {
+        self.discipline
+    }
+}
+
+impl Protocol for TcProtocol {
+    type L1 = TcL1;
+    type L2 = TcL2;
+
+    fn kind(&self) -> ProtocolKind {
+        match self.discipline {
+            StoreDiscipline::StallUntilExpiry => ProtocolKind::TcStrong,
+            StoreDiscipline::EagerWithGwct => ProtocolKind::TcWeak,
+        }
+    }
+
+    fn make_l1(&self, core: CoreId, cfg: &GpuConfig) -> TcL1 {
+        TcL1::new(core, cfg)
+    }
+
+    fn make_l2(&self, partition: PartitionId, cfg: &GpuConfig) -> TcL2 {
+        TcL2::new(partition, cfg, self.params.clone(), self.discipline)
+    }
+}
+
+#[cfg(test)]
+mod conformance;
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! GDDR DRAM timing model with FR-FCFS scheduling (Table III).
+//!
+//! Each memory partition owns one [`channel::DramChannel`]: a command
+//! queue scheduled first-ready-first-come-first-served (row-buffer hits
+//! bypass older row misses), in front of a set of banks whose activate /
+//! precharge / CAS timing follows the GDDR parameters of Table III
+//! (tCL = 12, tRP = 12, tRC = 40, tRAS = 28, tCCD = 2, tWL = 4,
+//! tRCD = 12, tRRD = 6, tCDLR = 5, tWR = 12). The data bus moves 8 bytes
+//! per DRAM cycle, so a 128-byte line occupies the bus for 16 cycles.
+//!
+//! The model times *line-granular* requests — exactly what the write-back
+//! L2 emits — and reports read completions; writes occupy banks and bus
+//! but complete silently, as in the simulator the paper uses.
+//!
+//! # Example
+//!
+//! ```
+//! use rcc_common::addr::LineAddr;
+//! use rcc_common::config::GpuConfig;
+//! use rcc_common::time::Cycle;
+//! use rcc_dram::DramChannel;
+//!
+//! let cfg = GpuConfig::small();
+//! let mut ch = DramChannel::new(&cfg.dram);
+//! ch.enqueue(Cycle(0), LineAddr(3), false);
+//! let mut done = Vec::new();
+//! for c in 0..10_000 {
+//!     done.extend(ch.tick(Cycle(c)));
+//!     if !done.is_empty() { break; }
+//! }
+//! assert_eq!(done, vec![LineAddr(3)]);
+//! ```
+
+pub mod channel;
+
+pub use channel::DramChannel;

@@ -1,0 +1,40 @@
+//! Property-based tests for the DRAM channel.
+
+use proptest::prelude::*;
+use rcc_common::addr::LineAddr;
+use rcc_common::config::GpuConfig;
+use rcc_common::time::Cycle;
+use rcc_dram::DramChannel;
+
+proptest! {
+    /// Every read completes exactly once, no earlier than the minimum
+    /// CAS + transfer time after enqueue, and the channel drains.
+    #[test]
+    fn reads_complete_exactly_once(
+        reqs in prop::collection::vec((0u64..256, any::<bool>()), 1..60),
+    ) {
+        let cfg = GpuConfig::small();
+        let mut ch = DramChannel::new(&cfg.dram);
+        let mut expected = std::collections::HashMap::new();
+        for (i, (line, is_write)) in reqs.iter().enumerate() {
+            ch.enqueue(Cycle(i as u64), LineAddr(*line), *is_write);
+            if !*is_write {
+                *expected.entry(LineAddr(*line)).or_insert(0u32) += 1;
+            }
+        }
+        let mut got = std::collections::HashMap::new();
+        let mut t = 0u64;
+        while ch.pending() > 0 {
+            t += 1;
+            prop_assert!(t < 1_000_000, "channel failed to drain");
+            for line in ch.tick(Cycle(t)) {
+                *got.entry(line).or_insert(0u32) += 1;
+            }
+        }
+        prop_assert_eq!(got, expected);
+        let min_service = cfg.dram.t_cl + 128 / cfg.dram.bytes_per_cycle as u64;
+        if ch.reads() > 0 {
+            prop_assert!(ch.mean_read_latency() >= min_service as f64);
+        }
+    }
+}

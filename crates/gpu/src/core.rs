@@ -1,0 +1,622 @@
+//! The SM core: warp contexts, loose round-robin issue, consistency
+//! enforcement, and synchronization micro-sequences.
+
+use crate::op::{MemOp, WarpProgram};
+use crate::stats::{CoreStats, PrevOpKind};
+use rcc_common::addr::WordAddr;
+use rcc_common::ids::{CoreId, WarpId};
+use rcc_common::time::Cycle;
+use rcc_core::msg::{Access, AccessKind, AccessOutcome, AtomicOp, Completion, CompletionKind};
+use std::collections::VecDeque;
+
+/// How FENCE instructions retire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FencePolicy {
+    /// SC configurations: the hardware already orders everything; fences
+    /// are no-ops left in for the compiler's benefit (Section IV-B).
+    Free,
+    /// Drain the warp's outstanding accesses (RCC-WO; the simulator also
+    /// joins the core's read/write views on retire).
+    Drain,
+    /// Drain and additionally wait until the warp's accumulated global
+    /// write completion time has passed (TC-Weak).
+    DrainGwct,
+}
+
+/// Warp scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Loose round-robin (Table III's configuration): rotate a pointer
+    /// over the warps, issuing from the first ready one.
+    #[default]
+    LooseRoundRobin,
+    /// Greedy-then-oldest: keep issuing from the same warp until it
+    /// stalls, then fall back to the lowest-numbered ready warp. Favours
+    /// intra-warp locality over fairness.
+    GreedyThenOldest,
+}
+
+/// Core configuration.
+#[derive(Debug, Clone)]
+pub struct CoreParams {
+    /// Warp scheduling policy.
+    pub scheduler: SchedPolicy,
+    /// Warp contexts (48 in Table III).
+    pub warps_per_core: usize,
+    /// Warps per workgroup (for intra-workgroup barriers).
+    pub warps_per_workgroup: usize,
+    /// Whether warps may overlap their global accesses.
+    pub weak_ordering: bool,
+    /// Fence retirement rule.
+    pub fence_policy: FencePolicy,
+    /// Outstanding-access limit per warp under weak ordering.
+    pub max_outstanding: usize,
+    /// Cycles between barrier poll attempts.
+    pub poll_interval: u64,
+    /// Base backoff after a failed lock attempt.
+    pub lock_backoff: u64,
+}
+
+impl CoreParams {
+    /// Sequentially consistent core: one outstanding global access per
+    /// warp (the naïve-SC rule).
+    pub fn sequential(warps_per_core: usize, warps_per_workgroup: usize) -> Self {
+        CoreParams {
+            scheduler: SchedPolicy::default(),
+            warps_per_core,
+            warps_per_workgroup,
+            weak_ordering: false,
+            fence_policy: FencePolicy::Free,
+            max_outstanding: 1,
+            poll_interval: 100,
+            lock_backoff: 40,
+        }
+    }
+
+    /// Weakly ordered core with the given fence policy.
+    pub fn weakly_ordered(
+        warps_per_core: usize,
+        warps_per_workgroup: usize,
+        fence_policy: FencePolicy,
+    ) -> Self {
+        CoreParams {
+            weak_ordering: true,
+            fence_policy,
+            max_outstanding: 8,
+            ..CoreParams::sequential(warps_per_core, warps_per_workgroup)
+        }
+    }
+}
+
+/// Classification of an outstanding access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Load,
+    Store,
+    Atomic,
+}
+
+impl OpClass {
+    fn prev_kind(self) -> PrevOpKind {
+        match self {
+            OpClass::Load => PrevOpKind::Load,
+            OpClass::Store => PrevOpKind::Store,
+            OpClass::Atomic => PrevOpKind::Atomic,
+        }
+    }
+}
+
+/// Why an access was issued (what to do with its completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    Plain,
+    LockAttempt,
+    Unlock,
+    BarrierArrive { members: u64 },
+    BarrierPoll { members: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    addr: WordAddr,
+    class: OpClass,
+    purpose: Purpose,
+    issued: Cycle,
+}
+
+/// Synchronization micro-state within the current program op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Micro {
+    /// Execute the op at `pc` from scratch.
+    Fresh,
+    /// Waiting for a lock CAS / unlock / barrier atomic to complete.
+    SyncWait,
+    /// Backing off before retrying a lock CAS.
+    LockBackoff { until: u64 },
+    /// Backing off before the next barrier poll.
+    BarrierBackoff { until: u64 },
+}
+
+#[derive(Debug)]
+struct Warp {
+    program: Vec<MemOp>,
+    pc: usize,
+    wg_index: usize,
+    micro: Micro,
+    busy_until: u64,
+    at_fence: bool,
+    waiting_local: Option<u64>,
+    outstanding: VecDeque<Outstanding>,
+    /// SC-stall cycles accumulated by the op waiting at `pc`.
+    wait_for_issue: u64,
+    max_gwct: u64,
+    barriers_passed: u64,
+    done: bool,
+}
+
+impl Warp {
+    fn current_op(&self) -> Option<MemOp> {
+        self.program.get(self.pc).copied()
+    }
+}
+
+/// What a core produced in one cycle.
+#[derive(Debug, Default)]
+pub struct CoreOutput {
+    /// Warps whose FENCE retired this cycle (the simulator calls the
+    /// L1's `fence()` hook for these).
+    pub fences_retired: Vec<WarpId>,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Core {
+    id: CoreId,
+    params: CoreParams,
+    warps: Vec<Warp>,
+    /// Barrier epochs passed per workgroup (for `LocalWait`).
+    wg_epochs: Vec<u64>,
+    sched_ptr: usize,
+    stats: CoreStats,
+    retired_warps: usize,
+}
+
+impl Core {
+    /// Creates a core running the given per-warp programs (padded with
+    /// empty programs up to `params.warps_per_core`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more programs than warp contexts are supplied.
+    pub fn new(id: CoreId, params: CoreParams, programs: Vec<WarpProgram>) -> Self {
+        assert!(
+            programs.len() <= params.warps_per_core,
+            "{} programs for {} warp contexts",
+            programs.len(),
+            params.warps_per_core
+        );
+        let wpw = params.warps_per_workgroup.max(1);
+        let num_wgs = params.warps_per_core.div_ceil(wpw);
+        let warps: Vec<Warp> = (0..params.warps_per_core)
+            .map(|i| {
+                let program = programs.get(i).map(|p| p.ops.clone()).unwrap_or_default();
+                let done = program.is_empty();
+                Warp {
+                    program,
+                    pc: 0,
+                    wg_index: i / wpw,
+                    micro: Micro::Fresh,
+                    busy_until: 0,
+                    at_fence: false,
+                    waiting_local: None,
+                    outstanding: VecDeque::new(),
+                    wait_for_issue: 0,
+                    max_gwct: 0,
+                    barriers_passed: 0,
+                    done,
+                }
+            })
+            .collect();
+        let retired = warps.iter().filter(|w| w.done).count();
+        Core {
+            id,
+            params,
+            warps,
+            wg_epochs: vec![0; num_wgs],
+            sched_ptr: 0,
+            stats: CoreStats::default(),
+            retired_warps: retired,
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Whether every warp has retired its program.
+    pub fn done(&self) -> bool {
+        self.retired_warps == self.warps.len()
+    }
+
+    /// Outstanding global accesses across all warps.
+    pub fn outstanding(&self) -> usize {
+        self.warps.iter().map(|w| w.outstanding.len()).sum()
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Whether ordering rules allow `warp` to issue a new access to
+    /// `addr`.
+    fn ordering_allows(&self, warp: &Warp, addr: WordAddr, op_is_sync: bool) -> bool {
+        if self.params.weak_ordering {
+            // Synchronization atomics need their value to make progress,
+            // so they drain the warp first (acquire semantics); plain
+            // accesses respect the outstanding limit and — as in any real
+            // core — same-address program order within the thread.
+            if op_is_sync {
+                warp.outstanding.is_empty()
+            } else {
+                warp.outstanding.len() < self.params.max_outstanding
+                    && warp.outstanding.iter().all(|o| o.addr != addr)
+            }
+        } else {
+            // Naïve SC: one outstanding global access per warp.
+            warp.outstanding.is_empty()
+        }
+    }
+
+    /// What the warp would issue right now, if anything.
+    fn issue_intent(&self, warp: &Warp, now: u64) -> Option<(AccessKind, WordAddr, Purpose, bool)> {
+        if warp.done || warp.busy_until > now || warp.at_fence || warp.waiting_local.is_some() {
+            return None;
+        }
+        match warp.micro {
+            Micro::SyncWait => None,
+            Micro::LockBackoff { until } if until > now => None,
+            Micro::BarrierBackoff { until } if until > now => None,
+            Micro::LockBackoff { .. } => {
+                let MemOp::Lock(w) = warp.current_op().expect("in lock") else {
+                    unreachable!("backoff outside Lock");
+                };
+                Some((
+                    AccessKind::Atomic {
+                        op: AtomicOp::Cas { expect: 0, new: 1 },
+                    },
+                    w,
+                    Purpose::LockAttempt,
+                    true,
+                ))
+            }
+            Micro::BarrierBackoff { .. } => {
+                let MemOp::Barrier { word, members } = warp.current_op().expect("in barrier")
+                else {
+                    unreachable!("backoff outside Barrier");
+                };
+                Some((
+                    AccessKind::Atomic { op: AtomicOp::Read },
+                    word,
+                    Purpose::BarrierPoll { members },
+                    true,
+                ))
+            }
+            Micro::Fresh => match warp.current_op()? {
+                MemOp::Load(w) => Some((AccessKind::Load, w, Purpose::Plain, false)),
+                MemOp::Store(w, v) => {
+                    Some((AccessKind::Store { value: v }, w, Purpose::Plain, false))
+                }
+                MemOp::Atomic(w, op) => Some((AccessKind::Atomic { op }, w, Purpose::Plain, true)),
+                MemOp::Lock(w) => Some((
+                    AccessKind::Atomic {
+                        op: AtomicOp::Cas { expect: 0, new: 1 },
+                    },
+                    w,
+                    Purpose::LockAttempt,
+                    true,
+                )),
+                MemOp::Unlock(w) => Some((
+                    AccessKind::Atomic {
+                        op: AtomicOp::Exch(0),
+                    },
+                    w,
+                    Purpose::Unlock,
+                    true,
+                )),
+                MemOp::Barrier { word, members } => Some((
+                    AccessKind::Atomic {
+                        op: AtomicOp::Add(1),
+                    },
+                    word,
+                    Purpose::BarrierArrive { members },
+                    true,
+                )),
+                MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. } => None,
+            },
+        }
+    }
+
+    /// Advances non-issuing warp state (fences, local waits, retirement)
+    /// and counts ordering stalls, then issues at most one instruction
+    /// via `try_access`.
+    pub fn tick<F>(&mut self, cycle: Cycle, mut try_access: F) -> CoreOutput
+    where
+        F: FnMut(Access) -> AccessOutcome,
+    {
+        let now = cycle.raw();
+        let mut out = CoreOutput::default();
+
+        // Phase 1: bookkeeping for every warp.
+        for i in 0..self.warps.len() {
+            let fence_policy = self.params.fence_policy;
+            let epoch = self.wg_epochs[self.warps[i].wg_index];
+            let warp = &mut self.warps[i];
+            if warp.done {
+                continue;
+            }
+            // Local (intra-workgroup) barrier release.
+            if let Some(need) = warp.waiting_local {
+                if epoch >= need {
+                    warp.waiting_local = None;
+                    warp.pc += 1;
+                }
+            }
+            // Fence retirement.
+            if warp.at_fence {
+                let drained = warp.outstanding.is_empty();
+                let gwct_ok = fence_policy != FencePolicy::DrainGwct || now > warp.max_gwct;
+                if drained && gwct_ok {
+                    warp.at_fence = false;
+                    warp.pc += 1;
+                    out.fences_retired.push(WarpId(i));
+                } else {
+                    self.stats.fence_stall_cycles += 1;
+                }
+            }
+            // Program retirement.
+            let warp = &mut self.warps[i];
+            if !warp.done
+                && warp.pc >= warp.program.len()
+                && warp.outstanding.is_empty()
+                && warp.micro == Micro::Fresh
+            {
+                warp.done = true;
+                self.retired_warps += 1;
+            }
+            // SC stall accounting: the warp has an access it would issue
+            // this cycle but ordering forbids it.
+            let warp = &self.warps[i];
+            if let Some((_, addr, _, is_sync)) = self.issue_intent(warp, now) {
+                let allowed = self.ordering_allows(warp, addr, is_sync);
+                if !allowed {
+                    let prev = warp
+                        .outstanding
+                        .back()
+                        .expect("ordering blocks only with outstanding ops")
+                        .class
+                        .prev_kind();
+                    self.stats.record_sc_stall_cycle(prev);
+                    self.warps[i].wait_for_issue += 1;
+                }
+            }
+        }
+
+        // Phase 2: scheduling — issue at most one instruction, visiting
+        // warps in the policy's preference order.
+        let n = self.warps.len();
+        let order: Vec<usize> = match self.params.scheduler {
+            SchedPolicy::LooseRoundRobin => (0..n).map(|off| (self.sched_ptr + off) % n).collect(),
+            SchedPolicy::GreedyThenOldest => {
+                // Greedy: last issuer first, then oldest (lowest id).
+                let last = self.sched_ptr.checked_sub(1).map_or(n - 1, |x| x);
+                std::iter::once(last)
+                    .chain((0..n).filter(move |i| *i != last))
+                    .collect()
+            }
+        };
+        for i in order {
+            let now_op = {
+                let warp = &self.warps[i];
+                if warp.done || warp.busy_until > now || warp.at_fence {
+                    continue;
+                }
+                warp.current_op()
+            };
+            // Compute / fence / local-wait "issue" (no memory access).
+            match now_op {
+                Some(MemOp::Compute(c)) if self.warps[i].micro == Micro::Fresh => {
+                    let warp = &mut self.warps[i];
+                    warp.busy_until = now + c.max(1) as u64;
+                    warp.pc += 1;
+                    self.stats.issued += 1;
+                    self.sched_ptr = (i + 1) % n;
+                    return out;
+                }
+                Some(MemOp::Fence) if self.warps[i].micro == Micro::Fresh => {
+                    let warp = &mut self.warps[i];
+                    self.stats.issued += 1;
+                    if self.params.fence_policy == FencePolicy::Free {
+                        warp.pc += 1;
+                    } else {
+                        warp.at_fence = true;
+                    }
+                    self.sched_ptr = (i + 1) % n;
+                    return out;
+                }
+                Some(MemOp::LocalWait { epoch })
+                    if self.warps[i].micro == Micro::Fresh
+                        && self.warps[i].waiting_local.is_none() =>
+                {
+                    let wg = self.warps[i].wg_index;
+                    let warp = &mut self.warps[i];
+                    self.stats.issued += 1;
+                    if self.wg_epochs[wg] >= epoch {
+                        warp.pc += 1;
+                    } else {
+                        warp.waiting_local = Some(epoch);
+                    }
+                    self.sched_ptr = (i + 1) % n;
+                    return out;
+                }
+                _ => {}
+            }
+            // Memory issue.
+            let Some((kind, addr, purpose, is_sync)) = self.issue_intent(&self.warps[i], now)
+            else {
+                continue;
+            };
+            if !self.ordering_allows(&self.warps[i], addr, is_sync) {
+                continue; // ordering stall, already counted
+            }
+            let access = Access {
+                warp: WarpId(i),
+                addr,
+                kind,
+            };
+            match try_access(access) {
+                AccessOutcome::Reject(_) => {
+                    self.stats.structural_stall_cycles += 1;
+                    // Retry next cycle; do not advance the pointer so the
+                    // rejected warp gets another shot.
+                    return out;
+                }
+                outcome => {
+                    self.note_issue(i, cycle, addr, kind, purpose);
+                    if let AccessOutcome::Done(c) = outcome {
+                        self.complete(cycle, &c);
+                    }
+                    self.sched_ptr = (i + 1) % n;
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    fn note_issue(
+        &mut self,
+        i: usize,
+        cycle: Cycle,
+        addr: WordAddr,
+        kind: AccessKind,
+        purpose: Purpose,
+    ) {
+        let class = match kind {
+            AccessKind::Load => OpClass::Load,
+            AccessKind::Store { .. } => OpClass::Store,
+            AccessKind::Atomic { .. } => OpClass::Atomic,
+        };
+        self.stats.issued += 1;
+        self.stats.mem_ops += 1;
+        if matches!(purpose, Purpose::BarrierPoll { .. }) {
+            self.stats.barrier_polls += 1;
+        }
+        let warp = &mut self.warps[i];
+        if warp.wait_for_issue > 0 {
+            self.stats.stalled_mem_ops += 1;
+            self.stats.stall_resolve.record(warp.wait_for_issue);
+            warp.wait_for_issue = 0;
+        }
+        warp.outstanding.push_back(Outstanding {
+            addr,
+            class,
+            purpose,
+            issued: cycle,
+        });
+        match purpose {
+            Purpose::Plain => {
+                // The program op is now in flight; advance past it. Under
+                // SC the warp simply cannot issue the next one until the
+                // completion arrives.
+                warp.micro = Micro::Fresh;
+                warp.pc += 1;
+            }
+            _ => warp.micro = Micro::SyncWait,
+        }
+    }
+
+    /// Delivers a memory completion to its warp.
+    pub fn complete(&mut self, cycle: Cycle, completion: &Completion) {
+        let i = completion.warp.index();
+        let class = match completion.kind {
+            CompletionKind::LoadDone { .. } => OpClass::Load,
+            CompletionKind::StoreDone => OpClass::Store,
+            CompletionKind::AtomicDone { .. } => OpClass::Atomic,
+        };
+        let warp = &mut self.warps[i];
+        let pos = warp
+            .outstanding
+            .iter()
+            .position(|o| o.addr == completion.addr && o.class == class)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{}/{} completion for {} with no outstanding access",
+                    self.id, completion.warp, completion.addr
+                )
+            });
+        let o = warp.outstanding.remove(pos).expect("position valid");
+        let latency = cycle.raw() - o.issued.raw();
+        match o.class {
+            OpClass::Load => self.stats.load_latency.record(latency),
+            OpClass::Store => self.stats.store_latency.record(latency),
+            OpClass::Atomic => self.stats.atomic_latency.record(latency),
+        }
+        if matches!(
+            completion.kind,
+            CompletionKind::StoreDone | CompletionKind::AtomicDone { .. }
+        ) {
+            // Stores and atomics both write; under TC-Weak their ts is
+            // the GWCT a subsequent fence must wait out.
+            warp.max_gwct = warp.max_gwct.max(completion.ts.raw());
+        }
+        match o.purpose {
+            Purpose::Plain => {}
+            Purpose::Unlock => {
+                warp.micro = Micro::Fresh;
+                warp.pc += 1;
+            }
+            Purpose::LockAttempt => {
+                let CompletionKind::AtomicDone { old } = completion.kind else {
+                    panic!("lock attempt must complete as an atomic");
+                };
+                if old == 0 {
+                    warp.micro = Micro::Fresh;
+                    warp.pc += 1;
+                } else {
+                    self.stats.lock_retries += 1;
+                    let backoff = self.params.lock_backoff + (i as u64 * 7) % 64;
+                    warp.micro = Micro::LockBackoff {
+                        until: cycle.raw() + backoff,
+                    };
+                }
+            }
+            Purpose::BarrierArrive { members } | Purpose::BarrierPoll { members } => {
+                let CompletionKind::AtomicDone { old } = completion.kind else {
+                    panic!("barrier ops must complete as atomics");
+                };
+                let seen = if matches!(o.purpose, Purpose::BarrierArrive { .. }) {
+                    old + 1
+                } else {
+                    old
+                };
+                if seen >= members {
+                    warp.micro = Micro::Fresh;
+                    warp.pc += 1;
+                    warp.barriers_passed += 1;
+                    let wg = warp.wg_index;
+                    let passed = warp.barriers_passed;
+                    self.wg_epochs[wg] = self.wg_epochs[wg].max(passed);
+                } else {
+                    warp.micro = Micro::BarrierBackoff {
+                        until: cycle.raw() + self.params.poll_interval,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,700 @@
+//! Core model tests driven by a scripted "memory system" closure.
+
+use super::*;
+use crate::op::{MemOp, WarpProgram};
+use rcc_common::addr::{LineAddr, WordAddr};
+use rcc_common::ids::WorkgroupId;
+use rcc_common::time::Timestamp;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+fn w(a: u64) -> WordAddr {
+    LineAddr(a).word(0)
+}
+
+/// A scripted memory that accepts everything and answers after `delay`
+/// cycles; values behave like a real word memory for atomics.
+struct FakeMem {
+    delay: u64,
+    mem: std::collections::HashMap<WordAddr, u64>,
+    pending: VecDeque<(u64, Completion)>,
+    served: u64,
+}
+
+impl FakeMem {
+    fn new(delay: u64) -> Rc<RefCell<FakeMem>> {
+        Rc::new(RefCell::new(FakeMem {
+            delay,
+            mem: Default::default(),
+            pending: VecDeque::new(),
+            served: 0,
+        }))
+    }
+}
+
+fn drive(core: &mut Core, mem: &Rc<RefCell<FakeMem>>, max_cycles: u64) -> u64 {
+    for c in 0..max_cycles {
+        let cycle = Cycle(c);
+        // Deliver due completions.
+        loop {
+            let due = {
+                let m = mem.borrow();
+                m.pending.front().is_some_and(|(at, _)| *at <= c)
+            };
+            if !due {
+                break;
+            }
+            let (_, completion) = mem.borrow_mut().pending.pop_front().expect("due");
+            core.complete(cycle, &completion);
+        }
+        if core.done() {
+            return c;
+        }
+        let mem2 = Rc::clone(mem);
+        core.tick(cycle, |access| {
+            let mut m = mem2.borrow_mut();
+            m.served += 1;
+            let old = *m.mem.get(&access.addr).unwrap_or(&0);
+            let kind = match access.kind {
+                AccessKind::Load => CompletionKind::LoadDone { value: old },
+                AccessKind::Store { value } => {
+                    m.mem.insert(access.addr, value);
+                    CompletionKind::StoreDone
+                }
+                AccessKind::Atomic { op } => {
+                    m.mem.insert(access.addr, op.apply(old));
+                    CompletionKind::AtomicDone { old }
+                }
+            };
+            let completion = Completion {
+                warp: access.warp,
+                addr: access.addr,
+                kind,
+                ts: Timestamp(c),
+                seq: m.served,
+            };
+            let at = c + m.delay;
+            m.pending.push_back((at, completion));
+            AccessOutcome::Pending
+        });
+    }
+    panic!("core did not finish in {max_cycles} cycles");
+}
+
+fn sc_core(programs: Vec<WarpProgram>) -> Core {
+    Core::new(CoreId(0), CoreParams::sequential(8, 4), programs)
+}
+
+#[test]
+fn empty_core_is_done_immediately() {
+    let core = sc_core(vec![]);
+    assert!(core.done());
+}
+
+#[test]
+fn straight_line_program_retires() {
+    let p = WarpProgram::new(
+        WorkgroupId(0),
+        vec![
+            MemOp::Load(w(0)),
+            MemOp::Compute(5),
+            MemOp::Store(w(1), 9),
+            MemOp::Load(w(1)),
+        ],
+    );
+    let mem = FakeMem::new(10);
+    let mut core = sc_core(vec![p]);
+    drive(&mut core, &mem, 10_000);
+    assert_eq!(core.stats().mem_ops, 3);
+    assert_eq!(core.stats().issued, 4);
+    assert_eq!(core.stats().load_latency.count(), 2);
+    assert_eq!(core.stats().store_latency.count(), 1);
+}
+
+#[test]
+fn sc_blocks_second_mem_op_and_attributes_stall() {
+    // Two back-to-back memory ops: the second must wait out the first's
+    // latency, attributed to the prior store.
+    let p = WarpProgram::new(
+        WorkgroupId(0),
+        vec![MemOp::Store(w(0), 1), MemOp::Load(w(1))],
+    );
+    let mem = FakeMem::new(50);
+    let mut core = sc_core(vec![p]);
+    drive(&mut core, &mem, 10_000);
+    let s = core.stats();
+    assert!(s.sc_stall_cycles >= 45, "stalled ~the store latency");
+    assert_eq!(s.sc_stall_cycles_prev_store, s.sc_stall_cycles);
+    assert_eq!(s.stalled_mem_ops, 1, "only the load ever stalled");
+    assert!(s.stall_resolve.mean() >= 45.0);
+}
+
+#[test]
+fn parallel_warps_hide_latency() {
+    // 8 warps × the same two-op program: wall clock must be far below
+    // 8 × serial time, because warps interleave (the TLP argument of
+    // Section II-B).
+    let make = |_| {
+        WarpProgram::new(
+            WorkgroupId(0),
+            vec![MemOp::Load(w(0)), MemOp::Load(w(1)), MemOp::Load(w(2))],
+        )
+    };
+    let mem = FakeMem::new(100);
+    let mut core = sc_core((0..8).map(make).collect());
+    let cycles_par = drive(&mut core, &mem, 100_000);
+
+    let mem1 = FakeMem::new(100);
+    let mut core1 = sc_core(vec![make(0)]);
+    let cycles_one = drive(&mut core1, &mem1, 100_000);
+    assert!(
+        cycles_par < cycles_one * 3,
+        "8 warps ({cycles_par}) should take much less than 8× one warp ({cycles_one})"
+    );
+}
+
+#[test]
+fn weak_ordering_overlaps_accesses() {
+    let p = || {
+        WarpProgram::new(
+            WorkgroupId(0),
+            vec![
+                MemOp::Store(w(0), 1),
+                MemOp::Store(w(1), 2),
+                MemOp::Store(w(2), 3),
+                MemOp::Store(w(3), 4),
+            ],
+        )
+    };
+    let mem_sc = FakeMem::new(80);
+    let mut sc = sc_core(vec![p()]);
+    let t_sc = drive(&mut sc, &mem_sc, 100_000);
+
+    let mem_wo = FakeMem::new(80);
+    let mut wo = Core::new(
+        CoreId(0),
+        CoreParams::weakly_ordered(8, 4, FencePolicy::Drain),
+        vec![p()],
+    );
+    let t_wo = drive(&mut wo, &mem_wo, 100_000);
+    assert!(
+        t_wo * 2 < t_sc,
+        "overlapped stores ({t_wo}) ≪ serialized stores ({t_sc})"
+    );
+    assert_eq!(wo.stats().sc_stall_cycles, 0);
+}
+
+#[test]
+fn fence_drains_under_weak_ordering_and_is_free_under_sc() {
+    let p = || {
+        WarpProgram::new(
+            WorkgroupId(0),
+            vec![MemOp::Store(w(0), 1), MemOp::Fence, MemOp::Store(w(1), 2)],
+        )
+    };
+    let mem = FakeMem::new(60);
+    let mut wo = Core::new(
+        CoreId(0),
+        CoreParams::weakly_ordered(8, 4, FencePolicy::Drain),
+        vec![p()],
+    );
+    drive(&mut wo, &mem, 100_000);
+    assert!(
+        wo.stats().fence_stall_cycles >= 55,
+        "fence drained the store"
+    );
+
+    let mem = FakeMem::new(60);
+    let mut sc = sc_core(vec![p()]);
+    drive(&mut sc, &mem, 100_000);
+    assert_eq!(sc.stats().fence_stall_cycles, 0, "SC fences are no-ops");
+}
+
+#[test]
+fn gwct_fence_waits_for_write_completion_time() {
+    // The store's completion carries a GWCT far in the future; a
+    // DrainGwct fence must wait it out even after the ack arrived.
+    let p = WarpProgram::new(
+        WorkgroupId(0),
+        vec![MemOp::Store(w(0), 1), MemOp::Fence, MemOp::Load(w(1))],
+    );
+    let mut core = Core::new(
+        CoreId(0),
+        CoreParams::weakly_ordered(8, 4, FencePolicy::DrainGwct),
+        vec![p],
+    );
+    // Hand-drive: issue the store at cycle 0, ack at cycle 5 with
+    // GWCT = 500.
+    let issued = std::cell::Cell::new(None);
+    core.tick(Cycle(0), |a| {
+        issued.set(Some(a));
+        AccessOutcome::Pending
+    });
+    let a = issued.get().expect("store issued");
+    core.complete(
+        Cycle(5),
+        &Completion {
+            warp: a.warp,
+            addr: a.addr,
+            kind: CompletionKind::StoreDone,
+            ts: Timestamp(500),
+            seq: 1,
+        },
+    );
+    // Advance: the fence must hold until cycle > 500.
+    let mut load_issued_at = None;
+    for c in 6..600 {
+        core.tick(Cycle(c), |a2| {
+            load_issued_at.get_or_insert(c);
+            let _ = a2;
+            AccessOutcome::Pending
+        });
+    }
+    assert!(
+        load_issued_at.expect("load issued eventually") > 500,
+        "fence must wait for the GWCT"
+    );
+}
+
+#[test]
+fn lock_serializes_critical_sections() {
+    // Two warps contend on a lock around a shared counter implemented as
+    // load+store (racy without the lock).
+    let p = |_| {
+        WarpProgram::new(
+            WorkgroupId(0),
+            vec![
+                MemOp::Lock(w(9)),
+                MemOp::Atomic(w(1), rcc_core::msg::AtomicOp::Add(1)),
+                MemOp::Unlock(w(9)),
+            ],
+        )
+    };
+    let mem = FakeMem::new(20);
+    let mut core = sc_core((0..4).map(p).collect());
+    drive(&mut core, &mem, 200_000);
+    assert_eq!(*mem.borrow().mem.get(&w(1)).unwrap(), 4);
+    assert_eq!(*mem.borrow().mem.get(&w(9)).unwrap(), 0, "lock released");
+}
+
+#[test]
+fn barrier_releases_all_workgroups() {
+    // 2 workgroups of 4 warps; lead warps run the global barrier, the
+    // rest wait locally, then everyone stores a flag.
+    let mut programs = Vec::new();
+    for i in 0..8 {
+        let lead = i % 4 == 0;
+        let mut ops = vec![MemOp::Compute(1 + i as u32)];
+        if lead {
+            ops.push(MemOp::Barrier {
+                word: w(20),
+                members: 2,
+            });
+        } else {
+            ops.push(MemOp::LocalWait { epoch: 1 });
+        }
+        ops.push(MemOp::Store(w(30 + i as u64), 1));
+        programs.push(WarpProgram::new(WorkgroupId(i / 4), ops));
+    }
+    let mem = FakeMem::new(15);
+    let mut core = sc_core(programs);
+    drive(&mut core, &mem, 200_000);
+    for i in 0..8 {
+        assert_eq!(*mem.borrow().mem.get(&w(30 + i)).unwrap(), 1);
+    }
+    assert_eq!(
+        *mem.borrow().mem.get(&w(20)).unwrap(),
+        2,
+        "both leads arrived"
+    );
+}
+
+#[test]
+fn structural_rejects_are_retried() {
+    // Reject the first 5 attempts; the op must still complete.
+    let p = WarpProgram::new(WorkgroupId(0), vec![MemOp::Load(w(0))]);
+    let mut core = sc_core(vec![p]);
+    let mut rejects = 5;
+    let mut done = false;
+    for c in 0..100 {
+        if core.done() {
+            done = true;
+            break;
+        }
+        let mut completion = None;
+        core.tick(Cycle(c), |a| {
+            if rejects > 0 {
+                rejects -= 1;
+                AccessOutcome::Reject(rcc_core::msg::RejectReason::MshrFull)
+            } else {
+                let comp = Completion {
+                    warp: a.warp,
+                    addr: a.addr,
+                    kind: CompletionKind::LoadDone { value: 0 },
+                    ts: Timestamp(c),
+                    seq: 0,
+                };
+                completion = Some(comp);
+                AccessOutcome::Done(comp)
+            }
+        });
+        let _ = completion;
+    }
+    assert!(done);
+    assert_eq!(core.stats().structural_stall_cycles, 5);
+}
+
+#[test]
+fn weak_ordering_respects_outstanding_limit() {
+    // 12 back-to-back stores, limit 8: the warp must never exceed 8 in
+    // flight.
+    let ops: Vec<MemOp> = (0..12).map(|i| MemOp::Store(w(i), i)).collect();
+    let mut core = Core::new(
+        CoreId(0),
+        CoreParams::weakly_ordered(8, 4, FencePolicy::Drain),
+        vec![WarpProgram::new(WorkgroupId(0), ops)],
+    );
+    let mut in_flight = 0usize;
+    let mut peak = 0usize;
+    let mut pending: Vec<Completion> = Vec::new();
+    for c in 0..2000 {
+        // Deliver one completion every 4 cycles.
+        if c % 4 == 0 {
+            if let Some(comp) = pending.pop() {
+                core.complete(Cycle(c), &comp);
+                in_flight -= 1;
+            }
+        }
+        if core.done() {
+            break;
+        }
+        core.tick(Cycle(c), |a| {
+            in_flight += 1;
+            pending.push(Completion {
+                warp: a.warp,
+                addr: a.addr,
+                kind: CompletionKind::StoreDone,
+                ts: Timestamp(c),
+                seq: 0,
+            });
+            AccessOutcome::Pending
+        });
+        peak = peak.max(in_flight);
+    }
+    assert!(core.done());
+    assert!(peak <= 8, "outstanding limit violated: {peak}");
+    assert!(peak >= 4, "weak ordering should overlap stores: {peak}");
+}
+
+#[test]
+fn stall_attribution_distinguishes_atomic_from_store() {
+    let p = WarpProgram::new(
+        WorkgroupId(0),
+        vec![
+            MemOp::Atomic(w(0), rcc_core::msg::AtomicOp::Add(1)),
+            MemOp::Load(w(1)),
+        ],
+    );
+    let mem = FakeMem::new(40);
+    let mut core = sc_core(vec![p]);
+    drive(&mut core, &mem, 10_000);
+    let s = core.stats();
+    assert!(s.sc_stall_cycles_prev_atomic > 0);
+    assert_eq!(s.sc_stall_cycles_prev_store, 0);
+    assert_eq!(s.sc_stall_cycles_prev_load, 0);
+}
+
+#[test]
+fn multi_member_barrier_polls_until_release() {
+    // Two lead warps in different workgroups arrive at a 2-member global
+    // barrier; the slow one forces the fast one to poll.
+    let fast = WarpProgram::new(
+        WorkgroupId(0),
+        vec![MemOp::Barrier {
+            word: w(5),
+            members: 2,
+        }],
+    );
+    let slow = WarpProgram::new(
+        WorkgroupId(1),
+        vec![
+            MemOp::Compute(800),
+            MemOp::Barrier {
+                word: w(5),
+                members: 2,
+            },
+        ],
+    );
+    let _ = fast;
+    let mem = FakeMem::new(10);
+    // Put the slow warp in warp slot 4 (second workgroup) of the same core.
+    let programs = vec![
+        WarpProgram::new(
+            WorkgroupId(0),
+            vec![MemOp::Barrier {
+                word: w(5),
+                members: 2,
+            }],
+        ),
+        WarpProgram::new(WorkgroupId(0), vec![]),
+        WarpProgram::default(),
+        WarpProgram::default(),
+        slow,
+    ];
+    let mut core = Core::new(CoreId(0), CoreParams::sequential(8, 4), programs);
+    drive(&mut core, &mem, 100_000);
+    assert!(
+        core.stats().barrier_polls > 0,
+        "the early arriver must poll"
+    );
+    assert_eq!(*mem.borrow().mem.get(&w(5)).unwrap(), 2);
+}
+
+#[test]
+fn local_wait_blocks_until_lead_passes_barrier() {
+    let lead = WarpProgram::new(
+        WorkgroupId(0),
+        vec![
+            MemOp::Compute(200),
+            MemOp::Barrier {
+                word: w(6),
+                members: 1,
+            },
+            MemOp::Store(w(7), 1),
+        ],
+    );
+    let follower = WarpProgram::new(
+        WorkgroupId(0),
+        vec![MemOp::LocalWait { epoch: 1 }, MemOp::Store(w(8), 2)],
+    );
+    let mem = FakeMem::new(10);
+    let mut core = sc_core(vec![lead, follower]);
+    let cycles = drive(&mut core, &mem, 100_000);
+    assert!(
+        cycles >= 200,
+        "follower cannot finish before the lead's work"
+    );
+    assert_eq!(*mem.borrow().mem.get(&w(8)).unwrap(), 2);
+}
+
+#[test]
+fn fences_free_under_sc_have_zero_latency_cost() {
+    let with_fences = WarpProgram::new(
+        WorkgroupId(0),
+        vec![
+            MemOp::Store(w(0), 1),
+            MemOp::Fence,
+            MemOp::Fence,
+            MemOp::Fence,
+            MemOp::Load(w(1)),
+        ],
+    );
+    let mem = FakeMem::new(30);
+    let mut core = sc_core(vec![with_fences]);
+    drive(&mut core, &mem, 10_000);
+    assert_eq!(core.stats().fence_stall_cycles, 0);
+    assert_eq!(core.stats().issued, 5, "fences still issue as instructions");
+}
+
+#[test]
+fn gto_scheduler_prefers_the_last_issuer() {
+    // Two warps of pure compute: GTO drains one warp before touching the
+    // other; round-robin interleaves.
+    let prog = || WarpProgram::new(WorkgroupId(0), (0..6).map(|_| MemOp::Compute(1)).collect());
+    let run = |sched| {
+        let params = CoreParams {
+            scheduler: sched,
+            ..CoreParams::sequential(8, 4)
+        };
+        let mut core = Core::new(CoreId(0), params, vec![prog(), prog()]);
+        let mem = FakeMem::new(1);
+        drive(&mut core, &mem, 1000)
+    };
+    // Both finish; identical total work.
+    let t_rr = run(SchedPolicy::LooseRoundRobin);
+    let t_gto = run(SchedPolicy::GreedyThenOldest);
+    assert!(t_rr > 0 && t_gto > 0);
+}
+
+#[test]
+fn gto_and_rr_complete_memory_programs_identically() {
+    let prog = |seed: u64| {
+        WarpProgram::new(
+            WorkgroupId(0),
+            vec![
+                MemOp::Load(w(seed)),
+                MemOp::Store(w(seed + 1), seed),
+                MemOp::Load(w(seed + 1)),
+            ],
+        )
+    };
+    for sched in [SchedPolicy::LooseRoundRobin, SchedPolicy::GreedyThenOldest] {
+        let params = CoreParams {
+            scheduler: sched,
+            ..CoreParams::sequential(8, 4)
+        };
+        let mut core = Core::new(CoreId(0), params, (0..4).map(prog).collect());
+        let mem = FakeMem::new(25);
+        drive(&mut core, &mem, 100_000);
+        assert_eq!(core.stats().mem_ops, 12, "{sched:?}");
+        for s in 0..4u64 {
+            assert_eq!(*mem.borrow().mem.get(&w(s + 1)).unwrap(), s);
+        }
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap as Map;
+
+    fn random_op(kind: u8, addr: u64, val: u64) -> MemOp {
+        match kind % 5 {
+            0 => MemOp::Load(w(addr)),
+            1 => MemOp::Store(w(addr), val),
+            2 => MemOp::Atomic(w(addr), AtomicOp::Add(1)),
+            3 => MemOp::Fence,
+            _ => MemOp::Compute(1 + (val % 20) as u32),
+        }
+    }
+
+    /// Drives `core` with a memory that *observes* every issue and checks
+    /// the issue-time invariants of the ordering model, with completions
+    /// delayed by `delay` cycles.
+    fn drive_checked(core: &mut Core, delay: u64, max_outstanding: usize, weak: bool) {
+        // warp -> set of outstanding addresses.
+        let outstanding: Rc<RefCell<Map<WarpId, Vec<WordAddr>>>> = Rc::default();
+        let mem = FakeMem::new(delay);
+        for c in 0..200_000u64 {
+            let cycle = Cycle(c);
+            loop {
+                let due = {
+                    let m = mem.borrow();
+                    m.pending.front().is_some_and(|(at, _)| *at <= c)
+                };
+                if !due {
+                    break;
+                }
+                let (_, completion) = mem.borrow_mut().pending.pop_front().expect("due");
+                let mut outs = outstanding.borrow_mut();
+                let v = outs
+                    .get_mut(&completion.warp)
+                    .expect("completion without issue");
+                let i = v.iter().position(|a| *a == completion.addr).expect("addr");
+                v.remove(i);
+                core.complete(cycle, &completion);
+            }
+            if core.done() {
+                return;
+            }
+            let mem2 = Rc::clone(&mem);
+            let outs2 = Rc::clone(&outstanding);
+            core.tick(cycle, |access| {
+                {
+                    let mut outs = outs2.borrow_mut();
+                    let v = outs.entry(access.warp).or_default();
+                    assert!(
+                        v.len() < max_outstanding,
+                        "warp {:?} exceeded the outstanding limit",
+                        access.warp
+                    );
+                    if weak {
+                        assert!(
+                            !v.contains(&access.addr),
+                            "same-address overlap from warp {:?} at {}",
+                            access.warp,
+                            access.addr
+                        );
+                    }
+                    v.push(access.addr);
+                }
+                let mut m = mem2.borrow_mut();
+                m.served += 1;
+                let old = *m.mem.get(&access.addr).unwrap_or(&0);
+                let kind = match access.kind {
+                    AccessKind::Load => CompletionKind::LoadDone { value: old },
+                    AccessKind::Store { value } => {
+                        m.mem.insert(access.addr, value);
+                        CompletionKind::StoreDone
+                    }
+                    AccessKind::Atomic { op } => {
+                        m.mem.insert(access.addr, op.apply(old));
+                        CompletionKind::AtomicDone { old }
+                    }
+                };
+                let completion = Completion {
+                    warp: access.warp,
+                    addr: access.addr,
+                    kind,
+                    ts: Timestamp(c),
+                    seq: m.served,
+                };
+                let at = c + m.delay;
+                m.pending.push_back((at, completion));
+                AccessOutcome::Pending
+            });
+        }
+        panic!("core did not finish");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Naïve SC issuance: any program mix retires, and no warp ever
+        /// has more than one global access in flight.
+        #[test]
+        fn sc_core_never_overlaps_accesses(
+            ops in proptest::collection::vec((any::<u8>(), 0u64..6, 0u64..100), 1..40),
+            warps in 1usize..5,
+            delay in 1u64..60,
+        ) {
+            let programs: Vec<WarpProgram> = (0..warps)
+                .map(|i| {
+                    WarpProgram::new(
+                        WorkgroupId(0),
+                        ops.iter()
+                            .skip(i)
+                            .map(|&(k, a, v)| random_op(k, a, v))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let mut core = Core::new(CoreId(0), CoreParams::sequential(warps, warps), programs);
+            drive_checked(&mut core, delay, 1, false);
+        }
+
+        /// Weak ordering: any program mix retires, the 8-deep outstanding
+        /// window is respected, and same-warp same-address accesses never
+        /// overlap (required for per-location coherence).
+        #[test]
+        fn weak_core_respects_window_and_same_address_order(
+            ops in proptest::collection::vec((any::<u8>(), 0u64..4, 0u64..100), 1..40),
+            warps in 1usize..5,
+            delay in 1u64..60,
+            policy in prop_oneof![
+                Just(FencePolicy::Free),
+                Just(FencePolicy::Drain),
+                Just(FencePolicy::DrainGwct),
+            ],
+        ) {
+            let programs: Vec<WarpProgram> = (0..warps)
+                .map(|i| {
+                    WarpProgram::new(
+                        WorkgroupId(0),
+                        ops.iter()
+                            .skip(i)
+                            .map(|&(k, a, v)| random_op(k, a, v))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let mut core = Core::new(
+                CoreId(0),
+                CoreParams::weakly_ordered(warps, warps, policy),
+                programs,
+            );
+            drive_checked(&mut core, delay, 8, true);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Warp-level operations and programs.
+//!
+//! A [`WarpProgram`] is a straight-line list of [`MemOp`]s one warp
+//! executes; benchmarks are built by generating one program per warp:
+//!
+//! ```
+//! use rcc_gpu::op::{MemOp, WarpProgram};
+//! use rcc_common::addr::LineAddr;
+//! use rcc_common::ids::WorkgroupId;
+//!
+//! let w = LineAddr(0).word(0);
+//! let p = WarpProgram::new(
+//!     WorkgroupId(0),
+//!     vec![MemOp::Load(w), MemOp::Store(w, 1), MemOp::Fence],
+//! );
+//! assert_eq!(p.ops.len(), 3);
+//! assert!(p.ops.iter().filter(|o| o.is_memory()).count() == 2);
+//! ```
+
+use rcc_common::addr::WordAddr;
+use rcc_common::ids::WorkgroupId;
+use rcc_core::msg::AtomicOp;
+
+/// One warp-level operation. Memory operations are line-granular in
+/// traffic and word-granular in value tracking (see `rcc-core::msg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Global load of one (representative) word.
+    Load(WordAddr),
+    /// Global write-through store.
+    Store(WordAddr, u64),
+    /// Atomic read-modify-write, performed at the L2.
+    Atomic(WordAddr, AtomicOp),
+    /// Memory fence. Free under SC configurations (the hardware already
+    /// orders everything); drains outstanding accesses — and waits out
+    /// GWCTs / joins logical views — under weak ordering.
+    Fence,
+    /// Non-memory work occupying the warp for the given cycles.
+    Compute(u32),
+    /// Acquire a spin lock at the given word: CAS(0→1) retried with
+    /// backoff until it succeeds.
+    Lock(WordAddr),
+    /// Release a spin lock: atomic exchange to 0.
+    Unlock(WordAddr),
+    /// Inter-workgroup fast-barrier arrival + poll (lead warp only):
+    /// atomically increments the barrier word, then polls it with atomic
+    /// reads until all `members` have arrived.
+    Barrier {
+        /// The barrier counter word.
+        word: WordAddr,
+        /// Number of arrivals that release the barrier.
+        members: u64,
+    },
+    /// Intra-workgroup wait: block until the workgroup's lead warp has
+    /// passed its `epoch`-th [`MemOp::Barrier`]. Costs no memory traffic
+    /// (GPU hardware barriers are core-local).
+    LocalWait {
+        /// Barrier epoch to wait for (1-based).
+        epoch: u64,
+    },
+}
+
+impl MemOp {
+    /// Whether this op issues a global memory access when executed
+    /// (locks/barriers issue several).
+    pub fn is_memory(&self) -> bool {
+        !matches!(
+            self,
+            MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. }
+        )
+    }
+}
+
+/// The program of one warp, plus its workgroup assignment.
+#[derive(Debug, Clone, Default)]
+pub struct WarpProgram {
+    /// Operations in program order.
+    pub ops: Vec<MemOp>,
+    /// Workgroup (threadblock) this warp belongs to. Intra-workgroup
+    /// sharing stays within a core; inter-workgroup sharing is what
+    /// drives coherence traffic (Table IV's taxonomy).
+    pub workgroup: WorkgroupId,
+}
+
+impl WarpProgram {
+    /// Creates a program for a warp of `workgroup`.
+    pub fn new(workgroup: WorkgroupId, ops: Vec<MemOp>) -> Self {
+        WarpProgram { ops, workgroup }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of global memory operations (lower bound: lock/barrier
+    /// retries issue more).
+    pub fn memory_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_memory()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::addr::WordAddr;
+
+    #[test]
+    fn memory_op_taxonomy() {
+        assert!(MemOp::Load(WordAddr(0)).is_memory());
+        assert!(MemOp::Store(WordAddr(0), 1).is_memory());
+        assert!(MemOp::Lock(WordAddr(0)).is_memory());
+        assert!(!MemOp::Fence.is_memory());
+        assert!(!MemOp::Compute(5).is_memory());
+        assert!(!MemOp::LocalWait { epoch: 1 }.is_memory());
+    }
+
+    #[test]
+    fn program_counts() {
+        let p = WarpProgram::new(
+            WorkgroupId(0),
+            vec![
+                MemOp::Load(WordAddr(0)),
+                MemOp::Compute(3),
+                MemOp::Store(WordAddr(1), 2),
+                MemOp::Fence,
+            ],
+        );
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.memory_ops(), 2);
+        assert!(!p.is_empty());
+    }
+}

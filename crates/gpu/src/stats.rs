@@ -1,0 +1,151 @@
+//! Per-core statistics: the raw material for Figs. 1 and 8.
+
+use rcc_common::stats::Histogram;
+
+/// The kind of the *preceding* operation an SC stall waited on — the
+/// classification of Fig. 1b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrevOpKind {
+    /// Waiting on a previous load.
+    Load,
+    /// Waiting on a previous store.
+    Store,
+    /// Waiting on a previous atomic.
+    Atomic,
+}
+
+/// Counters and histograms for one core.
+#[derive(Debug, Default, Clone)]
+pub struct CoreStats {
+    /// Instructions issued (memory + compute + synchronization steps).
+    pub issued: u64,
+    /// Global memory operations issued (loads/stores/atomics, including
+    /// lock/barrier traffic).
+    pub mem_ops: u64,
+    /// Cycles some warp's ready memory op was blocked purely by the
+    /// consistency ordering rules (summed over warps — Fig. 8 top).
+    pub sc_stall_cycles: u64,
+    /// Of those, cycles attributable to waiting on a prior load.
+    pub sc_stall_cycles_prev_load: u64,
+    /// … on a prior store.
+    pub sc_stall_cycles_prev_store: u64,
+    /// … on a prior atomic.
+    pub sc_stall_cycles_prev_atomic: u64,
+    /// Memory operations that experienced at least one SC stall cycle
+    /// before issuing (numerator of Fig. 1a).
+    pub stalled_mem_ops: u64,
+    /// Stall duration of each stalled op (Fig. 8 bottom: resolve latency).
+    pub stall_resolve: Histogram,
+    /// Cycles an issue was blocked by structural hazards (L1 MSHR
+    /// pressure), not ordering.
+    pub structural_stall_cycles: u64,
+    /// Cycles warps spent blocked at fences (weak ordering only).
+    pub fence_stall_cycles: u64,
+    /// Load latency, issue → completion (Fig. 1c).
+    pub load_latency: Histogram,
+    /// Store latency, issue → ack (Fig. 1c).
+    pub store_latency: Histogram,
+    /// Atomic latency.
+    pub atomic_latency: Histogram,
+    /// Lock acquisition attempts that failed (CAS lost).
+    pub lock_retries: u64,
+    /// Barrier poll operations issued.
+    pub barrier_polls: u64,
+}
+
+impl CoreStats {
+    /// Records an SC stall cycle attributed to `prev`.
+    pub fn record_sc_stall_cycle(&mut self, prev: PrevOpKind) {
+        self.sc_stall_cycles += 1;
+        match prev {
+            PrevOpKind::Load => self.sc_stall_cycles_prev_load += 1,
+            PrevOpKind::Store => self.sc_stall_cycles_prev_store += 1,
+            PrevOpKind::Atomic => self.sc_stall_cycles_prev_atomic += 1,
+        }
+    }
+
+    /// Fraction of memory ops that ever stalled for SC (Fig. 1a).
+    pub fn stalled_op_fraction(&self) -> f64 {
+        if self.mem_ops == 0 {
+            0.0
+        } else {
+            self.stalled_mem_ops as f64 / self.mem_ops as f64
+        }
+    }
+
+    /// Fraction of SC stall cycles due to a prior store or atomic
+    /// (Fig. 1b).
+    pub fn stall_fraction_prev_write(&self) -> f64 {
+        if self.sc_stall_cycles == 0 {
+            0.0
+        } else {
+            (self.sc_stall_cycles_prev_store + self.sc_stall_cycles_prev_atomic) as f64
+                / self.sc_stall_cycles as f64
+        }
+    }
+
+    /// Merges another core's statistics into this one.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.issued += other.issued;
+        self.mem_ops += other.mem_ops;
+        self.sc_stall_cycles += other.sc_stall_cycles;
+        self.sc_stall_cycles_prev_load += other.sc_stall_cycles_prev_load;
+        self.sc_stall_cycles_prev_store += other.sc_stall_cycles_prev_store;
+        self.sc_stall_cycles_prev_atomic += other.sc_stall_cycles_prev_atomic;
+        self.stalled_mem_ops += other.stalled_mem_ops;
+        self.stall_resolve.merge(&other.stall_resolve);
+        self.structural_stall_cycles += other.structural_stall_cycles;
+        self.fence_stall_cycles += other.fence_stall_cycles;
+        self.load_latency.merge(&other.load_latency);
+        self.store_latency.merge(&other.store_latency);
+        self.atomic_latency.merge(&other.atomic_latency);
+        self.lock_retries += other.lock_retries;
+        self.barrier_polls += other.barrier_polls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_attribution() {
+        let mut s = CoreStats::default();
+        s.record_sc_stall_cycle(PrevOpKind::Store);
+        s.record_sc_stall_cycle(PrevOpKind::Store);
+        s.record_sc_stall_cycle(PrevOpKind::Atomic);
+        s.record_sc_stall_cycle(PrevOpKind::Load);
+        assert_eq!(s.sc_stall_cycles, 4);
+        assert!((s.stall_fraction_prev_write() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalled_fraction() {
+        assert_eq!(CoreStats::default().stalled_op_fraction(), 0.0);
+        let s = CoreStats {
+            mem_ops: 10,
+            stalled_mem_ops: 3,
+            ..CoreStats::default()
+        };
+        assert!((s.stalled_op_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = CoreStats {
+            issued: 5,
+            ..CoreStats::default()
+        };
+        a.load_latency.record(100);
+        let mut b = CoreStats {
+            issued: 7,
+            ..CoreStats::default()
+        };
+        b.load_latency.record(200);
+        b.record_sc_stall_cycle(PrevOpKind::Store);
+        a.merge(&b);
+        assert_eq!(a.issued, 12);
+        assert_eq!(a.load_latency.count(), 2);
+        assert_eq!(a.sc_stall_cycles, 1);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Cache building blocks: line data, set-associative tag arrays, and MSHR
+//! files.
+//!
+//! These structures are protocol-agnostic: each tag-array line carries a
+//! protocol-defined metadata value (the coherence state plus timestamps),
+//! and each MSHR entry carries a protocol-defined record (merge lists,
+//! `lastrd`/`lastwr` logical times, pending store data). The protocols in
+//! `rcc-core` instantiate them for their own state types.
+//!
+//! # Example
+//!
+//! ```
+//! use rcc_common::addr::LineAddr;
+//! use rcc_mem::{LineData, TagArray};
+//!
+//! let mut tags: TagArray<u8> = TagArray::new(4, 2);
+//! tags.fill(LineAddr(12), 0u8, LineData::zeroed(), false, |_, _| true).unwrap();
+//! assert!(tags.probe(LineAddr(12)).is_some());
+//! ```
+
+pub mod data;
+pub mod mshr;
+pub mod tag_array;
+
+pub use data::LineData;
+pub use mshr::{MshrFile, MshrRejection};
+pub use tag_array::{Evicted, Line, TagArray};

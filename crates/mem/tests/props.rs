@@ -1,0 +1,84 @@
+//! Property-based tests for the cache building blocks.
+
+use proptest::prelude::*;
+use rcc_common::addr::LineAddr;
+use rcc_mem::{LineData, MshrFile, TagArray};
+use std::collections::HashSet;
+
+proptest! {
+    /// After any fill sequence, the array never holds duplicates, never
+    /// exceeds capacity, and every most-recently-filled line that was not
+    /// displaced is still findable.
+    #[test]
+    fn tag_array_structural_invariants(
+        sets in 1usize..8,
+        ways in 1usize..8,
+        addrs in prop::collection::vec(0u64..64, 1..200),
+    ) {
+        let mut tags: TagArray<u32> = TagArray::new(sets, ways);
+        for (i, a) in addrs.iter().enumerate() {
+            let _ = tags.fill(LineAddr(*a), i as u32, LineData::zeroed(), false, |_, _| true);
+            prop_assert!(tags.len() <= sets * ways);
+            prop_assert!(tags.probe(LineAddr(*a)).is_some(), "just-filled line resident");
+        }
+        let mut seen = HashSet::new();
+        for line in tags.iter() {
+            prop_assert!(seen.insert(line.addr), "duplicate resident line");
+        }
+    }
+
+    /// With stride S, lines that differ only in their partition bits land
+    /// in the same set; the array still distinguishes them by tag.
+    #[test]
+    fn tag_array_stride_keeps_distinct_tags(
+        stride in 1u64..9,
+        base in 0u64..32,
+    ) {
+        let mut tags: TagArray<u8> = TagArray::with_stride(4, 8, stride);
+        for p in 0..stride.min(4) {
+            let line = LineAddr(base * stride + p);
+            tags.fill(line, p as u8, LineData::zeroed(), false, |_, _| true).unwrap();
+        }
+        for p in 0..stride.min(4) {
+            let line = LineAddr(base * stride + p);
+            prop_assert_eq!(tags.probe(line).unwrap().state, p as u8);
+        }
+    }
+
+    /// Alloc/merge/release sequences keep occupancy within capacity and
+    /// merges never exceed the merge cap.
+    #[test]
+    fn mshr_capacity_and_merge_caps(
+        capacity in 1usize..8,
+        merge_cap in 1usize..6,
+        ops in prop::collection::vec((0u64..16, 0u8..3), 1..200),
+    ) {
+        let mut m: MshrFile<u32> = MshrFile::new(capacity, merge_cap);
+        let mut merges = std::collections::HashMap::new();
+        for (addr, op) in ops {
+            let line = LineAddr(addr);
+            match op {
+                0 => {
+                    if !m.contains(line) && m.allocate(line, 0).is_ok() {
+                        merges.insert(line, 1usize);
+                    }
+                }
+                1 => {
+                    if m.contains(line) {
+                        let before = merges[&line];
+                        let ok = m.merge(line, |e| *e += 1).is_ok();
+                        if ok {
+                            *merges.get_mut(&line).unwrap() += 1;
+                        }
+                        prop_assert_eq!(ok, before < merge_cap);
+                    }
+                }
+                _ => {
+                    m.release(line);
+                    merges.remove(&line);
+                }
+            }
+            prop_assert!(m.len() <= capacity);
+        }
+    }
+}

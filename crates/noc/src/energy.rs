@@ -1,0 +1,122 @@
+//! ORION-2.0-style interconnect energy model.
+//!
+//! Fig. 9b of the paper compares interconnect energy broken down by
+//! component across protocols. The trends it shows are driven by (a) how
+//! many flits each protocol moves (MESI adds invalidations, recalls and
+//! their acks; RCC's RENEW replaces many data transfers), and (b) static
+//! leakage, which scales with the number of virtual-channel buffers (5
+//! for MESI vs 2 for the timestamp protocols). An affine model — energy
+//! per flit through a router, energy per flit over a link, leakage per
+//! buffer per cycle — captures both effects; the coefficients are in the
+//! ballpark of ORION 2.0 at 45 nm and only relative values matter.
+
+/// Energy coefficients (picojoules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocEnergyModel {
+    /// Dynamic energy per flit traversing a router (buffer write/read,
+    /// arbitration, crossbar).
+    pub router_pj_per_flit: f64,
+    /// Dynamic energy per flit traversing an inter-node link.
+    pub link_pj_per_flit: f64,
+    /// Leakage per virtual-channel buffer per core cycle.
+    pub static_pj_per_buffer_cycle: f64,
+}
+
+impl Default for NocEnergyModel {
+    fn default() -> Self {
+        // ORION 2.0-flavoured coefficients for a 32-bit-flit crossbar at
+        // 45 nm: a few pJ of router energy and ~1 pJ of link energy per
+        // flit, with per-buffer leakage orders of magnitude below the
+        // dynamic cost of a flit.
+        NocEnergyModel {
+            router_pj_per_flit: 4.0,
+            link_pj_per_flit: 1.5,
+            static_pj_per_buffer_cycle: 0.002,
+        }
+    }
+}
+
+/// Interconnect energy split by component (the stacks of Fig. 9b).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Router dynamic energy (pJ).
+    pub router_pj: f64,
+    /// Link dynamic energy (pJ).
+    pub link_pj: f64,
+    /// Static/leakage energy (pJ).
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.router_pj + self.link_pj + self.static_pj
+    }
+
+    /// Componentwise sum.
+    #[must_use]
+    pub fn plus(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            router_pj: self.router_pj + other.router_pj,
+            link_pj: self.link_pj + other.link_pj,
+            static_pj: self.static_pj + other.static_pj,
+        }
+    }
+}
+
+impl NocEnergyModel {
+    /// Computes the energy of a run in which `flits` flits crossed the
+    /// interconnect over `cycles` core cycles, with `ports` router ports
+    /// each holding `num_vcs` virtual-channel buffers.
+    pub fn energy(&self, flits: u64, cycles: u64, ports: usize, num_vcs: usize) -> EnergyBreakdown {
+        EnergyBreakdown {
+            router_pj: flits as f64 * self.router_pj_per_flit,
+            link_pj: flits as f64 * self.link_pj_per_flit,
+            static_pj: cycles as f64
+                * ports as f64
+                * num_vcs as f64
+                * self.static_pj_per_buffer_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_flits() {
+        let m = NocEnergyModel::default();
+        let a = m.energy(1000, 1000, 16, 2);
+        let b = m.energy(2000, 1000, 16, 2);
+        assert!((b.router_pj - 2.0 * a.router_pj).abs() < 1e-9);
+        assert!((b.link_pj - 2.0 * a.link_pj).abs() < 1e-9);
+        assert_eq!(a.static_pj, b.static_pj, "static is traffic-independent");
+    }
+
+    #[test]
+    fn five_vcs_leak_more_than_two() {
+        let m = NocEnergyModel::default();
+        let mesi = m.energy(1000, 100_000, 16, 5);
+        let rcc = m.energy(1000, 100_000, 16, 2);
+        assert!(mesi.static_pj > rcc.static_pj);
+        assert!((mesi.static_pj / rcc.static_pj - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let m = NocEnergyModel::default();
+        let e = m.energy(10, 10, 1, 1);
+        assert!((e.total_pj() - (e.router_pj + e.link_pj + e.static_pj)).abs() < 1e-12);
+        let sum = e.plus(&e);
+        assert!((sum.total_pj() - 2.0 * e.total_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_still_leaks() {
+        let m = NocEnergyModel::default();
+        let e = m.energy(0, 1000, 16, 2);
+        assert_eq!(e.router_pj, 0.0);
+        assert!(e.static_pj > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Property-based tests for the crossbar network.
+
+use proptest::prelude::*;
+use rcc_common::config::GpuConfig;
+use rcc_common::time::Cycle;
+use rcc_noc::Network;
+
+proptest! {
+    /// Every injected packet is delivered exactly once, to the right
+    /// destination, and per-(src,dst) pairs arrive in injection order.
+    #[test]
+    fn exactly_once_in_order_delivery(
+        packets in prop::collection::vec((0usize..4, 0usize..3, 1u64..40), 1..100),
+    ) {
+        let cfg = GpuConfig::small();
+        let mut net: Network<(usize, usize, usize)> = Network::new(&cfg.noc, 4, 3, 2);
+        for (i, (src, dst, flits)) in packets.iter().enumerate() {
+            net.inject(Cycle(i as u64), *src, *dst, 0, *flits, (*src, *dst, i));
+        }
+        let delivered = net.deliver(Cycle(u64::MAX / 2));
+        prop_assert_eq!(delivered.len(), packets.len());
+        prop_assert!(net.is_empty());
+        let mut last_index = std::collections::HashMap::new();
+        for (dst, (s, d, i)) in delivered {
+            prop_assert_eq!(dst, d);
+            if let Some(p) = last_index.insert((s, d), i) {
+                prop_assert!(i > p, "per-pair FIFO violated");
+            }
+        }
+    }
+
+    /// Delivery never happens before the zero-load latency.
+    #[test]
+    fn latency_lower_bound(flits in 1u64..64, start in 0u64..1000) {
+        let cfg = GpuConfig::small();
+        let mut net: Network<u8> = Network::new(&cfg.noc, 2, 2, 2);
+        net.inject(Cycle(start), 0, 1, 0, flits, 1);
+        let cpf = cfg.noc.core_cycles_per_noc_cycle;
+        let min = start + flits * cpf + cfg.noc.traversal_latency * cpf + flits * cpf;
+        prop_assert!(net.deliver(Cycle(min - 1)).is_empty());
+        prop_assert_eq!(net.deliver(Cycle(min)).len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Litmus-test harness: runs a litmus program under a protocol and
+//! reports the observed outcome.
+
+use crate::system::System;
+use rcc_common::config::GpuConfig;
+use rcc_core::ideal::IdealProtocol;
+use rcc_core::mesi::{MesiProtocol, MesiWbProtocol};
+use rcc_core::rcc::RccProtocol;
+use rcc_core::tc::TcProtocol;
+use rcc_core::ProtocolKind;
+use rcc_workloads::litmus::Litmus;
+use rcc_workloads::Workload;
+
+/// One observed litmus outcome.
+#[derive(Debug, Clone)]
+pub struct LitmusOutcome {
+    /// Values read by the probes, in probe order.
+    pub values: Vec<u64>,
+    /// Whether the SC-forbidden outcome was observed.
+    pub forbidden: bool,
+}
+
+fn run_one<P: rcc_core::protocol::Protocol>(
+    protocol: &P,
+    cfg: &GpuConfig,
+    litmus: &Litmus,
+) -> LitmusOutcome {
+    let workload = Workload {
+        name: litmus.name,
+        category: rcc_workloads::Sharing::InterWorkgroup,
+        programs: litmus.programs.clone(),
+        warps_per_workgroup: 1,
+    };
+    let mut sys = System::new(protocol, cfg, &workload, false);
+    let m = sys_run(&mut sys);
+    let _ = m;
+    let values: Vec<u64> = litmus
+        .probes
+        .iter()
+        .map(|p| {
+            let loads = sys.loads_of(p.core.index(), p.warp.index(), p.addr);
+            *loads
+                .get(p.nth)
+                .unwrap_or_else(|| panic!("{}: probe {p:?} did not execute", litmus.name))
+        })
+        .collect();
+    let forbidden = (litmus.forbidden)(&values);
+    LitmusOutcome { values, forbidden }
+}
+
+fn sys_run<P: rcc_core::protocol::Protocol>(sys: &mut System<P>) -> u64 {
+    while !sys.done() {
+        sys.step();
+        assert!(sys.cycle().raw() < 10_000_000, "litmus run too long");
+    }
+    sys.cycle().raw()
+}
+
+/// Runs one litmus test under `kind`.
+pub fn run_litmus(kind: ProtocolKind, cfg: &GpuConfig, litmus: &Litmus) -> LitmusOutcome {
+    match kind {
+        ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus),
+        ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus),
+        ProtocolKind::TcStrong => run_one(&TcProtocol::strong(cfg), cfg, litmus),
+        ProtocolKind::TcWeak => run_one(&TcProtocol::weak(cfg), cfg, litmus),
+        ProtocolKind::RccSc => run_one(&RccProtocol::sequential(cfg), cfg, litmus),
+        ProtocolKind::RccWo => run_one(&RccProtocol::weakly_ordered(cfg), cfg, litmus),
+        ProtocolKind::IdealSc => run_one(&IdealProtocol::new(cfg), cfg, litmus),
+    }
+}
+
+/// Runs `make_litmus(seed)` for every seed in `0..runs`, counting how
+/// often the forbidden outcome appeared.
+pub fn count_forbidden(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    runs: u64,
+    make_litmus: impl Fn(u64) -> Litmus,
+) -> u64 {
+    (0..runs)
+        .filter(|&seed| run_litmus(kind, cfg, &make_litmus(seed)).forbidden)
+        .count() as u64
+}

@@ -1,0 +1,163 @@
+//! Run measurements: everything the paper's figures are computed from.
+
+use rcc_common::stats::{Histogram, TrafficStats};
+use rcc_core::protocol::{L1Stats, L2Stats};
+use rcc_core::ProtocolKind;
+use rcc_gpu::CoreStats;
+use rcc_noc::EnergyBreakdown;
+
+/// Aggregated measurements of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Protocol configuration that ran.
+    pub kind: ProtocolKind,
+    /// Workload name.
+    pub workload: String,
+    /// Wall-clock cycles until every warp retired.
+    pub cycles: u64,
+    /// Core-side statistics, merged over all cores.
+    pub core: CoreStats,
+    /// L1 statistics, merged.
+    pub l1: L1Stats,
+    /// L2 statistics, merged.
+    pub l2: L2Stats,
+    /// NoC traffic by message class.
+    pub traffic: TrafficStats,
+    /// Interconnect energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// DRAM accesses (reads, writes) and mean read latency.
+    pub dram_reads: u64,
+    /// DRAM writes.
+    pub dram_writes: u64,
+    /// Mean DRAM read latency in cycles.
+    pub dram_read_latency: f64,
+    /// SC violations found by the scoreboard (0 unless checking was on
+    /// and the protocol is broken — or TC-Weak, which is expected to
+    /// violate write atomicity).
+    pub sc_violations: usize,
+    /// Timestamp rollovers performed (RCC only).
+    pub rollovers: u64,
+}
+
+impl RunMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.core.issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the same
+    /// workload (the normalization of Figs. 8–10).
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// SC stall rate normalized per issued memory operation.
+    pub fn sc_stalls_per_mem_op(&self) -> f64 {
+        if self.core.mem_ops == 0 {
+            0.0
+        } else {
+            self.core.sc_stall_cycles as f64 / self.core.mem_ops as f64
+        }
+    }
+
+    /// Fraction of loads that found data valid-but-expired in the L1
+    /// (Fig. 6 left).
+    pub fn expired_load_fraction(&self) -> f64 {
+        if self.l1.loads == 0 {
+            0.0
+        } else {
+            self.l1.expired_loads as f64 / self.l1.loads as f64
+        }
+    }
+
+    /// Of the expired loads, the fraction revalidated by a RENEW — i.e.
+    /// premature expirations (Fig. 6 right).
+    pub fn renewable_fraction(&self) -> f64 {
+        if self.l1.expired_loads == 0 {
+            0.0
+        } else {
+            self.l1.renewed_loads as f64 / self.l1.expired_loads as f64
+        }
+    }
+
+    /// Mean load latency (Fig. 1c).
+    pub fn load_latency(&self) -> &Histogram {
+        &self.core.load_latency
+    }
+
+    /// Mean store latency (Fig. 1c).
+    pub fn store_latency(&self) -> &Histogram {
+        &self.core.store_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::stats::TrafficStats;
+    use rcc_core::protocol::{L1Stats, L2Stats};
+    use rcc_gpu::CoreStats;
+    use rcc_noc::EnergyBreakdown;
+
+    fn metrics(cycles: u64, issued: u64) -> RunMetrics {
+        let core = CoreStats {
+            issued,
+            mem_ops: issued / 2,
+            ..CoreStats::default()
+        };
+        RunMetrics {
+            kind: ProtocolKind::RccSc,
+            workload: "test".into(),
+            cycles,
+            core,
+            l1: L1Stats::default(),
+            l2: L2Stats::default(),
+            traffic: TrafficStats::new(),
+            energy: EnergyBreakdown::default(),
+            dram_reads: 0,
+            dram_writes: 0,
+            dram_read_latency: 0.0,
+            sc_violations: 0,
+            rollovers: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let a = metrics(1000, 500);
+        let b = metrics(2000, 500);
+        assert!((a.ipc() - 0.5).abs() < 1e-12);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+        assert!((b.speedup_over(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_edge_cases() {
+        let z = metrics(0, 0);
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.speedup_over(&metrics(100, 1)), 0.0);
+        assert_eq!(z.sc_stalls_per_mem_op(), 0.0);
+        assert_eq!(z.expired_load_fraction(), 0.0);
+        assert_eq!(z.renewable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut m = metrics(10, 10);
+        m.l1.loads = 100;
+        m.l1.expired_loads = 25;
+        m.l1.renewed_loads = 20;
+        assert!((m.expired_load_fraction() - 0.25).abs() < 1e-12);
+        assert!((m.renewable_fraction() - 0.8).abs() < 1e-12);
+        m.core.sc_stall_cycles = 50;
+        assert!((m.sc_stalls_per_mem_op() - 10.0).abs() < 1e-12);
+    }
+}

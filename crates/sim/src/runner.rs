@@ -1,0 +1,101 @@
+//! Protocol dispatch and run options.
+
+use crate::metrics::RunMetrics;
+use crate::system::System;
+use rcc_common::config::GpuConfig;
+use rcc_core::ideal::IdealProtocol;
+use rcc_core::mesi::{MesiProtocol, MesiWbProtocol};
+use rcc_core::rcc::RccProtocol;
+use rcc_core::tc::TcProtocol;
+use rcc_core::ProtocolKind;
+use rcc_workloads::Workload;
+
+/// Options for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Verify the execution with the SC scoreboard. Only applied to
+    /// protocols that claim SC support — TC-Weak and RCC-WO are weakly
+    /// ordered by design and SC-IDEAL is a performance idealization.
+    pub check_sc: bool,
+    /// Abort if the run exceeds this many cycles.
+    pub max_cycles: u64,
+}
+
+impl SimOptions {
+    /// Default options: no checking, generous cycle budget.
+    pub fn fast() -> Self {
+        SimOptions {
+            check_sc: false,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// Checked options for tests.
+    pub fn checked() -> Self {
+        SimOptions {
+            check_sc: true,
+            ..SimOptions::fast()
+        }
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions::fast()
+    }
+}
+
+/// Runs `workload` on the machine `cfg` under `kind`, returning the run's
+/// metrics.
+///
+/// # Panics
+///
+/// Panics if the run deadlocks, exceeds `max_cycles`, or — with
+/// `check_sc` and an SC-capable protocol — violates sequential
+/// consistency.
+pub fn simulate(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+) -> RunMetrics {
+    let check = opts.check_sc && kind.supports_sc();
+    let metrics = match kind {
+        ProtocolKind::Mesi => {
+            let p = MesiProtocol::new(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+        ProtocolKind::MesiWb => {
+            let p = MesiWbProtocol::new(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+        ProtocolKind::TcStrong => {
+            let p = TcProtocol::strong(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+        ProtocolKind::TcWeak => {
+            let p = TcProtocol::weak(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+        ProtocolKind::RccSc => {
+            let p = RccProtocol::sequential(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+        ProtocolKind::RccWo => {
+            let p = RccProtocol::weakly_ordered(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+        ProtocolKind::IdealSc => {
+            let p = IdealProtocol::new(cfg);
+            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+        }
+    };
+    if check {
+        assert_eq!(
+            metrics.sc_violations, 0,
+            "{kind} violated SC on {}",
+            workload.name
+        );
+    }
+    metrics
+}

@@ -1,0 +1,585 @@
+//! The cycle-driven full system.
+
+use crate::metrics::RunMetrics;
+use rcc_common::addr::{LineAddr, WordAddr};
+use rcc_common::config::GpuConfig;
+use rcc_common::ids::{CoreId, WarpId};
+use rcc_common::stats::TrafficStats;
+use rcc_common::time::{Cycle, Timestamp};
+use rcc_core::msg::{
+    flits_for, Access, AccessKind, AccessOutcome, Completion, CompletionKind, ReqMsg, ReqPayload,
+    RespMsg, RespPayload,
+};
+use rcc_core::protocol::{L1Cache, L1Outbox, L1Stats, L2Bank, L2Outbox, L2Stats, Protocol};
+use rcc_core::scoreboard::Scoreboard;
+use rcc_dram::DramChannel;
+use rcc_gpu::{Core, CoreParams, CoreStats, FencePolicy};
+use rcc_mem::LineData;
+use rcc_noc::{Network, NocEnergyModel};
+use rcc_workloads::Workload;
+use std::collections::{HashMap, VecDeque};
+
+/// What a store/atomic will write (for the scoreboard).
+#[derive(Debug, Clone, Copy)]
+enum PendingValue {
+    Store(u64),
+    Atomic(rcc_core::msg::AtomicOp),
+}
+
+type PendingVals = HashMap<(usize, WarpId, WordAddr), VecDeque<PendingValue>>;
+type LoadLog = HashMap<(usize, usize, WordAddr), Vec<u64>>;
+
+/// Rollover coordination (Section III-D), simulator-orchestrated: on
+/// threshold crossing the cores pause, the system drains, the L2s reset
+/// their timestamps, and every L1 is flushed over the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RolloverState {
+    Idle,
+    Draining,
+    Flushing { acks_outstanding: usize },
+}
+
+/// Shared bookkeeping the per-cycle closures need mutable access to.
+struct Recorder {
+    scoreboard: Option<Scoreboard>,
+    pending_vals: PendingVals,
+    load_log: LoadLog,
+    epoch_base: u64,
+    max_ts_seen: u64,
+    completions: u64,
+}
+
+impl Recorder {
+    fn note_issue(&mut self, core: usize, access: Access) {
+        let key = (core, access.warp, access.addr);
+        match access.kind {
+            AccessKind::Store { value } => self
+                .pending_vals
+                .entry(key)
+                .or_default()
+                .push_back(PendingValue::Store(value)),
+            AccessKind::Atomic { op } => self
+                .pending_vals
+                .entry(key)
+                .or_default()
+                .push_back(PendingValue::Atomic(op)),
+            AccessKind::Load => {}
+        }
+    }
+
+    fn note_completion(&mut self, core: usize, c: &Completion) {
+        self.completions += 1;
+        let key = (core, c.warp, c.addr);
+        let mut pop = || {
+            self.pending_vals
+                .get_mut(&key)
+                .and_then(VecDeque::pop_front)
+        };
+        let store_value = match c.kind {
+            CompletionKind::LoadDone { value } => {
+                self.load_log
+                    .entry((core, c.warp.index(), c.addr))
+                    .or_default()
+                    .push(value);
+                None
+            }
+            CompletionKind::StoreDone => match pop() {
+                Some(PendingValue::Store(v)) => Some(v),
+                other => panic!("store completion without value: {other:?} ({key:?}, {c:?})"),
+            },
+            CompletionKind::AtomicDone { old } => match pop() {
+                Some(PendingValue::Atomic(op)) => Some(op.apply(old)),
+                other => panic!("atomic completion without op: {other:?} ({key:?}, {c:?})"),
+            },
+        };
+        if let Some(sb) = &mut self.scoreboard {
+            // Offset logical timestamps by the rollover epoch so the
+            // global order is preserved across timestamp resets.
+            let shifted = Completion {
+                ts: Timestamp(self.epoch_base + c.ts.raw()),
+                ..*c
+            };
+            self.max_ts_seen = self.max_ts_seen.max(shifted.ts.raw());
+            sb.record(CoreId(core), &shifted, store_value);
+        }
+    }
+}
+
+/// A full simulated GPU running one workload under one protocol.
+pub struct System<P: Protocol> {
+    cfg: GpuConfig,
+    workload_name: String,
+    cores: Vec<Core>,
+    l1s: Vec<P::L1>,
+    req_net: Network<ReqMsg>,
+    resp_net: Network<RespMsg>,
+    l2s: Vec<P::L2>,
+    l2_inbox: Vec<VecDeque<ReqMsg>>,
+    l2_delay: Vec<VecDeque<(u64, RespMsg)>>,
+    drams: Vec<DramChannel>,
+    memory: HashMap<LineAddr, LineData>,
+    cycle: Cycle,
+    recorder: Recorder,
+    traffic: TrafficStats,
+    energy_model: NocEnergyModel,
+    rollover: RolloverState,
+    rollovers: u64,
+    last_progress: u64,
+    kind: rcc_core::ProtocolKind,
+}
+
+impl<P: Protocol> System<P> {
+    /// Builds a system for `protocol` running `workload`.
+    pub fn new(protocol: &P, cfg: &GpuConfig, workload: &Workload, check_sc: bool) -> Self {
+        let kind = protocol.kind();
+        let fence_policy = match kind {
+            rcc_core::ProtocolKind::TcWeak => FencePolicy::DrainGwct,
+            rcc_core::ProtocolKind::RccWo => FencePolicy::Drain,
+            _ => FencePolicy::Free,
+        };
+        let weak = !matches!(
+            kind.consistency(),
+            rcc_core::kind::ConsistencyModel::SequentialConsistency
+        );
+        let warps_per_core = workload
+            .programs
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let params = if weak {
+            CoreParams::weakly_ordered(warps_per_core, workload.warps_per_workgroup, fence_policy)
+        } else {
+            CoreParams::sequential(warps_per_core, workload.warps_per_workgroup)
+        };
+        let cores: Vec<Core> = (0..cfg.num_cores)
+            .map(|c| {
+                let programs = workload.programs.get(c).cloned().unwrap_or_default();
+                Core::new(CoreId(c), params.clone(), programs)
+            })
+            .collect();
+        let nparts = cfg.l2.num_partitions;
+        System {
+            workload_name: workload.name.to_string(),
+            cores,
+            l1s: (0..cfg.num_cores)
+                .map(|c| protocol.make_l1(CoreId(c), cfg))
+                .collect(),
+            req_net: Network::new(&cfg.noc, cfg.num_cores, nparts, kind.num_vcs()),
+            resp_net: Network::new(&cfg.noc, nparts, cfg.num_cores, kind.num_vcs()),
+            l2s: (0..nparts)
+                .map(|p| protocol.make_l2(rcc_common::ids::PartitionId(p), cfg))
+                .collect(),
+            l2_inbox: (0..nparts).map(|_| VecDeque::new()).collect(),
+            l2_delay: (0..nparts).map(|_| VecDeque::new()).collect(),
+            drams: (0..nparts).map(|_| DramChannel::new(&cfg.dram)).collect(),
+            memory: HashMap::new(),
+            cycle: Cycle::ZERO,
+            recorder: Recorder {
+                scoreboard: check_sc.then(Scoreboard::new),
+                pending_vals: HashMap::new(),
+                load_log: HashMap::new(),
+                epoch_base: 0,
+                max_ts_seen: 0,
+                completions: 0,
+            },
+            traffic: TrafficStats::new(),
+            energy_model: NocEnergyModel::default(),
+            rollover: RolloverState::Idle,
+            rollovers: 0,
+            last_progress: 0,
+            kind,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Pre-seeds memory with a value (records it as a position-0 write).
+    pub fn seed_memory(&mut self, addr: WordAddr, value: u64) {
+        self.memory
+            .entry(addr.line())
+            .or_insert_with(LineData::zeroed)
+            .set_word_at(addr, value);
+        if let Some(sb) = &mut self.recorder.scoreboard {
+            sb.record(
+                CoreId(usize::MAX % 251),
+                &Completion {
+                    warp: WarpId(0),
+                    addr,
+                    kind: CompletionKind::StoreDone,
+                    ts: Timestamp::ZERO,
+                    seq: 0,
+                },
+                Some(value),
+            );
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Whether every warp on every core has retired.
+    pub fn done(&self) -> bool {
+        self.cores.iter().all(Core::done)
+    }
+
+    /// All values each `(core, warp)` loaded from `addr`, in program
+    /// order — used by the litmus harness.
+    pub fn loads_of(&self, core: usize, warp: usize, addr: WordAddr) -> &[u64] {
+        self.recorder
+            .load_log
+            .get(&(core, warp, addr))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    fn bill_req(traffic: &mut TrafficStats, cfg: &GpuConfig, msg: &ReqMsg) -> u64 {
+        let class = msg.payload.class();
+        let flits = flits_for(class, cfg.noc.flit_bytes, cfg.noc.control_bytes);
+        traffic.record(class, flits);
+        flits
+    }
+
+    fn bill_resp(traffic: &mut TrafficStats, cfg: &GpuConfig, msg: &RespMsg) -> u64 {
+        let class = msg.payload.class();
+        let flits = flits_for(class, cfg.noc.flit_bytes, cfg.noc.control_bytes);
+        traffic.record(class, flits);
+        flits
+    }
+
+    /// Routes one L1 outbox: requests onto the request network,
+    /// completions into the core and recorder.
+    fn process_l1_out(&mut self, core: usize, out: L1Outbox) {
+        for req in out.to_l2 {
+            let part = req.line.partition(self.cfg.l2.num_partitions);
+            let flits = Self::bill_req(&mut self.traffic, &self.cfg, &req);
+            self.req_net.inject(self.cycle, core, part, 0, flits, req);
+        }
+        for c in out.completions {
+            self.recorder.note_completion(core, &c);
+            self.cores[core].complete(self.cycle, &c);
+            self.last_progress = self.cycle.raw();
+        }
+    }
+
+    /// Routes one L2 outbox: responses into the bank's delay pipe, DRAM
+    /// commands into the channel, magic coherence actions straight to L1s.
+    fn process_l2_out(&mut self, part: usize, out: L2Outbox) {
+        let ready = self.cycle.raw() + self.cfg.l2.partition.latency;
+        for resp in out.to_l1 {
+            self.l2_delay[part].push_back((ready, resp));
+        }
+        for line in out.dram_fetch {
+            self.drams[part].enqueue(self.cycle, line, false);
+        }
+        for (line, data) in out.dram_writeback {
+            // Data is applied functionally at once; the channel models
+            // the bandwidth/occupancy cost.
+            self.traffic.record(
+                rcc_common::stats::MsgClass::Writeback,
+                flits_for(
+                    rcc_common::stats::MsgClass::Writeback,
+                    self.cfg.noc.flit_bytes,
+                    self.cfg.noc.control_bytes,
+                ),
+            );
+            self.memory.insert(line, data);
+            self.drams[part].enqueue(self.cycle, line, true);
+        }
+        for (core, line, action) in out.magic_inv {
+            // SC-IDEAL: zero-cost, zero-latency coherence action.
+            self.l1s[core.index()].magic(self.cycle, line, action);
+        }
+    }
+
+    /// Total outstanding work anywhere in the memory system.
+    fn memory_system_pending(&self) -> usize {
+        self.l1s.iter().map(L1Cache::pending).sum::<usize>()
+            + self.l2s.iter().map(L2Bank::pending).sum::<usize>()
+            + self.l2_inbox.iter().map(VecDeque::len).sum::<usize>()
+            + self.l2_delay.iter().map(VecDeque::len).sum::<usize>()
+            + self.drams.iter().map(DramChannel::pending).sum::<usize>()
+            + self.req_net.in_flight()
+            + self.resp_net.in_flight()
+    }
+
+    /// Advances the system by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let cycle = self.cycle;
+
+        // 1. Response network → L1s.
+        for (dst, resp) in self.resp_net.deliver(cycle) {
+            let mut out = L1Outbox::new();
+            self.l1s[dst].handle_resp(cycle, resp, &mut out);
+            self.process_l1_out(dst, out);
+        }
+
+        // 2. Request network → bank inboxes (flush acks are intercepted
+        //    by the rollover coordinator).
+        for (dst, req) in self.req_net.deliver(cycle) {
+            if matches!(req.payload, ReqPayload::FlushAck) {
+                if let RolloverState::Flushing { acks_outstanding } = &mut self.rollover {
+                    *acks_outstanding -= 1;
+                }
+                continue;
+            }
+            self.l2_inbox[dst].push_back(req);
+        }
+
+        // 3. L2 banks: tick, then serve one request per cycle.
+        for p in 0..self.l2s.len() {
+            let mut out = L2Outbox::new();
+            self.l2s[p].tick(cycle, &mut out);
+            if !out.is_empty() {
+                self.process_l2_out(p, out);
+            }
+            if let Some(req) = self.l2_inbox[p].pop_front() {
+                let mut out = L2Outbox::new();
+                match self.l2s[p].handle_req(cycle, req.clone(), &mut out) {
+                    Ok(()) => self.process_l2_out(p, out),
+                    Err(()) => self.l2_inbox[p].push_front(req),
+                }
+            }
+        }
+
+        // 4. L2 delay pipes → response network.
+        for p in 0..self.l2_delay.len() {
+            while self.l2_delay[p]
+                .front()
+                .is_some_and(|(ready, _)| *ready <= cycle.raw())
+            {
+                let (_, resp) = self.l2_delay[p].pop_front().expect("checked");
+                let dst = resp.dst.index();
+                let flits = Self::bill_resp(&mut self.traffic, &self.cfg, &resp);
+                self.resp_net.inject(cycle, p, dst, 1, flits, resp);
+            }
+        }
+
+        // 5. DRAM.
+        for p in 0..self.drams.len() {
+            for line in self.drams[p].tick(cycle) {
+                let data = self.memory.get(&line).cloned().unwrap_or_default();
+                let mut out = L2Outbox::new();
+                self.l2s[p].handle_dram(cycle, line, data, &mut out);
+                self.process_l2_out(p, out);
+            }
+        }
+
+        // 6. Rollover coordination.
+        self.advance_rollover();
+
+        // 7. Cores + L1 ticks (paused while a rollover is in progress).
+        let issuing = self.rollover == RolloverState::Idle;
+        for i in 0..self.cores.len() {
+            let mut out = L1Outbox::new();
+            self.l1s[i].tick(cycle, &mut out);
+            if issuing && !self.cores[i].done() {
+                let l1 = &mut self.l1s[i];
+                let recorder = &mut self.recorder;
+                let mut issued_any = false;
+                let core_out = self.cores[i].tick(cycle, |access| {
+                    recorder.note_issue(i, access);
+                    let outcome = l1.access(cycle, access, &mut out);
+                    match &outcome {
+                        AccessOutcome::Done(c) => {
+                            recorder.note_completion(i, c);
+                            issued_any = true;
+                        }
+                        AccessOutcome::Pending => issued_any = true,
+                        AccessOutcome::Reject(_) => {
+                            // The access never started; forget the value
+                            // a store/atomic registered (loads have none).
+                            if !matches!(access.kind, AccessKind::Load) {
+                                recorder
+                                    .pending_vals
+                                    .get_mut(&(i, access.warp, access.addr))
+                                    .and_then(VecDeque::pop_back);
+                            }
+                        }
+                    }
+                    outcome
+                });
+                if issued_any {
+                    self.last_progress = cycle.raw();
+                }
+                for _warp in core_out.fences_retired {
+                    // RCC-WO: joining the views is a core-level action.
+                    self.l1s[i].fence();
+                    self.last_progress = cycle.raw();
+                }
+            }
+            self.process_l1_out(i, out);
+        }
+
+        // Watchdog.
+        assert!(
+            cycle.raw() - self.last_progress <= self.cfg.watchdog_cycles,
+            "{} on {}: no progress since cycle {} (now {}; pending mem ops {}, rollover {:?})",
+            self.kind,
+            self.workload_name,
+            self.last_progress,
+            cycle,
+            self.memory_system_pending(),
+            self.rollover,
+        );
+    }
+
+    fn advance_rollover(&mut self) {
+        match self.rollover {
+            RolloverState::Idle => {
+                if self.l2s.iter().any(|l2| l2.needs_rollover()) {
+                    self.rollover = RolloverState::Draining;
+                }
+            }
+            RolloverState::Draining => {
+                let outstanding: usize = self.cores.iter().map(Core::outstanding).sum();
+                if outstanding == 0 && self.memory_system_pending() == 0 {
+                    rcc_common::trace!("rollover: system drained at {}, resetting", self.cycle);
+                    for l2 in &mut self.l2s {
+                        l2.rollover_reset();
+                    }
+                    // Partition 0 flushes every L1 over the response
+                    // network (billed as Flush traffic).
+                    for core in 0..self.cores.len() {
+                        let resp = RespMsg {
+                            dst: CoreId(core),
+                            line: LineAddr(0),
+                            id: rcc_core::msg::ReqId(0),
+                            payload: RespPayload::Flush,
+                        };
+                        let flits = Self::bill_resp(&mut self.traffic, &self.cfg, &resp);
+                        self.resp_net.inject(self.cycle, 0, core, 1, flits, resp);
+                    }
+                    self.rollover = RolloverState::Flushing {
+                        acks_outstanding: self.cores.len(),
+                    };
+                    self.last_progress = self.cycle.raw();
+                }
+            }
+            RolloverState::Flushing { acks_outstanding } => {
+                if acks_outstanding == 0 {
+                    self.rollovers += 1;
+                    self.recorder.epoch_base = self.recorder.max_ts_seen + 1;
+                    self.rollover = RolloverState::Idle;
+                    self.last_progress = self.cycle.raw();
+                }
+            }
+        }
+    }
+
+    /// Runs to completion (or `max_cycles`) and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watchdog fires, or if SC checking is enabled and the
+    /// execution violates SC for a protocol that must support it.
+    pub fn run(&mut self, max_cycles: u64) -> RunMetrics {
+        while !self.done() && self.cycle.raw() < max_cycles {
+            self.step();
+        }
+        assert!(
+            self.done(),
+            "{} on {}: did not finish within {max_cycles} cycles",
+            self.kind,
+            self.workload_name
+        );
+        self.metrics()
+    }
+
+    /// Prints every scoreboard violation (diagnostic aid).
+    pub fn dump_violations(&self) {
+        if let Some(sb) = &self.recorder.scoreboard {
+            for v in sb.check() {
+                eprintln!("SC violation: {v}");
+            }
+            for ((c, w), (addr, prev, ts)) in sb
+                .program_order_violations()
+                .iter()
+                .zip(sb.program_order_detail())
+            {
+                eprintln!("program order violation: {c}/{w} at {addr}: {prev} -> {ts}");
+            }
+        }
+    }
+
+    /// Collects the metrics of the run so far.
+    pub fn metrics(&self) -> RunMetrics {
+        let mut core = CoreStats::default();
+        for c in &self.cores {
+            core.merge(c.stats());
+        }
+        let mut l1 = L1Stats::default();
+        for c in &self.l1s {
+            let s = c.stats();
+            l1.loads += s.loads;
+            l1.load_hits += s.load_hits;
+            l1.expired_loads += s.expired_loads;
+            l1.renewed_loads += s.renewed_loads;
+            l1.stores += s.stores;
+            l1.atomics += s.atomics;
+            l1.self_invalidations += s.self_invalidations;
+            l1.rejects += s.rejects;
+            l1.invs_received += s.invs_received;
+        }
+        let mut l2 = L2Stats::default();
+        for b in &self.l2s {
+            let s = b.stats();
+            l2.gets += s.gets;
+            l2.renews_granted += s.renews_granted;
+            l2.writes += s.writes;
+            l2.atomics += s.atomics;
+            l2.dram_fetches += s.dram_fetches;
+            l2.writebacks += s.writebacks;
+            l2.invs_sent += s.invs_sent;
+            l2.stalled_stores += s.stalled_stores;
+            l2.store_stall_cycles += s.store_stall_cycles;
+        }
+        let ports = self.cfg.num_cores + self.cfg.l2.num_partitions;
+        // Dynamic energy scales with flit×hops (= flits on the crossbar;
+        // larger on the mesh).
+        let flit_hops = self.req_net.flit_hops() + self.resp_net.flit_hops();
+        let energy =
+            self.energy_model
+                .energy(flit_hops, self.cycle.raw(), ports, self.kind.num_vcs());
+        let dram_reads: u64 = self.drams.iter().map(DramChannel::reads).sum();
+        let dram_writes: u64 = self.drams.iter().map(DramChannel::writes).sum();
+        let lat_sum: f64 = self
+            .drams
+            .iter()
+            .map(|d| d.mean_read_latency() * d.reads() as f64)
+            .sum();
+        let sc_violations = self.recorder.scoreboard.as_ref().map_or(0, |sb| {
+            sb.check().len() + sb.program_order_violations().len()
+        });
+        RunMetrics {
+            kind: self.kind,
+            workload: self.workload_name.clone(),
+            cycles: self.cycle.raw(),
+            core,
+            l1,
+            l2,
+            traffic: self.traffic.clone(),
+            energy,
+            dram_reads,
+            dram_writes,
+            dram_read_latency: if dram_reads == 0 {
+                0.0
+            } else {
+                lat_sum / dram_reads as f64
+            },
+            sc_violations,
+            rollovers: self.rollovers,
+        }
+    }
+}
+
+impl<P: Protocol> System<P> {
+    /// Dumps a word's scoreboard history (debugging aid).
+    pub fn dump_word(&self, addr: WordAddr) {
+        if let Some(sb) = &self.recorder.scoreboard {
+            sb.dump_word(addr);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_workloads::{Benchmark, Scale};
+
+#[test]
+#[ignore]
+fn shape() {
+    let cfg = GpuConfig::gtx480();
+    let opts = SimOptions::fast();
+    let kinds = [
+        ProtocolKind::Mesi,
+        ProtocolKind::TcStrong,
+        ProtocolKind::TcWeak,
+        ProtocolKind::RccSc,
+        ProtocolKind::RccWo,
+        ProtocolKind::IdealSc,
+    ];
+    println!(
+        "{:6} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "MESIcyc", "TCS", "TCW", "RCC", "RCCWO", "IDEAL"
+    );
+    for b in Benchmark::ALL {
+        let wl = b.generate(&cfg, &Scale::standard(), 7);
+        let base = simulate(ProtocolKind::Mesi, &cfg, &wl, &opts);
+        let mut row = format!("{:6} {:>9}", b.name(), base.cycles);
+        for k in &kinds[1..] {
+            let m = simulate(*k, &cfg, &wl, &opts);
+            row += &format!(" {:>7.3}", base.cycles as f64 / m.cycles as f64);
+        }
+        println!("{row}");
+    }
+}

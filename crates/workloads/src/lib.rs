@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Synthetic workload generators reproducing the sharing patterns of the
+//! paper's twelve benchmarks (Table IV), plus consistency litmus tests.
+//!
+//! The paper's evaluation discriminates on *communication pattern*, not on
+//! algorithmic detail: six benchmarks share read-write data **across**
+//! workgroups (BH, BFS, CL, DLB, STN, VPR — these exercise inter-core
+//! coherence) and six share only **within** a workgroup (HSP, KMN, LPS,
+//! NDL, SR, LUD — these run correctly without coherence and quantify the
+//! overhead of always-on coherence). Each generator reproduces its
+//! benchmark's salient behaviour — work-stealing queues with locks and
+//! rare steals for `dlb`, a falsely-shared frontier mask for `bfs`,
+//! neighbour halos plus global fast barriers for `stn`, tile-local
+//! streaming for the intra-workgroup six — with sizes parameterized by
+//! the machine configuration and everything deterministic from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use rcc_common::GpuConfig;
+//! use rcc_workloads::{Benchmark, Scale};
+//!
+//! let cfg = GpuConfig::small();
+//! let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 42);
+//! assert_eq!(wl.programs.len(), cfg.num_cores);
+//! assert!(wl.category.is_inter_workgroup());
+//! ```
+
+pub mod bench;
+pub mod custom;
+pub mod litmus;
+pub mod space;
+
+pub use bench::{Benchmark, Scale, Sharing, Workload};

@@ -1,0 +1,132 @@
+//! Address-space layout helper: carves the simulated memory into named,
+//! non-overlapping line-granular regions.
+
+use rcc_common::addr::{LineAddr, WordAddr, WORDS_PER_LINE};
+
+/// A contiguous region of cache lines.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    base: u64,
+    lines: u64,
+}
+
+impl Region {
+    /// Number of lines.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The `i`-th line (wrapping within the region).
+    pub fn line(&self, i: u64) -> LineAddr {
+        LineAddr(self.base + i % self.lines)
+    }
+
+    /// Word `w` of the `i`-th line (both wrapping).
+    pub fn word(&self, i: u64, w: u64) -> WordAddr {
+        self.line(i).word((w % WORDS_PER_LINE as u64) as usize)
+    }
+
+    /// The `i`-th word of the region viewed as a flat word array.
+    pub fn flat_word(&self, i: u64) -> WordAddr {
+        let words = self.lines * WORDS_PER_LINE as u64;
+        let i = i % words;
+        self.line(i / WORDS_PER_LINE as u64)
+            .word((i % WORDS_PER_LINE as u64) as usize)
+    }
+
+    /// Splits off a per-owner sub-region: `count` equal chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has fewer lines than `count`.
+    pub fn chunk(&self, index: usize, count: usize) -> Region {
+        assert!(self.lines >= count as u64, "region too small to chunk");
+        let per = self.lines / count as u64;
+        Region {
+            base: self.base + per * index as u64,
+            lines: per,
+        }
+    }
+}
+
+/// Bump allocator of address-space regions.
+#[derive(Debug, Default)]
+pub struct AddrSpace {
+    next_line: u64,
+}
+
+impl AddrSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh region of `lines` cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn region(&mut self, lines: u64) -> Region {
+        assert!(lines > 0, "regions must be non-empty");
+        let base = self.next_line;
+        self.next_line += lines;
+        Region { base, lines }
+    }
+
+    /// Total lines allocated.
+    pub fn allocated_lines(&self) -> u64 {
+        self.next_line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut sp = AddrSpace::new();
+        let a = sp.region(10);
+        let b = sp.region(5);
+        assert_eq!(a.line(0), LineAddr(0));
+        assert_eq!(a.line(9), LineAddr(9));
+        assert_eq!(b.line(0), LineAddr(10));
+        assert_eq!(sp.allocated_lines(), 15);
+    }
+
+    #[test]
+    fn indices_wrap() {
+        let mut sp = AddrSpace::new();
+        let a = sp.region(4);
+        assert_eq!(a.line(4), a.line(0));
+        assert_eq!(a.word(1, 32), a.word(1, 0));
+    }
+
+    #[test]
+    fn flat_words_cover_region() {
+        let mut sp = AddrSpace::new();
+        let a = sp.region(2);
+        let w0 = a.flat_word(0);
+        let w32 = a.flat_word(32);
+        assert_eq!(w0.line(), a.line(0));
+        assert_eq!(w32.line(), a.line(1));
+        assert_eq!(a.flat_word(64), w0, "wraps after 2 lines of words");
+    }
+
+    #[test]
+    fn chunks_partition() {
+        let mut sp = AddrSpace::new();
+        let a = sp.region(16);
+        let c0 = a.chunk(0, 4);
+        let c3 = a.chunk(3, 4);
+        assert_eq!(c0.lines(), 4);
+        assert_eq!(c0.line(0), LineAddr(0));
+        assert_eq!(c3.line(0), LineAddr(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_region_panics() {
+        AddrSpace::new().region(0);
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's `data`/`done` message-passing example (Section II-A),
+//! run as a litmus test under every protocol.
+//!
+//! Under any SC protocol the outcome `done = 1 ∧ data = 0` is forbidden;
+//! TC-Weak (without fences) exhibits it, and fences restore order.
+//!
+//! Run with: `cargo run --release --example message_passing`
+
+use rcc_repro::coherence::ProtocolKind;
+use rcc_repro::common::GpuConfig;
+use rcc_repro::sim::litmus::count_forbidden;
+use rcc_repro::workloads::litmus;
+
+fn main() {
+    let cfg = GpuConfig::small();
+    let runs = 50;
+    println!("message passing (mp): W data; W done || R done; R data");
+    println!("forbidden outcome: done = 1 and data = 0   ({runs} randomized runs)\n");
+    println!("{:10} {:>14} {:>14}", "protocol", "mp", "mp+fences");
+    for kind in [
+        ProtocolKind::Mesi,
+        ProtocolKind::TcStrong,
+        ProtocolKind::TcWeak,
+        ProtocolKind::RccSc,
+        ProtocolKind::RccWo,
+    ] {
+        let mut weak_cfg = cfg.clone();
+        // Long leases widen TC-Weak's stale-read window, as in Section II.
+        weak_cfg.tc.lease_cycles = 2000;
+        let plain = count_forbidden(kind, &weak_cfg, runs, |seed| {
+            litmus::message_passing(cfg.num_cores, seed)
+        });
+        let fenced = count_forbidden(kind, &weak_cfg, runs, |seed| {
+            litmus::message_passing_fenced(cfg.num_cores, seed)
+        });
+        println!(
+            "{:10} {:>10}/{runs} {:>10}/{runs}",
+            kind.label(),
+            plain,
+            fenced
+        );
+        if kind.supports_sc() {
+            assert_eq!(plain, 0, "{kind} must forbid the weak outcome");
+        }
+        assert_eq!(fenced, 0, "fences must restore order for {kind}");
+    }
+    println!("\nSC protocols (MESI, TCS, RCC-SC) never show the forbidden outcome;");
+    println!("TC-Weak does — the paper's argument for why TCW cannot support SC.");
+}

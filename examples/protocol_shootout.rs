@@ -1,0 +1,47 @@
+//! Mini Fig. 9a: every benchmark under every protocol on the small
+//! machine — a fast overview of the paper's headline comparison.
+//!
+//! Run with: `cargo run --release --example protocol_shootout`
+
+use rcc_repro::coherence::ProtocolKind;
+use rcc_repro::common::stats::gmean;
+use rcc_repro::common::GpuConfig;
+use rcc_repro::sim::runner::{simulate, SimOptions};
+use rcc_repro::workloads::{Benchmark, Scale};
+
+fn main() {
+    let cfg = GpuConfig::small();
+    let scale = Scale::quick();
+    let kinds = [
+        ProtocolKind::MesiWb,
+        ProtocolKind::TcStrong,
+        ProtocolKind::TcWeak,
+        ProtocolKind::RccSc,
+        ProtocolKind::RccWo,
+        ProtocolKind::IdealSc,
+    ];
+    println!("speedup over MESI (small machine, quick scale)\n");
+    print!("{:6} {:>9}", "bench", "MESI-cyc");
+    for k in kinds {
+        print!(" {:>8}", k.label());
+    }
+    println!();
+    let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+    for bench in Benchmark::ALL {
+        let wl = bench.generate(&cfg, &scale, 7);
+        let base = simulate(ProtocolKind::Mesi, &cfg, &wl, &SimOptions::fast());
+        print!("{:6} {:>9}", bench.name(), base.cycles);
+        for (i, k) in kinds.iter().enumerate() {
+            let m = simulate(*k, &cfg, &wl, &SimOptions::fast());
+            let s = m.speedup_over(&base);
+            per_kind[i].push(s);
+            print!(" {:>8.3}", s);
+        }
+        println!();
+    }
+    print!("{:16}", "gmean");
+    for v in &per_kind {
+        print!(" {:>8.3}", gmean(v.iter().copied()).unwrap_or(1.0));
+    }
+    println!();
+}

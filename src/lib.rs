@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the RCC reproduction.
+//!
+//! Re-exports the public API of every workspace crate so examples and
+//! integration tests can `use rcc_repro::...` uniformly. See the README
+//! for an architecture overview and DESIGN.md for the system inventory.
+//!
+//! # Example
+//!
+//! Run one benchmark under RCC with full SC checking:
+//!
+//! ```
+//! use rcc_repro::coherence::ProtocolKind;
+//! use rcc_repro::common::GpuConfig;
+//! use rcc_repro::sim::runner::{simulate, SimOptions};
+//! use rcc_repro::workloads::{Benchmark, Scale};
+//!
+//! let cfg = GpuConfig::small();
+//! let wl = Benchmark::Bh.generate(&cfg, &Scale::quick(), 7);
+//! let m = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::checked());
+//! assert!(m.cycles > 0);
+//! assert_eq!(m.sc_violations, 0);
+//! ```
+
+pub use rcc_common as common;
+pub use rcc_core as coherence;
+pub use rcc_dram as dram;
+pub use rcc_gpu as gpu;
+pub use rcc_mem as mem;
+pub use rcc_noc as noc;
+pub use rcc_sim as sim;
+pub use rcc_workloads as workloads;

@@ -1,0 +1,199 @@
+//! `rcc-repro` — command-line simulator driver.
+//!
+//! ```text
+//! USAGE: rcc-repro [--protocol P] [--bench B] [--machine M] [--scale S]
+//!                  [--seed N] [--check] [--csv] [--all]
+//!
+//!   --protocol  mesi | mesi-wb | tcs | tcw | rcc | rcc-wo | ideal  (default rcc)
+//!   --bench     bh|bfs|cl|dlb|stn|vpr|hsp|kmn|lps|ndl|sr|lud  (default dlb)
+//!   --machine   gtx480 | small                                (default gtx480)
+//!   --scale     quick | standard | full                       (default standard)
+//!   --seed      workload seed                                 (default 7)
+//!   --trace-file PATH   run a custom trace (see workloads::custom)
+//!   --mesh      use a 2D-mesh NoC instead of the crossbars
+//!   --check     verify the run with the SC scoreboard
+//!   --csv       print one CSV row instead of the report
+//!   --all       run every protocol on the chosen benchmark
+//! ```
+
+use rcc_repro::coherence::ProtocolKind;
+use rcc_repro::common::GpuConfig;
+use rcc_repro::sim::runner::{simulate, SimOptions};
+use rcc_repro::sim::RunMetrics;
+use rcc_repro::workloads::{Benchmark, Scale};
+use std::process::ExitCode;
+
+fn parse_protocol(s: &str) -> Option<ProtocolKind> {
+    Some(match s {
+        "mesi" => ProtocolKind::Mesi,
+        "mesi-wb" => ProtocolKind::MesiWb,
+        "tcs" => ProtocolKind::TcStrong,
+        "tcw" => ProtocolKind::TcWeak,
+        "rcc" | "rcc-sc" => ProtocolKind::RccSc,
+        "rcc-wo" => ProtocolKind::RccWo,
+        "ideal" => ProtocolKind::IdealSc,
+        _ => return None,
+    })
+}
+
+fn parse_bench(s: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name() == s)
+}
+
+fn csv_header() -> &'static str {
+    "protocol,bench,cycles,ipc,mem_ops,sc_stall_cycles,fence_stall_cycles,\
+     l1_loads,l1_hits,expired_loads,renewed_loads,flits,energy_pj,dram_reads,\
+     dram_writes,sc_violations,rollovers"
+}
+
+fn csv_row(m: &RunMetrics) -> String {
+    format!(
+        "{},{},{},{:.4},{},{},{},{},{},{},{},{},{:.0},{},{},{},{}",
+        m.kind.label(),
+        m.workload,
+        m.cycles,
+        m.ipc(),
+        m.core.mem_ops,
+        m.core.sc_stall_cycles,
+        m.core.fence_stall_cycles,
+        m.l1.loads,
+        m.l1.load_hits,
+        m.l1.expired_loads,
+        m.l1.renewed_loads,
+        m.traffic.total_flits(),
+        m.energy.total_pj(),
+        m.dram_reads,
+        m.dram_writes,
+        m.sc_violations,
+        m.rollovers,
+    )
+}
+
+fn report(m: &RunMetrics) {
+    println!("== {} on {} ==", m.kind, m.workload);
+    println!("cycles             {:>12}", m.cycles);
+    println!("IPC                {:>12.4}", m.ipc());
+    println!("memory ops         {:>12}", m.core.mem_ops);
+    println!("SC stall cycles    {:>12}", m.core.sc_stall_cycles);
+    println!("fence stall cycles {:>12}", m.core.fence_stall_cycles);
+    println!(
+        "L1 load hit rate   {:>11.1}%",
+        100.0 * m.l1.load_hits as f64 / m.l1.loads.max(1) as f64
+    );
+    println!(
+        "expired loads      {:>12} ({:.1}% of loads, {:.1}% renewable)",
+        m.l1.expired_loads,
+        100.0 * m.expired_load_fraction(),
+        100.0 * m.renewable_fraction()
+    );
+    println!("NoC flits          {:>12}", m.traffic.total_flits());
+    println!("NoC energy (nJ)    {:>12.1}", m.energy.total_pj() / 1000.0);
+    println!(
+        "DRAM reads/writes  {:>7} / {:<7}",
+        m.dram_reads, m.dram_writes
+    );
+    if m.rollovers > 0 {
+        println!("timestamp rollovers{:>12}", m.rollovers);
+    }
+    println!("SC violations      {:>12}", m.sc_violations);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    if has("--help") || has("-h") {
+        println!(
+            "{}",
+            include_str!("main.rs")
+                .lines()
+                .skip(2)
+                .take(12)
+                .map(|l| l.trim_start_matches("//! "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(kind) = parse_protocol(&get("--protocol").unwrap_or_else(|| "rcc".into())) else {
+        eprintln!("unknown protocol (try mesi|tcs|tcw|rcc|rcc-wo|ideal)");
+        return ExitCode::FAILURE;
+    };
+    let Some(bench) = parse_bench(&get("--bench").unwrap_or_else(|| "dlb".into())) else {
+        eprintln!(
+            "unknown benchmark (try one of: {})",
+            Benchmark::ALL.map(|b| b.name()).join(" ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = match get("--machine").as_deref() {
+        None | Some("gtx480") => GpuConfig::gtx480(),
+        Some("small") => GpuConfig::small(),
+        Some(other) => {
+            eprintln!("unknown machine {other} (gtx480|small)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if has("--mesh") {
+        cfg.noc.topology = rcc_repro::common::config::NocTopology::Mesh;
+    }
+    let scale = match get("--scale").as_deref() {
+        Some("quick") => Scale::quick(),
+        None | Some("standard") => Scale::standard(),
+        Some("full") => Scale::full(),
+        Some(other) => {
+            eprintln!("unknown scale {other} (quick|standard|full)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+    let opts = if has("--check") {
+        SimOptions::checked()
+    } else {
+        SimOptions::fast()
+    };
+
+    let wl = if let Some(path) = get("--trace-file") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match rcc_repro::workloads::custom::parse_trace(&text, cfg.num_cores) {
+            Ok(wl) => wl,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        bench.generate(&cfg, &scale, seed)
+    };
+    let kinds: Vec<ProtocolKind> = if has("--all") {
+        ProtocolKind::ALL.to_vec()
+    } else {
+        vec![kind]
+    };
+    if has("--csv") {
+        println!("{}", csv_header());
+    }
+    for (i, k) in kinds.iter().enumerate() {
+        let m = simulate(*k, &cfg, &wl, &opts);
+        if has("--csv") {
+            println!("{}", csv_row(&m));
+        } else {
+            if i > 0 {
+                println!();
+            }
+            report(&m);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration: the full public API pipeline, protocol
+//! cross-checks, and metric consistency.
+
+use rcc_repro::coherence::ProtocolKind;
+use rcc_repro::common::GpuConfig;
+use rcc_repro::sim::runner::{simulate, SimOptions};
+use rcc_repro::workloads::{Benchmark, Scale};
+
+#[test]
+fn full_pipeline_smoke() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Vpr.generate(&cfg, &Scale::quick(), 3);
+    let m = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::checked());
+    assert!(m.cycles > 0);
+    assert!(m.ipc() > 0.0);
+    assert!(m.traffic.total_flits() > 0);
+    assert!(m.energy.total_pj() > 0.0);
+    assert!(m.dram_reads > 0);
+    assert_eq!(m.sc_violations, 0);
+}
+
+#[test]
+fn message_class_usage_is_protocol_specific() {
+    use rcc_repro::common::stats::MsgClass;
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Bh.generate(&cfg, &Scale::quick(), 5);
+    let mesi = simulate(ProtocolKind::Mesi, &cfg, &wl, &SimOptions::fast());
+    let rcc = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast());
+    let tcw = simulate(ProtocolKind::TcWeak, &cfg, &wl, &SimOptions::fast());
+    // Invalidations belong to MESI alone.
+    assert!(mesi.traffic.msgs(MsgClass::Inv) > 0);
+    assert_eq!(rcc.traffic.msgs(MsgClass::Inv), 0);
+    assert_eq!(tcw.traffic.msgs(MsgClass::Inv), 0);
+    // Renewals belong to RCC alone.
+    assert!(
+        rcc.traffic.msgs(MsgClass::Renew) > 0,
+        "bh re-reads tree data"
+    );
+    assert_eq!(mesi.traffic.msgs(MsgClass::Renew), 0);
+    assert_eq!(tcw.traffic.msgs(MsgClass::Renew), 0);
+    // Everyone moves loads and stores.
+    for m in [&mesi, &rcc, &tcw] {
+        assert!(m.traffic.msgs(MsgClass::LoadReq) > 0);
+        assert!(m.traffic.msgs(MsgClass::StoreReq) > 0);
+        assert!(m.traffic.msgs(MsgClass::StoreAck) > 0);
+    }
+}
+
+#[test]
+fn energy_tracks_traffic_and_vcs() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Cl.generate(&cfg, &Scale::quick(), 5);
+    let mesi = simulate(ProtocolKind::Mesi, &cfg, &wl, &SimOptions::fast());
+    let rcc = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast());
+    // MESI leaks more: five virtual networks vs two (Table III).
+    let mesi_static_per_cycle = mesi.energy.static_pj / mesi.cycles as f64;
+    let rcc_static_per_cycle = rcc.energy.static_pj / rcc.cycles as f64;
+    assert!((mesi_static_per_cycle / rcc_static_per_cycle - 2.5).abs() < 1e-6);
+    // Dynamic energy is proportional to flits.
+    let ratio = mesi.energy.router_pj / rcc.energy.router_pj;
+    let flit_ratio = mesi.traffic.total_flits() as f64 / rcc.traffic.total_flits() as f64;
+    assert!((ratio - flit_ratio).abs() < 1e-6);
+}
+
+#[test]
+fn sc_protocols_agree_on_final_memory_effects() {
+    // Same workload, different SC protocols: the multiset of (load
+    // count, store count, atomic count) must match (dynamic sync retries
+    // vary, static ops do not).
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Cl.generate(&cfg, &Scale::quick(), 9);
+    let runs: Vec<_> = [
+        ProtocolKind::Mesi,
+        ProtocolKind::TcStrong,
+        ProtocolKind::RccSc,
+    ]
+    .iter()
+    .map(|k| simulate(*k, &cfg, &wl, &SimOptions::checked()))
+    .collect();
+    for w in runs.windows(2) {
+        assert_eq!(w[0].l1.stores, w[1].l1.stores, "cl has no retried stores");
+        assert_eq!(
+            w[0].core.mem_ops, w[1].core.mem_ops,
+            "cl has no dynamic sync"
+        );
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 21);
+    let a = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast());
+    let b = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.traffic.total_flits(), b.traffic.total_flits());
+    assert_eq!(a.core.sc_stall_cycles, b.core.sc_stall_cycles);
+    let wl2 = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 22);
+    let c = simulate(ProtocolKind::RccSc, &cfg, &wl2, &SimOptions::fast());
+    assert_ne!(a.cycles, c.cycles, "different seed, different run");
+}
+
+#[test]
+fn ideal_is_an_upper_bound_on_inter_workgroup_sc() {
+    let cfg = GpuConfig::small();
+    for b in [Benchmark::Dlb, Benchmark::Cl] {
+        let wl = b.generate(&cfg, &Scale::quick(), 13);
+        let mesi = simulate(ProtocolKind::Mesi, &cfg, &wl, &SimOptions::fast());
+        let rcc = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast());
+        let ideal = simulate(ProtocolKind::IdealSc, &cfg, &wl, &SimOptions::fast());
+        assert!(
+            ideal.cycles <= mesi.cycles,
+            "{}: ideal ({}) must not lose to MESI ({})",
+            b.name(),
+            ideal.cycles,
+            mesi.cycles
+        );
+        assert!(ideal.cycles <= rcc.cycles + rcc.cycles / 10);
+    }
+}
+
+#[test]
+fn table_v_census_is_exposed() {
+    use rcc_repro::coherence::census::ProtocolCensus;
+    let rows = ProtocolCensus::table_v();
+    assert_eq!(rows.len(), 4);
+    let rcc = rows[3];
+    assert_eq!(rcc.l2_states(), 4);
+    assert_eq!(rcc.l2_transitions, 14);
+}

@@ -1,0 +1,48 @@
+//! Litmus tests through the public API (IRIW = write atomicity, the
+//! property TC-Weak gives up and RCC keeps — Table I).
+
+use rcc_repro::coherence::ProtocolKind;
+use rcc_repro::common::GpuConfig;
+use rcc_repro::sim::litmus::{count_forbidden, run_litmus};
+use rcc_repro::workloads::litmus;
+
+#[test]
+fn iriw_write_atomicity_under_sc_protocols() {
+    let cfg = GpuConfig::small();
+    for kind in [
+        ProtocolKind::Mesi,
+        ProtocolKind::TcStrong,
+        ProtocolKind::RccSc,
+    ] {
+        let n = count_forbidden(kind, &cfg, 25, |seed| litmus::iriw(cfg.num_cores, seed));
+        assert_eq!(n, 0, "{kind} must keep write atomicity");
+    }
+}
+
+#[test]
+fn store_buffering_forbidden_under_sc() {
+    let cfg = GpuConfig::small();
+    for kind in [
+        ProtocolKind::Mesi,
+        ProtocolKind::TcStrong,
+        ProtocolKind::RccSc,
+    ] {
+        let n = count_forbidden(kind, &cfg, 25, |seed| {
+            litmus::store_buffering(cfg.num_cores, seed)
+        });
+        assert_eq!(n, 0, "{kind}");
+    }
+}
+
+#[test]
+fn outcome_values_are_binary() {
+    let cfg = GpuConfig::small();
+    let out = run_litmus(
+        ProtocolKind::RccWo,
+        &cfg,
+        &litmus::store_buffering(cfg.num_cores, 3),
+    );
+    for v in &out.values {
+        assert!(*v <= 1);
+    }
+}
