@@ -13,6 +13,10 @@
 //! * `--quick` — small machine + tiny workloads (seconds; for smoke runs)
 //! * `--full`  — all 48 warp contexts per core (several minutes)
 //! * default   — the GTX 480 machine of Table III with 16 warps per core
+//! * `--sanitize` — attach the `rcc-verify` runtime SC sanitizer to every
+//!   run; SC-capable protocols must produce an execution some SC total
+//!   order explains, or the run aborts (adds an end-of-run check, slows
+//!   recording slightly)
 
 use rcc_common::stats::gmean;
 use rcc_common::GpuConfig;
@@ -36,28 +40,31 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Parses `--quick` / `--full` from the process arguments.
+    /// Parses `--quick` / `--full` / `--sanitize` from the process
+    /// arguments.
     pub fn from_args() -> Harness {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
         let full = args.iter().any(|a| a == "--full");
+        let mut opts = SimOptions::fast();
+        opts.sanitize = args.iter().any(|a| a == "--sanitize");
         if quick {
             Harness {
                 cfg: GpuConfig::small(),
                 scale: Scale::quick(),
-                opts: SimOptions::fast(),
+                opts,
             }
         } else if full {
             Harness {
                 cfg: GpuConfig::gtx480(),
                 scale: Scale::full(),
-                opts: SimOptions::fast(),
+                opts,
             }
         } else {
             Harness {
                 cfg: GpuConfig::gtx480(),
                 scale: Scale::standard(),
-                opts: SimOptions::fast(),
+                opts,
             }
         }
     }

@@ -56,7 +56,7 @@ impl Protocol for IdealProtocol {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct IdealEntry {
     waiting_loads: Vec<(WarpId, WordAddr)>,
     pending_atomics: VecDeque<(ReqId, WarpId, WordAddr)>,
@@ -70,7 +70,7 @@ struct IdealEntry {
 }
 
 /// SC-IDEAL L1: loads miss only for data, stores are free.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IdealL1 {
     core: CoreId,
     tags: TagArray<()>,
@@ -330,7 +330,7 @@ impl L1Cache for IdealL1 {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct IdealL2Entry {
     readers: Vec<(CoreId, ReqId)>,
     merged_writes: Vec<(usize, u64)>,
@@ -338,7 +338,7 @@ struct IdealL2Entry {
 }
 
 /// SC-IDEAL L2: plain shared cache that magically refreshes L1 copies.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IdealL2 {
     partition: PartitionId,
     tags: TagArray<u64>, // sharer bitmask for magic updates

@@ -21,7 +21,7 @@ struct PendingWrite {
     atomic: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct MesiEntry {
     /// Merged loads with their issue cycles: positioned at
     /// `max(directory service time, issue time)` — every merged load
@@ -43,7 +43,7 @@ struct SharedMeta {
 }
 
 /// The MESI L1 controller for one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MesiL1 {
     core: CoreId,
     tags: TagArray<SharedMeta>,

@@ -34,7 +34,7 @@ impl Directory {
 }
 
 /// An invalidate-collect-apply transaction in flight for a resident line.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingInv {
     needed: usize,
     /// The write/atomic that triggered the invalidations (applied when
@@ -44,7 +44,7 @@ struct PendingInv {
 }
 
 /// A fill waiting for a recall to finish.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingFill {
     line: LineAddr,
     data: LineData,
@@ -56,13 +56,13 @@ struct PendingFill {
 /// is the recall cost the paper contrasts with RCC's self-expiring leases
 /// ("RCC allows caches to be non-inclusive without requiring the usual
 /// recall messages").
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Recall {
     needed: usize,
     pending_fill: Option<PendingFill>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct MesiEntry {
     /// All requests that arrived while the line was being fetched, in
     /// arrival order; replayed through the hit paths at fill time.
@@ -70,7 +70,7 @@ struct MesiEntry {
 }
 
 /// The MESI controller for one L2 partition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MesiL2 {
     partition: PartitionId,
     tags: TagArray<Directory>,

@@ -477,9 +477,7 @@ mod wb {
                 src: CoreId(src),
                 line: LineAddr(line),
                 id: ReqId(0),
-                payload: ReqPayload::GetX {
-                    now: Timestamp(0),
-                },
+                payload: ReqPayload::GetX { now: Timestamp(0) },
             }
         }
 

@@ -71,7 +71,7 @@ struct WbMeta {
     fill_seq: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WbEntry {
     waiting_loads: Vec<(WarpId, WordAddr, u64)>,
     /// Stores awaiting exclusive ownership.
@@ -84,7 +84,7 @@ struct WbEntry {
 }
 
 /// Write-back L1 controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MesiWbL1 {
     core: CoreId,
     tags: TagArray<WbMeta>,
@@ -513,12 +513,12 @@ struct WbDir {
     state: DirState,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WbL2Entry {
     queued: VecDeque<ReqMsg>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingFill {
     line: LineAddr,
     data: LineData,
@@ -526,7 +526,7 @@ struct PendingFill {
 }
 
 #[allow(clippy::large_enum_variant)] // PendingFill carries a line; Txns are few
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Txn {
     /// Invalidating sharers before serving `op` (GETX or atomic).
     CollectInvs {
@@ -543,7 +543,7 @@ enum Txn {
 }
 
 /// Write-back MESI directory.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MesiWbL2 {
     partition: PartitionId,
     tags: TagArray<WbDir>,

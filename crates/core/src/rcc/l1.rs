@@ -87,7 +87,7 @@ struct WaitingLoad {
 }
 
 /// MSHR entry: merged loads waiting for data plus writes awaiting acks.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct L1Entry {
     waiting_loads: Vec<WaitingLoad>,
     pending_writes: VecDeque<PendingWrite>,
@@ -95,7 +95,7 @@ struct L1Entry {
 }
 
 /// The RCC L1 controller for one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RccL1 {
     core: CoreId,
     mode: ViewMode,
@@ -108,6 +108,10 @@ pub struct RccL1 {
     mshrs: MshrFile<L1Entry>,
     next_req: u64,
     stats: L1Stats,
+    /// Seeded fault for verification: when set, [`Self::is_readable`]
+    /// ignores lease expiry, so loads hit on logically stale copies.
+    #[cfg(feature = "bug-injection")]
+    lease_bug: bool,
 }
 
 impl RccL1 {
@@ -123,7 +127,17 @@ impl RccL1 {
             mshrs: MshrFile::new(cfg.l1.mshrs, cfg.l1.mshr_merge),
             next_req: 1,
             stats: L1Stats::default(),
+            #[cfg(feature = "bug-injection")]
+            lease_bug: false,
         }
+    }
+
+    /// Arms the seeded lease-check bug (dormant until called even with
+    /// the feature compiled in). The model checker in `rcc-verify` must
+    /// find the resulting SC violation.
+    #[cfg(feature = "bug-injection")]
+    pub fn inject_lease_bug(&mut self) {
+        self.lease_bug = true;
     }
 
     /// The core's current logical read view (`now`).
@@ -179,6 +193,10 @@ impl RccL1 {
     }
 
     fn is_readable(&self, line: LineAddr) -> bool {
+        #[cfg(feature = "bug-injection")]
+        if self.lease_bug {
+            return self.tags.probe(line).is_some();
+        }
         self.tags
             .probe(line)
             .is_some_and(|l| self.read_now <= l.state.exp)
@@ -280,7 +298,7 @@ impl RccL1 {
         }
 
         match self.tags.probe(line) {
-            Some(l) if self.read_now <= l.state.exp => {
+            Some(_) if self.is_readable(line) => {
                 self.stats.load_hits += 1;
                 AccessOutcome::Done(self.hit_completion(access.warp, access.addr))
             }

@@ -19,6 +19,21 @@ use rcc_common::time::{Cycle, Timestamp};
 use rcc_mem::{LineData, MshrFile, TagArray};
 use std::collections::{HashMap, VecDeque};
 
+/// The paper's L2 state names (Fig. 5, right table), derived for
+/// inspection: two stable states plus the two transient fill states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2State {
+    /// Not present, no fill outstanding.
+    I,
+    /// Resident.
+    V,
+    /// Miss being filled from DRAM; reads and writes merge in the MSHR.
+    Iv,
+    /// Atomic waiting for a DRAM fill; all other requests to the block
+    /// stall behind it.
+    Iav,
+}
+
 /// Per-line L2 metadata: version, lease expiration, predicted lease.
 #[derive(Debug, Clone, Copy)]
 struct L2Meta {
@@ -41,7 +56,7 @@ struct PendingAtomic {
 }
 
 /// MSHR entry for a line being filled from DRAM.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct L2Entry {
     /// Latest `now` of any reading core (Table II, elidable in hardware).
     lastrd: Timestamp,
@@ -66,7 +81,7 @@ impl L2Entry {
 }
 
 /// The RCC controller for one L2 partition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RccL2 {
     partition: PartitionId,
     predictor: LeasePredictor,
@@ -121,6 +136,16 @@ impl RccL2 {
     /// Version and lease expiration of a resident line (for tests).
     pub fn line_times(&self, line: LineAddr) -> Option<(Timestamp, Timestamp)> {
         self.tags.probe(line).map(|l| (l.state.ver, l.state.exp))
+    }
+
+    /// Recovers the paper's state name for `line` (tests / verification).
+    pub fn derived_state(&self, line: LineAddr) -> L2State {
+        match self.mshrs.get(line) {
+            Some(e) if e.is_iav() => L2State::Iav,
+            Some(_) => L2State::Iv,
+            None if self.tags.probe(line).is_some() => L2State::V,
+            None => L2State::I,
+        }
     }
 
     /// Predicted lease of a resident line (for tests).

@@ -23,7 +23,7 @@ mod l2;
 mod predictor;
 
 pub use l1::{L1State, RccL1, ViewMode};
-pub use l2::RccL2;
+pub use l2::{L2State, RccL2};
 pub use predictor::LeasePredictor;
 
 /// Counts the L1 coherence states of this implementation as (stable,
@@ -33,6 +33,15 @@ pub use predictor::LeasePredictor;
 pub fn l1_state_inventory() -> (usize, usize) {
     let stable = [L1State::V, L1State::I].len();
     let transient = [L1State::Iv, L1State::Ii, L1State::Vi].len();
+    (stable, transient)
+}
+
+/// Counts the L2 coherence states of this implementation as (stable,
+/// transient). Used to cross-check Table V — and the model checker's
+/// visited-state census — against the code.
+pub fn l2_state_inventory() -> (usize, usize) {
+    let stable = [L2State::V, L2State::I].len();
+    let transient = [L2State::Iv, L2State::Iav].len();
     (stable, transient)
 }
 
@@ -46,6 +55,8 @@ use rcc_common::ids::{CoreId, PartitionId};
 pub struct RccProtocol {
     params: RccParams,
     mode: ViewMode,
+    #[cfg(feature = "bug-injection")]
+    inject_lease_bug: bool,
 }
 
 impl RccProtocol {
@@ -54,6 +65,8 @@ impl RccProtocol {
         RccProtocol {
             params: cfg.rcc.clone(),
             mode: ViewMode::Sc,
+            #[cfg(feature = "bug-injection")]
+            inject_lease_bug: false,
         }
     }
 
@@ -62,12 +75,22 @@ impl RccProtocol {
         RccProtocol {
             params: cfg.rcc.clone(),
             mode: ViewMode::Wo,
+            #[cfg(feature = "bug-injection")]
+            inject_lease_bug: false,
         }
     }
 
     /// The view mode of this configuration.
     pub fn mode(&self) -> ViewMode {
         self.mode
+    }
+
+    /// Arms the seeded lease-check bug on every L1 this factory builds
+    /// (see [`RccL1::inject_lease_bug`]).
+    #[cfg(feature = "bug-injection")]
+    pub fn with_lease_bug(mut self) -> Self {
+        self.inject_lease_bug = true;
+        self
     }
 }
 
@@ -83,7 +106,13 @@ impl Protocol for RccProtocol {
     }
 
     fn make_l1(&self, core: CoreId, cfg: &GpuConfig) -> RccL1 {
-        RccL1::new(core, cfg, self.params.clone(), self.mode)
+        #[allow(unused_mut)] // mutated only with the bug-injection feature
+        let mut l1 = RccL1::new(core, cfg, self.params.clone(), self.mode);
+        #[cfg(feature = "bug-injection")]
+        if self.inject_lease_bug {
+            l1.inject_lease_bug();
+        }
+        l1
     }
 
     fn make_l2(&self, partition: PartitionId, cfg: &GpuConfig) -> RccL2 {

@@ -77,7 +77,7 @@ impl fmt::Display for ScViolation {
 
 /// Records completed memory operations and checks the SC witness
 /// invariant.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Scoreboard {
     writes: HashMap<WordAddr, Vec<WriteRecord>>,
     reads: HashMap<WordAddr, Vec<ReadRecord>>,

@@ -31,7 +31,7 @@ struct PendingWrite {
     atomic: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TcEntry {
     /// Merged loads with their issue cycles: a merged load's SC position
     /// is `max(serve time, issue time)` — within the granted lease, so
@@ -42,7 +42,7 @@ struct TcEntry {
 }
 
 /// The TC L1 controller for one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcL1 {
     core: CoreId,
     tags: TagArray<TcMeta>,

@@ -26,7 +26,7 @@ struct WaitingWrite {
     req: ReqMsg,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TcEntry {
     /// All requests that arrived while the line was being fetched, in
     /// arrival order; replayed through the hit paths at fill time so a
@@ -35,7 +35,7 @@ struct TcEntry {
 }
 
 /// The TC controller for one L2 partition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcL2 {
     partition: PartitionId,
     lease: u64,

@@ -1,0 +1,560 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API used by this workspace: the
+//! [`proptest!`] macro (including `#![proptest_config(..)]`, `name in
+//! strategy` and `name: Type` parameter forms), integer/float range
+//! strategies, tuples, [`collection::vec`], [`prop_oneof!`], [`Just`],
+//! `.prop_map(..)`, [`any`], and the `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! - cases are drawn from a deterministic per-test RNG (seeded from the
+//!   test's module path, the case index, and optionally the
+//!   `PROPTEST_SHIM_SEED` environment variable), so runs are reproducible
+//!   without a persistence file — `proptest-regressions/` files are
+//!   ignored;
+//! - there is no shrinking: a failing case reports its generated inputs
+//!   and seed so it can be replayed, but is not minimized.
+//!
+//! The number of cases per test defaults to 256 and can be lowered per
+//! block with `ProptestConfig::with_cases(n)` or globally with the
+//! `PROPTEST_CASES` environment variable.
+
+/// Deterministic splitmix64-based generator for test case inputs.
+pub mod rng {
+    /// The RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct ShimRng {
+        state: u64,
+    }
+
+    fn hash_str(s: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate test names.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    impl ShimRng {
+        /// RNG for case `case` of test `name`.
+        pub fn new(name: &str, case: u64) -> Self {
+            let env_seed = std::env::var("PROPTEST_SHIM_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            ShimRng {
+                state: hash_str(name) ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env_seed,
+            }
+        }
+
+        /// Next 64 random bits (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            // Rejection-free multiply-shift is fine for test sampling.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::rng::ShimRng;
+
+    /// A source of random values for one test parameter.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut ShimRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut ShimRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut ShimRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`; must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut ShimRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut ShimRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut ShimRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $idx:tt),+);)*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut ShimRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+/// The [`Arbitrary`] trait behind [`any`].
+pub mod arbitrary {
+    use crate::rng::ShimRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut ShimRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut ShimRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut ShimRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy over a type's whole domain.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut ShimRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T` (proptest's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::rng::ShimRng;
+    use crate::strategy::Strategy;
+
+    /// Size bound for [`vec`]: an exact length or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ShimRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-runner configuration and failure reporting.
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Cases after applying the `PROPTEST_CASES` environment override.
+        pub fn resolved_cases(&self) -> u64 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(self.cases as u64)
+                .max(1)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Prints the failing case's inputs if the test body panics.
+    pub struct CaseGuard {
+        name: &'static str,
+        case: u64,
+        desc: String,
+        armed: bool,
+    }
+
+    impl CaseGuard {
+        /// Arms a guard for one case.
+        pub fn new(name: &'static str, case: u64, desc: String) -> Self {
+            CaseGuard {
+                name,
+                case,
+                desc,
+                armed: true,
+            }
+        }
+
+        /// The case finished; do not report on drop.
+        pub fn disarm(&mut self) {
+            self.armed = false;
+        }
+    }
+
+    impl Drop for CaseGuard {
+        fn drop(&mut self) {
+            if self.armed && std::thread::panicking() {
+                eprintln!(
+                    "proptest-shim: {} failed at case {} with inputs: {}(replay \
+                     deterministically; PROPTEST_SHIM_SEED affects sampling)",
+                    self.name, self.case, self.desc
+                );
+            }
+        }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` resolves (mirrors proptest's
+    /// prelude, which re-exports the crate root as `prop`).
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub use test_runner::ProptestConfig;
+
+/// Defines property tests. Mirrors proptest's macro: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: explicit config.
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // @fns: munch one test function at a time.
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__cfg.resolved_cases() {
+                let mut __rng = $crate::rng::ShimRng::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __desc = ::std::string::String::new();
+                $crate::proptest!(@bind __rng, __desc; $($params)*);
+                let mut __guard = $crate::test_runner::CaseGuard::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                    __desc,
+                );
+                { $body }
+                __guard.disarm();
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // @bind: turn each parameter into a generated local.
+    (@bind $rng:ident, $desc:ident;) => {};
+    (@bind $rng:ident, $desc:ident; $pname:ident in $s:expr, $($rest:tt)*) => {
+        let $pname = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $desc.push_str(&format!(concat!(stringify!($pname), " = {:?}, "), $pname));
+        $crate::proptest!(@bind $rng, $desc; $($rest)*);
+    };
+    (@bind $rng:ident, $desc:ident; $pname:ident in $s:expr) => {
+        $crate::proptest!(@bind $rng, $desc; $pname in $s,);
+    };
+    (@bind $rng:ident, $desc:ident; $pname:ident: $t:ty, $($rest:tt)*) => {
+        let $pname = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$t>(),
+            &mut $rng,
+        );
+        $desc.push_str(&format!(concat!(stringify!($pname), " = {:?}, "), $pname));
+        $crate::proptest!(@bind $rng, $desc; $($rest)*);
+    };
+    (@bind $rng:ident, $desc:ident; $pname:ident: $t:ty) => {
+        $crate::proptest!(@bind $rng, $desc; $pname: $t,);
+    };
+    // Entry: no config header.
+    { $($rest:tt)* } => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports the failing case's inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` that reports the failing case's inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` that reports the failing case's inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::rng::ShimRng::new("t", 0);
+        for _ in 0..1000 {
+            let x = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (0usize..1).generate(&mut rng);
+            assert_eq!(y, 0);
+            let f = (0.5f64..2.0).generate(&mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = crate::rng::ShimRng::new("t2", 0);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let exact = crate::collection::vec(0u64..5, 4).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = crate::rng::ShimRng::new("t3", 0);
+        let s = prop_oneof![(0u64..3).prop_map(|x| x * 10), Just(99u64),];
+        let mut saw_mapped = false;
+        let mut saw_just = false;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                99 => saw_just = true,
+                v if v % 10 == 0 && v < 30 => saw_mapped = true,
+                v => panic!("unexpected value {v}"),
+            }
+        }
+        assert!(saw_mapped && saw_just);
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = crate::rng::ShimRng::new("same", 7);
+        let mut b = crate::rng::ShimRng::new("same", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::rng::ShimRng::new("same", 8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: `in` bindings, type bindings, tuples, vecs.
+        #[test]
+        fn macro_forms_work(
+            x in 1u64..50,
+            flag: bool,
+            pair in (0usize..4, 0u64..9),
+            xs in prop::collection::vec((0u64..256, any::<bool>()), 1..10),
+        ) {
+            prop_assert!((1..50).contains(&x));
+            let _ = flag;
+            prop_assert!(pair.0 < 4 && pair.1 < 9);
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            prop_assert_eq!(xs.len(), xs.iter().filter(|(v, _)| *v < 256).count());
+        }
+    }
+}

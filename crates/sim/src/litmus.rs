@@ -1,5 +1,13 @@
 //! Litmus-test harness: runs a litmus program under a protocol and
 //! reports the observed outcome.
+//!
+//! Every litmus run executes with the `rcc-verify` runtime SC sanitizer
+//! attached: each access is recorded and, after the run, the sanitizer
+//! checks whether an SC total order explains the observed values. For
+//! SC-capable protocols a non-SC verdict is a harness panic; for weakly
+//! ordered protocols (TC-Weak, RCC-WO) the verdict is surfaced in
+//! [`LitmusOutcome::sanitizer_sc`] so tests can assert that a forbidden
+//! outcome really is non-SC rather than merely unusual.
 
 use crate::system::System;
 use rcc_common::config::GpuConfig;
@@ -18,6 +26,9 @@ pub struct LitmusOutcome {
     pub values: Vec<u64>,
     /// Whether the SC-forbidden outcome was observed.
     pub forbidden: bool,
+    /// Runtime sanitizer verdict: does an SC total order explain the
+    /// whole execution (not just the probed values)?
+    pub sanitizer_sc: bool,
 }
 
 fn run_one<P: rcc_core::protocol::Protocol>(
@@ -32,8 +43,8 @@ fn run_one<P: rcc_core::protocol::Protocol>(
         warps_per_workgroup: 1,
     };
     let mut sys = System::new(protocol, cfg, &workload, false);
-    let m = sys_run(&mut sys);
-    let _ = m;
+    sys.enable_sanitizer();
+    sys_run(&mut sys);
     let values: Vec<u64> = litmus
         .probes
         .iter()
@@ -45,7 +56,15 @@ fn run_one<P: rcc_core::protocol::Protocol>(
         })
         .collect();
     let forbidden = (litmus.forbidden)(&values);
-    LitmusOutcome { values, forbidden }
+    let sanitizer_sc = sys
+        .sanitizer_report()
+        .map(|r| r.sc)
+        .expect("sanitizer was enabled");
+    LitmusOutcome {
+        values,
+        forbidden,
+        sanitizer_sc,
+    }
 }
 
 fn sys_run<P: rcc_core::protocol::Protocol>(sys: &mut System<P>) -> u64 {
@@ -57,8 +76,14 @@ fn sys_run<P: rcc_core::protocol::Protocol>(sys: &mut System<P>) -> u64 {
 }
 
 /// Runs one litmus test under `kind`.
+///
+/// # Panics
+///
+/// Panics for an SC-capable protocol whose execution the sanitizer
+/// cannot explain with any SC total order — that is a protocol bug, not
+/// an interesting outcome.
 pub fn run_litmus(kind: ProtocolKind, cfg: &GpuConfig, litmus: &Litmus) -> LitmusOutcome {
-    match kind {
+    let out = match kind {
         ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus),
         ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus),
         ProtocolKind::TcStrong => run_one(&TcProtocol::strong(cfg), cfg, litmus),
@@ -66,7 +91,15 @@ pub fn run_litmus(kind: ProtocolKind, cfg: &GpuConfig, litmus: &Litmus) -> Litmu
         ProtocolKind::RccSc => run_one(&RccProtocol::sequential(cfg), cfg, litmus),
         ProtocolKind::RccWo => run_one(&RccProtocol::weakly_ordered(cfg), cfg, litmus),
         ProtocolKind::IdealSc => run_one(&IdealProtocol::new(cfg), cfg, litmus),
+    };
+    if kind.supports_sc() {
+        assert!(
+            out.sanitizer_sc,
+            "{kind} on {}: sanitizer found no SC order for the execution",
+            litmus.name
+        );
     }
+    out
 }
 
 /// Runs `make_litmus(seed)` for every seed in `0..runs`, counting how

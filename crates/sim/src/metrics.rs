@@ -35,6 +35,10 @@ pub struct RunMetrics {
     /// and the protocol is broken — or TC-Weak, which is expected to
     /// violate write atomicity).
     pub sc_violations: usize,
+    /// Runtime SC sanitizer verdict: `Some(true)` if an SC total order
+    /// exists for the recorded execution, `Some(false)` if not, `None`
+    /// when the sanitizer was not enabled.
+    pub sanitizer_sc: Option<bool>,
     /// Timestamp rollovers performed (RCC only).
     pub rollovers: u64,
 }
@@ -126,6 +130,7 @@ mod tests {
             dram_writes: 0,
             dram_read_latency: 0.0,
             sc_violations: 0,
+            sanitizer_sc: None,
             rollovers: 0,
         }
     }

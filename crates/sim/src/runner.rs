@@ -5,6 +5,7 @@ use crate::system::System;
 use rcc_common::config::GpuConfig;
 use rcc_core::ideal::IdealProtocol;
 use rcc_core::mesi::{MesiProtocol, MesiWbProtocol};
+use rcc_core::protocol::Protocol;
 use rcc_core::rcc::RccProtocol;
 use rcc_core::tc::TcProtocol;
 use rcc_core::ProtocolKind;
@@ -17,6 +18,12 @@ pub struct SimOptions {
     /// protocols that claim SC support — TC-Weak and RCC-WO are weakly
     /// ordered by design and SC-IDEAL is a performance idealization.
     pub check_sc: bool,
+    /// Attach the runtime SC sanitizer (`rcc-verify`): record every
+    /// access and, at the end of the run, check that an SC total order
+    /// explains the observed values (po ∪ rf ∪ co ∪ fr acyclicity). The
+    /// verdict lands in [`RunMetrics::sanitizer_sc`]; for SC-capable
+    /// protocols a non-SC verdict is a panic.
+    pub sanitize: bool,
     /// Abort if the run exceeds this many cycles.
     pub max_cycles: u64,
 }
@@ -26,6 +33,7 @@ impl SimOptions {
     pub fn fast() -> Self {
         SimOptions {
             check_sc: false,
+            sanitize: false,
             max_cycles: 200_000_000,
         }
     }
@@ -45,14 +53,28 @@ impl Default for SimOptions {
     }
 }
 
+fn run_system<P: Protocol>(
+    protocol: &P,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    check: bool,
+    opts: &SimOptions,
+) -> RunMetrics {
+    let mut system = System::new(protocol, cfg, workload, check);
+    if opts.sanitize {
+        system.enable_sanitizer();
+    }
+    system.run(opts.max_cycles)
+}
+
 /// Runs `workload` on the machine `cfg` under `kind`, returning the run's
 /// metrics.
 ///
 /// # Panics
 ///
 /// Panics if the run deadlocks, exceeds `max_cycles`, or — with
-/// `check_sc` and an SC-capable protocol — violates sequential
-/// consistency.
+/// `check_sc` or `sanitize` and an SC-capable protocol — violates
+/// sequential consistency.
 pub fn simulate(
     kind: ProtocolKind,
     cfg: &GpuConfig,
@@ -63,37 +85,45 @@ pub fn simulate(
     let metrics = match kind {
         ProtocolKind::Mesi => {
             let p = MesiProtocol::new(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
         ProtocolKind::MesiWb => {
             let p = MesiWbProtocol::new(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
         ProtocolKind::TcStrong => {
             let p = TcProtocol::strong(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
         ProtocolKind::TcWeak => {
             let p = TcProtocol::weak(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
         ProtocolKind::RccSc => {
             let p = RccProtocol::sequential(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
         ProtocolKind::RccWo => {
             let p = RccProtocol::weakly_ordered(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
         ProtocolKind::IdealSc => {
             let p = IdealProtocol::new(cfg);
-            System::new(&p, cfg, workload, check).run(opts.max_cycles)
+            run_system(&p, cfg, workload, check, opts)
         }
     };
     if check {
         assert_eq!(
             metrics.sc_violations, 0,
             "{kind} violated SC on {}",
+            workload.name
+        );
+    }
+    if opts.sanitize && kind.supports_sc() {
+        assert_eq!(
+            metrics.sanitizer_sc,
+            Some(true),
+            "{kind} failed the SC sanitizer on {}",
             workload.name
         );
     }

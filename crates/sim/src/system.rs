@@ -16,6 +16,7 @@ use rcc_dram::DramChannel;
 use rcc_gpu::{Core, CoreParams, CoreStats, FencePolicy};
 use rcc_mem::LineData;
 use rcc_noc::{Network, NocEnergyModel};
+use rcc_verify::sanitizer::{SanReport, Sanitizer};
 use rcc_workloads::Workload;
 use std::collections::{HashMap, VecDeque};
 
@@ -42,6 +43,7 @@ enum RolloverState {
 /// Shared bookkeeping the per-cycle closures need mutable access to.
 struct Recorder {
     scoreboard: Option<Scoreboard>,
+    sanitizer: Option<Sanitizer>,
     pending_vals: PendingVals,
     load_log: LoadLog,
     epoch_base: u64,
@@ -64,6 +66,22 @@ impl Recorder {
                 .or_default()
                 .push_back(PendingValue::Atomic(op)),
             AccessKind::Load => {}
+        }
+        if let Some(san) = &mut self.sanitizer {
+            san.on_issue(core, &access);
+        }
+    }
+
+    /// The L1 rejected the access: forget what `note_issue` registered
+    /// (the warp retries from scratch).
+    fn note_reject(&mut self, core: usize, access: Access) {
+        if !matches!(access.kind, AccessKind::Load) {
+            self.pending_vals
+                .get_mut(&(core, access.warp, access.addr))
+                .and_then(VecDeque::pop_back);
+        }
+        if let Some(san) = &mut self.sanitizer {
+            san.on_reject(core, &access);
         }
     }
 
@@ -92,15 +110,19 @@ impl Recorder {
                 other => panic!("atomic completion without op: {other:?} ({key:?}, {c:?})"),
             },
         };
+        // Offset logical timestamps by the rollover epoch so the global
+        // order is preserved across timestamp resets.
+        let shifted_ts = self.epoch_base + c.ts.raw();
+        self.max_ts_seen = self.max_ts_seen.max(shifted_ts);
         if let Some(sb) = &mut self.scoreboard {
-            // Offset logical timestamps by the rollover epoch so the
-            // global order is preserved across timestamp resets.
             let shifted = Completion {
-                ts: Timestamp(self.epoch_base + c.ts.raw()),
+                ts: Timestamp(shifted_ts),
                 ..*c
             };
-            self.max_ts_seen = self.max_ts_seen.max(shifted.ts.raw());
             sb.record(CoreId(core), &shifted, store_value);
+        }
+        if let Some(san) = &mut self.sanitizer {
+            san.on_complete(core, c, shifted_ts);
         }
     }
 }
@@ -178,6 +200,7 @@ impl<P: Protocol> System<P> {
             cycle: Cycle::ZERO,
             recorder: Recorder {
                 scoreboard: check_sc.then(Scoreboard::new),
+                sanitizer: None,
                 pending_vals: HashMap::new(),
                 load_log: HashMap::new(),
                 epoch_base: 0,
@@ -194,12 +217,36 @@ impl<P: Protocol> System<P> {
         }
     }
 
+    /// Attaches the runtime SC sanitizer (off by default; recording adds
+    /// two hash-map operations per access and the check itself runs only
+    /// in [`System::sanitizer_report`]). Call before the run starts.
+    pub fn enable_sanitizer(&mut self) {
+        if self.recorder.sanitizer.is_none() {
+            let mut san = Sanitizer::new();
+            for (&line, data) in &self.memory {
+                for (idx, value) in data.nonzero_words() {
+                    san.seed(line.word(idx), value);
+                }
+            }
+            self.recorder.sanitizer = Some(san);
+        }
+    }
+
+    /// Runs the SC check over everything recorded so far. `None` if the
+    /// sanitizer was never enabled.
+    pub fn sanitizer_report(&self) -> Option<SanReport> {
+        self.recorder.sanitizer.as_ref().map(Sanitizer::check)
+    }
+
     /// Pre-seeds memory with a value (records it as a position-0 write).
     pub fn seed_memory(&mut self, addr: WordAddr, value: u64) {
         self.memory
             .entry(addr.line())
             .or_insert_with(LineData::zeroed)
             .set_word_at(addr, value);
+        if let Some(san) = &mut self.recorder.sanitizer {
+            san.seed(addr, value);
+        }
         if let Some(sb) = &mut self.recorder.scoreboard {
             sb.record(
                 CoreId(usize::MAX % 251),
@@ -389,14 +436,9 @@ impl<P: Protocol> System<P> {
                         }
                         AccessOutcome::Pending => issued_any = true,
                         AccessOutcome::Reject(_) => {
-                            // The access never started; forget the value
-                            // a store/atomic registered (loads have none).
-                            if !matches!(access.kind, AccessKind::Load) {
-                                recorder
-                                    .pending_vals
-                                    .get_mut(&(i, access.warp, access.addr))
-                                    .and_then(VecDeque::pop_back);
-                            }
+                            // The access never started; forget what the
+                            // recorder registered for it.
+                            recorder.note_reject(i, access);
                         }
                     }
                     outcome
@@ -570,6 +612,7 @@ impl<P: Protocol> System<P> {
                 lat_sum / dram_reads as f64
             },
             sc_violations,
+            sanitizer_sc: self.recorder.sanitizer.as_ref().map(|san| san.check().sc),
             rollovers: self.rollovers,
         }
     }

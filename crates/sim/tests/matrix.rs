@@ -59,6 +59,7 @@ fn sc_protocols_never_show_forbidden_litmus_outcomes() {
     ] {
         for make in [
             litmus::message_passing as fn(usize, u64) -> litmus::Litmus,
+            litmus::mp_atomic,
             litmus::store_buffering,
             litmus::load_buffering,
             litmus::wrc,
@@ -119,6 +120,23 @@ fn fenced_store_buffering_is_sc_for_weak_protocols() {
 }
 
 #[test]
+fn atomic_handoff_mp_is_safe_even_for_weak_protocols() {
+    // mp+atomic publishes the flag with fence + XCHG, the unlock idiom:
+    // the RMW performs at the L2 and the fences order it against the
+    // data accesses, so even TC-Weak and RCC-WO must never show the
+    // stale-data outcome. Long leases would widen any stale-hit window
+    // if the hand-off were broken.
+    let mut cfg = cfg();
+    cfg.tc.lease_cycles = 2000;
+    for kind in [ProtocolKind::TcWeak, ProtocolKind::RccWo] {
+        let n = count_forbidden(kind, &cfg, 40, |seed| {
+            litmus::mp_atomic(cfg.num_cores, seed)
+        });
+        assert_eq!(n, 0, "{kind} broke the atomic release/acquire hand-off");
+    }
+}
+
+#[test]
 fn corr_holds_even_for_weak_protocols() {
     // Per-location coherence is guaranteed by every protocol here.
     let cfg = cfg();
@@ -140,6 +158,34 @@ fn litmus_probe_values_are_plausible() {
     for v in &out.values {
         assert!(*v == 0 || *v == 1);
     }
+    assert!(out.sanitizer_sc, "RCC-SC litmus run must admit an SC order");
+}
+
+#[test]
+fn sanitizer_flags_tcw_weak_outcomes_as_non_sc() {
+    // Whenever TC-Weak shows the forbidden mp outcome, the runtime
+    // sanitizer must agree that no SC total order explains the
+    // execution — the probes and the axiomatic check corroborate each
+    // other. (run_litmus itself asserts the converse for SC protocols.)
+    let mut cfg = cfg();
+    cfg.tc.lease_cycles = 2000;
+    let mut saw_forbidden = false;
+    for seed in 0..60 {
+        let out = run_litmus(
+            ProtocolKind::TcWeak,
+            &cfg,
+            &litmus::message_passing(cfg.num_cores, seed),
+        );
+        if out.forbidden {
+            saw_forbidden = true;
+            assert!(
+                !out.sanitizer_sc,
+                "seed {seed}: forbidden mp outcome but the sanitizer \
+                 found an SC order — its edge construction is missing a cycle"
+            );
+        }
+    }
+    assert!(saw_forbidden, "TC-Weak never showed the weak mp outcome");
 }
 
 #[test]

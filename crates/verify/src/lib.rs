@@ -1,0 +1,30 @@
+//! Verification tooling for the coherence protocols: a bounded exhaustive
+//! model checker over the message-level FSMs, and a runtime sequential-
+//! consistency sanitizer the simulator can attach to any run.
+//!
+//! The two engines attack the same question — "does this protocol
+//! implement SC?" — from opposite ends:
+//!
+//! * [`explore`] enumerates **every** reachable interleaving of a tiny
+//!   litmus-sized program (2–3 cores, 1–2 addresses, bounded message
+//!   reorderings) directly against the protocol controllers from
+//!   `rcc-core`, with no timing model in the way. It checks Tardis-style
+//!   timestamp invariants (clock monotonicity, at most one writer per
+//!   logical instant, lease soundness) and full data-value coherence
+//!   against a golden memory, and reports violations as minimal message
+//!   traces shrunk by replay.
+//! * [`sanitizer`] watches **one** (arbitrarily large) execution from the
+//!   timed simulator and decides after the fact whether a sequentially
+//!   consistent total order explains what every load observed, by building
+//!   the po ∪ rf ∪ co ∪ fr graph and looking for a cycle — the classic
+//!   axiomatic SC check, independent of the protocol's own (ts, seq)
+//!   witness.
+//!
+//! The explorer's visited-state census doubles as a cross-check of the
+//! state inventories reported in `rcc_core::census` (the paper's Table V).
+
+pub mod explore;
+pub mod sanitizer;
+
+pub use explore::{explore, rcc_hooks, verify_config, Hooks, Op, Report, Spec, Violation};
+pub use sanitizer::{SanReport, Sanitizer};

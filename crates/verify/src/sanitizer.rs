@@ -1,0 +1,542 @@
+//! Runtime sequential-consistency sanitizer.
+//!
+//! The sanitizer records every memory access of one (timed) simulation
+//! and decides *after the fact* whether some sequentially consistent
+//! total order explains what every load observed. Unlike the simulator's
+//! scoreboard — which trusts the protocol's own `(ts, seq)` completion
+//! witness — the sanitizer rebuilds the classic axiomatic-SC relations
+//! from observed *values*:
+//!
+//! * **po** — program order per (core, warp), from issue order;
+//! * **co** — coherence order per address, from the write serialization;
+//! * **rf** — reads-from, matching each load to the write whose value it
+//!   returned;
+//! * **fr** — from-reads, `rf⁻¹ ; co`.
+//!
+//! An execution is SC iff `po ∪ rf ∪ co ∪ fr` is acyclic (Shasha &
+//! Snir). A cycle is reported with the participating accesses, which for
+//! the classic litmus shapes reads exactly like the textbook diagram
+//! (e.g. TC-Weak's stale-lease `mp` failure shows up as
+//! `Wdata → Wflag → Rflag → Rdata → Wdata`).
+//!
+//! Cost model: recording is two hash-map operations per access and
+//! nothing else; the graph is built only in [`Sanitizer::check`], so a
+//! disabled sanitizer (the default) costs zero on the hot path.
+
+use rcc_common::addr::WordAddr;
+use rcc_core::msg::{Access, AccessKind, Completion, CompletionKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// What one recorded access turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// Issued, not yet completed.
+    Pending(AccessKind),
+    /// A load that observed `value`.
+    Read { value: u64 },
+    /// A store that wrote `value`.
+    Write { value: u64 },
+    /// An atomic that read `old` and left `new` (possibly equal).
+    Rmw { old: u64, new: u64 },
+}
+
+/// One recorded memory access.
+#[derive(Debug, Clone, Copy)]
+struct MemEvent {
+    core: usize,
+    warp: usize,
+    addr: WordAddr,
+    /// Position in the warp's issue (= program) order.
+    po: u64,
+    kind: EvKind,
+    /// Protocol completion witness (rollover-adjusted); used only to
+    /// order co and to disambiguate duplicate-value rf candidates.
+    ts: u64,
+    seq: u64,
+}
+
+/// End-of-run verdict.
+#[derive(Debug, Clone)]
+pub struct SanReport {
+    /// True iff an SC total order exists for the recorded execution.
+    pub sc: bool,
+    /// Completed accesses checked.
+    pub events: usize,
+    /// Accesses issued but never completed (excluded from the check).
+    pub incomplete: usize,
+    /// Violations found: each is a rendered cycle or a read of a value
+    /// no write produced.
+    pub violations: Vec<String>,
+}
+
+/// Records one execution's accesses; [`Sanitizer::check`] runs the SC
+/// test. Attach via `System::enable_sanitizer` (off by default).
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    events: Vec<MemEvent>,
+    /// FIFO of outstanding event indices per (core, warp, addr,
+    /// is_load): completions match issues in order, exactly like the
+    /// simulator's own pending-value tracking.
+    outstanding: HashMap<(usize, usize, WordAddr, bool), VecDeque<usize>>,
+    /// Next program-order position per (core, warp).
+    po_next: HashMap<(usize, usize), u64>,
+    /// Seeded initial memory values (addresses not listed read as 0).
+    init: HashMap<WordAddr, u64>,
+}
+
+impl Sanitizer {
+    /// A fresh, empty sanitizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an initial memory value (a virtual write at the start of
+    /// the coherence order).
+    pub fn seed(&mut self, addr: WordAddr, value: u64) {
+        self.init.insert(addr, value);
+    }
+
+    /// Records an access the L1 accepted (`Done` or `Pending` — never
+    /// call for rejects).
+    pub fn on_issue(&mut self, core: usize, access: &Access) {
+        let warp = access.warp.index();
+        let po = self.po_next.entry((core, warp)).or_insert(0);
+        let idx = self.events.len();
+        self.events.push(MemEvent {
+            core,
+            warp,
+            addr: access.addr,
+            po: *po,
+            kind: EvKind::Pending(access.kind),
+            ts: 0,
+            seq: 0,
+        });
+        *po += 1;
+        let is_load = !access.kind.is_write_like();
+        self.outstanding
+            .entry((core, warp, access.addr, is_load))
+            .or_default()
+            .push_back(idx);
+    }
+
+    /// Forgets the most recent issue of this access — the L1 rejected it
+    /// (structural hazard) and the warp will retry. Must be called
+    /// immediately after the matching [`Sanitizer::on_issue`].
+    pub fn on_reject(&mut self, core: usize, access: &Access) {
+        let warp = access.warp.index();
+        let is_load = !access.kind.is_write_like();
+        let key = (core, warp, access.addr, is_load);
+        let Some(idx) = self.outstanding.get_mut(&key).and_then(VecDeque::pop_back) else {
+            debug_assert!(false, "reject with no matching issue");
+            return;
+        };
+        debug_assert_eq!(
+            idx + 1,
+            self.events.len(),
+            "reject must undo the last issue"
+        );
+        self.events.truncate(idx);
+        if let Some(po) = self.po_next.get_mut(&(core, warp)) {
+            *po -= 1;
+        }
+    }
+
+    /// Records a completion. `ts` is the rollover-adjusted completion
+    /// timestamp (the raw `Completion::ts` is epoch-local).
+    pub fn on_complete(&mut self, core: usize, c: &Completion, ts: u64) {
+        let is_load = matches!(c.kind, CompletionKind::LoadDone { .. });
+        let key = (core, c.warp.index(), c.addr, is_load);
+        let Some(idx) = self.outstanding.get_mut(&key).and_then(VecDeque::pop_front) else {
+            debug_assert!(false, "completion with no matching issue: {c:?}");
+            return;
+        };
+        let ev = &mut self.events[idx];
+        let issued = match ev.kind {
+            EvKind::Pending(k) => k,
+            k => {
+                debug_assert!(false, "double completion for {k:?}");
+                return;
+            }
+        };
+        ev.ts = ts;
+        ev.seq = c.seq;
+        ev.kind = match (issued, c.kind) {
+            (AccessKind::Load, CompletionKind::LoadDone { value }) => EvKind::Read { value },
+            (AccessKind::Store { value }, CompletionKind::StoreDone) => EvKind::Write { value },
+            (AccessKind::Atomic { op }, CompletionKind::AtomicDone { old }) => EvKind::Rmw {
+                old,
+                new: op.apply(old),
+            },
+            (i, k) => {
+                debug_assert!(false, "completion {k:?} does not match issue {i:?}");
+                EvKind::Pending(i)
+            }
+        };
+    }
+
+    /// Builds `po ∪ rf ∪ co ∪ fr` over the completed accesses and checks
+    /// it for acyclicity.
+    pub fn check(&self) -> SanReport {
+        let done: Vec<usize> = (0..self.events.len())
+            .filter(|&i| !matches!(self.events[i].kind, EvKind::Pending(_)))
+            .collect();
+        let incomplete = self.events.len() - done.len();
+        let mut violations = Vec::new();
+
+        // Node ids: real events keep their index; each address gets one
+        // virtual "initial write" node after them.
+        let addrs: BTreeSet<WordAddr> = done.iter().map(|&i| self.events[i].addr).collect();
+        let init_node: BTreeMap<WordAddr, usize> = addrs
+            .iter()
+            .enumerate()
+            .map(|(k, &a)| (a, self.events.len() + k))
+            .collect();
+        let n = self.events.len() + addrs.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        // po: chain each (core, warp)'s accesses in issue order.
+        let mut by_warp: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for &i in &done {
+            let e = &self.events[i];
+            by_warp.entry((e.core, e.warp)).or_default().push(i);
+        }
+        for chain in by_warp.values_mut() {
+            chain.sort_by_key(|&i| self.events[i].po);
+            for w in chain.windows(2) {
+                adj[w[0]].push(w[1]);
+            }
+        }
+
+        // co: per address, the virtual init write followed by the real
+        // writes in (ts, seq) witness order (completion order breaks
+        // ties for protocols that do not produce a seq).
+        let mut co: BTreeMap<WordAddr, Vec<(usize, u64)>> = BTreeMap::new(); // (node, value)
+        for (&addr, &init) in &init_node {
+            let value = self.init.get(&addr).copied().unwrap_or(0);
+            let mut writes: Vec<usize> = done
+                .iter()
+                .copied()
+                .filter(|&i| self.events[i].addr == addr && self.written_value(i).is_some())
+                .collect();
+            writes.sort_by_key(|&i| (self.events[i].ts, self.events[i].seq, i));
+            let mut order = vec![(init, value)];
+            order.extend(
+                writes
+                    .iter()
+                    .map(|&i| (i, self.written_value(i).expect("filtered"))),
+            );
+            for w in order.windows(2) {
+                adj[w[0].0].push(w[1].0);
+            }
+            co.insert(addr, order);
+        }
+
+        // rf and fr: match each read to the write it observed.
+        for &i in &done {
+            let e = &self.events[i];
+            let read_value = match e.kind {
+                EvKind::Read { value } => value,
+                EvKind::Rmw { old, .. } => old,
+                _ => continue,
+            };
+            let order = &co[&e.addr];
+            let candidates: Vec<usize> = (0..order.len())
+                .filter(|&p| order[p].0 != i && order[p].1 == read_value)
+                .collect();
+            let Some(&pos) = candidates
+                .iter()
+                .rfind(|&&p| {
+                    let w = order[p].0;
+                    w >= self.events.len() // init write precedes everything
+                        || (self.events[w].ts, self.events[w].seq) < (e.ts, e.seq)
+                })
+                .or(candidates.first())
+            else {
+                violations.push(format!(
+                    "{} observed value {read_value}, which no write to {:?} produced",
+                    self.render(i),
+                    e.addr
+                ));
+                continue;
+            };
+            adj[order[pos].0].push(i); // rf
+                                       // fr: the read precedes the next write in co (the chain
+                                       // covers the rest). An RMW whose own write IS that next
+                                       // write read its immediate co-predecessor — that is
+                                       // atomicity working, not an edge.
+            if pos + 1 < order.len() && order[pos + 1].0 != i {
+                adj[i].push(order[pos + 1].0);
+            }
+        }
+
+        if let Some(cycle) = find_cycle(&adj) {
+            let path: Vec<String> = cycle
+                .iter()
+                .map(|&node| {
+                    if node >= self.events.len() {
+                        let (&addr, _) = init_node
+                            .iter()
+                            .find(|&(_, &v)| v == node)
+                            .expect("init node");
+                        format!("init {addr:?}")
+                    } else {
+                        self.render(node)
+                    }
+                })
+                .collect();
+            violations.push(format!("po∪rf∪co∪fr cycle: {}", path.join(" -> ")));
+        }
+
+        SanReport {
+            sc: violations.is_empty(),
+            events: done.len(),
+            incomplete,
+            violations,
+        }
+    }
+
+    /// The value event `i` left in memory, if it is an effective write.
+    fn written_value(&self, i: usize) -> Option<u64> {
+        match self.events[i].kind {
+            EvKind::Write { value } => Some(value),
+            EvKind::Rmw { old, new } if new != old => Some(new),
+            _ => None,
+        }
+    }
+
+    fn render(&self, i: usize) -> String {
+        let e = &self.events[i];
+        let what = match e.kind {
+            EvKind::Read { value } => format!("R={value}"),
+            EvKind::Write { value } => format!("W={value}"),
+            EvKind::Rmw { old, new } => format!("RMW {old}->{new}"),
+            EvKind::Pending(_) => "pending".to_string(),
+        };
+        format!(
+            "c{}w{}#{} {:?} {what} @({},{})",
+            e.core, e.warp, e.po, e.addr, e.ts, e.seq
+        )
+    }
+}
+
+/// Finds any cycle in `adj` (iterative 3-color DFS); returns the cycle's
+/// nodes in order.
+fn find_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut color = vec![0u8; n]; // 0 = unseen, 1 = on stack, 2 = done
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        color[start] = 1;
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(top) = stack.last_mut() {
+            let (u, i) = *top;
+            if i < adj[u].len() {
+                top.1 += 1;
+                let v = adj[u][i];
+                match color[v] {
+                    0 => {
+                        color[v] = 1;
+                        parent[v] = u;
+                        stack.push((v, 0));
+                    }
+                    1 => {
+                        let mut cycle = vec![u];
+                        let mut x = u;
+                        while x != v {
+                            x = parent[x];
+                            cycle.push(x);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::addr::Addr;
+    use rcc_common::ids::WarpId;
+    use rcc_core::msg::AtomicOp;
+
+    fn addr(line: u64) -> WordAddr {
+        Addr(line * 128).word()
+    }
+
+    fn issue(s: &mut Sanitizer, core: usize, a: WordAddr, kind: AccessKind) {
+        s.on_issue(
+            core,
+            &Access {
+                warp: WarpId(0),
+                addr: a,
+                kind,
+            },
+        );
+    }
+
+    fn complete(s: &mut Sanitizer, core: usize, a: WordAddr, kind: CompletionKind, ts: u64) {
+        s.on_complete(
+            core,
+            &Completion {
+                warp: WarpId(0),
+                addr: a,
+                kind,
+                ts: rcc_common::time::Timestamp(ts),
+                seq: 0,
+            },
+            ts,
+        );
+    }
+
+    /// A correctly ordered mp execution is SC.
+    #[test]
+    fn sc_mp_execution_passes() {
+        let (data, flag) = (addr(1), addr(2));
+        let mut s = Sanitizer::new();
+        issue(&mut s, 0, data, AccessKind::Store { value: 1 });
+        complete(&mut s, 0, data, CompletionKind::StoreDone, 10);
+        issue(&mut s, 0, flag, AccessKind::Store { value: 1 });
+        complete(&mut s, 0, flag, CompletionKind::StoreDone, 20);
+        issue(&mut s, 1, flag, AccessKind::Load);
+        complete(&mut s, 1, flag, CompletionKind::LoadDone { value: 1 }, 30);
+        issue(&mut s, 1, data, AccessKind::Load);
+        complete(&mut s, 1, data, CompletionKind::LoadDone { value: 1 }, 40);
+        let report = s.check();
+        assert!(report.sc, "{:?}", report.violations);
+        assert_eq!(report.events, 4);
+        assert_eq!(report.incomplete, 0);
+    }
+
+    /// The TC-Weak mp failure: flag observed new, data observed stale.
+    /// The po ∪ rf ∪ co ∪ fr graph must contain a cycle.
+    #[test]
+    fn stale_mp_read_is_flagged_non_sc() {
+        let (data, flag) = (addr(1), addr(2));
+        let mut s = Sanitizer::new();
+        issue(&mut s, 0, data, AccessKind::Store { value: 1 });
+        complete(&mut s, 0, data, CompletionKind::StoreDone, 10);
+        issue(&mut s, 0, flag, AccessKind::Store { value: 1 });
+        complete(&mut s, 0, flag, CompletionKind::StoreDone, 20);
+        issue(&mut s, 1, flag, AccessKind::Load);
+        complete(&mut s, 1, flag, CompletionKind::LoadDone { value: 1 }, 30);
+        issue(&mut s, 1, data, AccessKind::Load);
+        // Stale: reads the initial 0 even though flag=1 was observed.
+        complete(&mut s, 1, data, CompletionKind::LoadDone { value: 0 }, 40);
+        let report = s.check();
+        assert!(!report.sc);
+        assert!(
+            report.violations[0].contains("cycle"),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// Atomics participate as both read and write; a lost update (both
+    /// RMWs reading the same old value) breaks coherence order.
+    #[test]
+    fn rmw_lost_update_is_flagged() {
+        let x = addr(1);
+        let mut s = Sanitizer::new();
+        issue(
+            &mut s,
+            0,
+            x,
+            AccessKind::Atomic {
+                op: AtomicOp::Add(1),
+            },
+        );
+        complete(&mut s, 0, x, CompletionKind::AtomicDone { old: 0 }, 10);
+        issue(
+            &mut s,
+            1,
+            x,
+            AccessKind::Atomic {
+                op: AtomicOp::Add(1),
+            },
+        );
+        // Lost update: also observed 0, so both wrote 1.
+        complete(&mut s, 1, x, CompletionKind::AtomicDone { old: 0 }, 20);
+        issue(&mut s, 0, x, AccessKind::Load);
+        complete(&mut s, 0, x, CompletionKind::LoadDone { value: 2 }, 30);
+        let report = s.check();
+        assert!(!report.sc, "lost update must not be SC");
+    }
+
+    /// An RMW that reads its immediate co-predecessor (here the initial
+    /// value) is atomicity working — no self-loop, execution stays SC.
+    #[test]
+    fn rmw_from_init_is_sc() {
+        let (data, flag) = (addr(1), addr(2));
+        let mut s = Sanitizer::new();
+        issue(&mut s, 0, data, AccessKind::Store { value: 1 });
+        complete(&mut s, 0, data, CompletionKind::StoreDone, 10);
+        issue(
+            &mut s,
+            0,
+            flag,
+            AccessKind::Atomic {
+                op: AtomicOp::Exch(1),
+            },
+        );
+        complete(&mut s, 0, flag, CompletionKind::AtomicDone { old: 0 }, 20);
+        issue(&mut s, 1, flag, AccessKind::Load);
+        complete(&mut s, 1, flag, CompletionKind::LoadDone { value: 1 }, 30);
+        issue(&mut s, 1, data, AccessKind::Load);
+        complete(&mut s, 1, data, CompletionKind::LoadDone { value: 1 }, 40);
+        let report = s.check();
+        assert!(report.sc, "{:?}", report.violations);
+    }
+
+    /// Seeded initial values justify first reads; unseeded addresses
+    /// read as zero.
+    #[test]
+    fn seeded_and_default_initial_values() {
+        let (x, y) = (addr(1), addr(2));
+        let mut s = Sanitizer::new();
+        s.seed(x, 42);
+        issue(&mut s, 0, x, AccessKind::Load);
+        complete(&mut s, 0, x, CompletionKind::LoadDone { value: 42 }, 5);
+        issue(&mut s, 0, y, AccessKind::Load);
+        complete(&mut s, 0, y, CompletionKind::LoadDone { value: 0 }, 6);
+        assert!(s.check().sc);
+    }
+
+    /// A value no write produced is reported, not silently accepted.
+    #[test]
+    fn thin_air_read_is_flagged() {
+        let x = addr(1);
+        let mut s = Sanitizer::new();
+        issue(&mut s, 0, x, AccessKind::Load);
+        complete(&mut s, 0, x, CompletionKind::LoadDone { value: 99 }, 5);
+        let report = s.check();
+        assert!(!report.sc);
+        assert!(
+            report.violations[0].contains("no write"),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    /// Issued-but-never-completed accesses are excluded and counted.
+    #[test]
+    fn incomplete_accesses_are_counted() {
+        let x = addr(1);
+        let mut s = Sanitizer::new();
+        issue(&mut s, 0, x, AccessKind::Store { value: 1 });
+        let report = s.check();
+        assert!(report.sc);
+        assert_eq!(report.incomplete, 1);
+        assert_eq!(report.events, 0);
+    }
+}

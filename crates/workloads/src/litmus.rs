@@ -11,6 +11,7 @@
 use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::ids::{CoreId, WarpId, WorkgroupId};
 use rcc_common::rng::Pcg32;
+use rcc_core::msg::AtomicOp;
 use rcc_gpu::op::{MemOp, WarpProgram};
 
 /// A named observer load: (core, warp, address); the value it returned
@@ -129,6 +130,65 @@ pub fn message_passing_fenced(cores: usize, seed: u64) -> Litmus {
         }
     }
     l
+}
+
+/// Message passing where the flag hand-off is a release-style RMW:
+/// W data; fence; XCHG flag ← 1 ∥ R flag; fence; R data. The atomic
+/// performs at the L2 (never from a stale L1 copy) and the fences order
+/// it against the data accesses, so the outcome flag = 1 ∧ data = 0 is
+/// forbidden even under the weakly ordered configurations — this is the
+/// unlock/lock idiom the benchmarks' mutexes rely on.
+///
+/// The flag probe is the reader's plain load (observer loads must be
+/// `Load`s — only those land in the execution's load log).
+pub fn mp_atomic(cores: usize, seed: u64) -> Litmus {
+    assert!(cores >= 2);
+    let mut rng = Pcg32::new(seed, 7);
+    let data = LineAddr(0).word(0);
+    let flag = LineAddr(1).word(0);
+    let reader_delay = delay(&mut rng);
+    let programs = pad(
+        vec![
+            prog(
+                &mut rng,
+                vec![
+                    MemOp::Store(data, 1),
+                    MemOp::Fence,
+                    MemOp::Atomic(flag, AtomicOp::Exch(1)),
+                ],
+            ),
+            prog(
+                &mut rng,
+                vec![
+                    MemOp::Load(data), // warmup: cache the old value
+                    reader_delay,
+                    MemOp::Load(flag),
+                    MemOp::Fence,
+                    MemOp::Load(data),
+                ],
+            ),
+        ],
+        cores,
+    );
+    Litmus {
+        name: "mp+atomic",
+        programs,
+        probes: vec![
+            Probe {
+                core: CoreId(1),
+                warp: WarpId(0),
+                addr: flag,
+                nth: 0,
+            },
+            Probe {
+                core: CoreId(1),
+                warp: WarpId(0),
+                addr: data,
+                nth: 1,
+            },
+        ],
+        forbidden: |v| v[0] == 1 && v[1] == 0,
+    }
 }
 
 /// Store buffering: W x; R y ∥ W y; R x. Forbidden: both loads read 0.
@@ -370,6 +430,7 @@ pub fn all(cores: usize, seed: u64) -> Vec<Litmus> {
     vec![
         message_passing(cores, seed),
         message_passing_fenced(cores, seed),
+        mp_atomic(cores, seed),
         store_buffering(cores, seed),
         store_buffering_fenced(cores, seed),
         load_buffering(cores, seed),
@@ -407,6 +468,10 @@ mod tests {
         assert!((mp.forbidden)(&[1, 0]));
         assert!(!(mp.forbidden)(&[1, 1]));
         assert!(!(mp.forbidden)(&[0, 0]));
+        let mpa = mp_atomic(2, 0);
+        assert!((mpa.forbidden)(&[1, 0]));
+        assert!(!(mpa.forbidden)(&[1, 1]));
+        assert!(!(mpa.forbidden)(&[0, 0]));
         let sb = store_buffering(2, 0);
         assert!((sb.forbidden)(&[0, 0]));
         assert!(!(sb.forbidden)(&[1, 0]));
@@ -420,6 +485,34 @@ mod tests {
         assert!((w.forbidden)(&[1, 1, 0]));
         assert!(!(w.forbidden)(&[1, 1, 1]));
         assert!(!(w.forbidden)(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn mp_atomic_hands_off_through_an_rmw() {
+        let l = mp_atomic(2, 0);
+        let writer = &l.programs[0][0].ops;
+        let store_at = writer
+            .iter()
+            .position(|o| matches!(o, MemOp::Store(..)))
+            .expect("data store present");
+        let xchg_at = writer
+            .iter()
+            .position(|o| matches!(o, MemOp::Atomic(_, AtomicOp::Exch(1))))
+            .expect("flag exchange present");
+        assert!(store_at < xchg_at, "data store must precede the hand-off");
+        assert!(
+            writer[store_at + 1..xchg_at].contains(&MemOp::Fence),
+            "release fence must sit between store and exchange"
+        );
+        let reader = &l.programs[1][0].ops;
+        let flag_load = reader
+            .iter()
+            .position(|o| matches!(o, MemOp::Load(a) if *a == LineAddr(1).word(0)))
+            .expect("flag load present");
+        assert!(
+            reader[flag_load + 1..].contains(&MemOp::Fence),
+            "acquire fence must follow the flag load"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
     let tests: Vec<(&str, LitmusMaker)> = vec![
         ("mp", litmus::message_passing),
         ("mp+fence", litmus::message_passing_fenced),
+        ("mp+atomic", litmus::mp_atomic),
         ("sb", litmus::store_buffering),
         ("sb+fence", litmus::store_buffering_fenced),
         ("lb", litmus::load_buffering),
