@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the simulation engine itself: full-run
+//! throughput with the idle-cycle fast-forwarder on vs off, on an
+//! idle-heavy workload (inter-workgroup synchronization leaves long
+//! quiet stretches the engine can skip) and a contention-heavy one
+//! (near-every-cycle activity, where fast-forward must cost ~nothing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_workloads::{Benchmark, Scale};
+
+fn engine_fast_forward(c: &mut Criterion) {
+    let cfg = GpuConfig::small();
+    let scale = Scale::quick();
+    // bh's barrier phases leave the machine idle between bursts;
+    // hsp keeps every core streaming so almost no cycle is skippable.
+    for (label, bench) in [
+        ("idle-heavy/bh", Benchmark::Bh),
+        ("contention/hsp", Benchmark::Hsp),
+    ] {
+        let wl = bench.generate(&cfg, &scale, 7);
+        let mut group = c.benchmark_group(format!("engine/{label}"));
+        group.sample_size(10);
+        for (name, ff) in [("ff-on", true), ("ff-off", false)] {
+            let mut opts = SimOptions::fast();
+            opts.fast_forward = ff;
+            group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+                b.iter(|| simulate(ProtocolKind::RccSc, &cfg, &wl, opts).cycles)
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, engine_fast_forward);
+criterion_main!(benches);

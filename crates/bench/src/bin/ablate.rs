@@ -3,7 +3,7 @@
 //! (Section III-E), renewal on/off, predictor on/off, and the livelock
 //! bump interval.
 
-use rcc_bench::{banner, gmean_or_one, Harness};
+use rcc_bench::{banner, gmean_or_one, pool, Harness};
 use rcc_core::ProtocolKind;
 use rcc_sim::runner::simulate;
 use rcc_workloads::Benchmark;
@@ -17,10 +17,9 @@ fn main() {
     let run_with = |mutate: &dyn Fn(&mut rcc_common::GpuConfig)| -> Vec<f64> {
         let mut cfg = h.cfg.clone();
         mutate(&mut cfg);
-        workloads
-            .iter()
-            .map(|(_, wl)| simulate(ProtocolKind::RccSc, &cfg, wl, &h.opts).cycles as f64)
-            .collect()
+        pool::run_indexed(workloads.iter().collect(), h.jobs, |(_, wl)| {
+            simulate(ProtocolKind::RccSc, &cfg, wl, &h.opts).cycles as f64
+        })
     };
 
     let base = run_with(&|_| {});

@@ -20,16 +20,19 @@ fn main() {
         "{:6} {:>12} {:>14} {:>10} {:>10} {:>8} {:>14}",
         "bench", "(a) stalled", "(b) prev-store", "(c) ld-lat", "st-lat", "st/ld", "(d) ideal-spd"
     );
+    let pairs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| [(ProtocolKind::Mesi, b), (ProtocolKind::IdealSc, b)])
+        .collect();
+    let runs = h.run_pairs(&pairs);
     let mut ratios = Vec::new();
     let mut speedups_inter = Vec::new();
-    for bench in Benchmark::ALL {
-        let wl = h.workload(bench);
-        let mesi = h.run_workload(ProtocolKind::Mesi, &wl);
-        let ideal = h.run_workload(ProtocolKind::IdealSc, &wl);
+    for (bench, row) in Benchmark::ALL.into_iter().zip(runs.chunks_exact(2)) {
+        let (mesi, ideal) = (&row[0], &row[1]);
         let ld = mesi.load_latency().mean();
         let st = mesi.store_latency().mean();
         let ratio = if ld > 0.0 { st / ld } else { 0.0 };
-        let speedup = ideal.speedup_over(&mesi);
+        let speedup = ideal.speedup_over(mesi);
         println!(
             "{:6} {:>12} {:>14} {:>10.0} {:>10.0} {:>7.2}x {:>13.2}x",
             bench.name(),

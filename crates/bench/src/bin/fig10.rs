@@ -5,19 +5,30 @@ use rcc_bench::{banner, gmean_or_one, Harness};
 use rcc_core::ProtocolKind;
 use rcc_workloads::Benchmark;
 
+const KINDS: [ProtocolKind; 3] = [
+    ProtocolKind::RccSc,
+    ProtocolKind::RccWo,
+    ProtocolKind::TcWeak,
+];
+
 fn main() {
     let h = Harness::from_args();
     banner("Figure 10", "speedup of weak ordering vs RCC-SC", &h);
     println!("{:6} {:>9} {:>9} {:>9}", "bench", "RCC-SC", "RCC-WO", "TCW");
+    let pairs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| KINDS.map(|k| (k, b)))
+        .collect();
+    let runs = h.run_pairs(&pairs);
     let mut wo = Vec::new();
     let mut tcw = Vec::new();
-    for bench in Benchmark::ALL {
-        let wl = h.workload(bench);
-        let sc = h.run_workload(ProtocolKind::RccSc, &wl);
-        let rcc_wo = h.run_workload(ProtocolKind::RccWo, &wl);
-        let tc_w = h.run_workload(ProtocolKind::TcWeak, &wl);
-        let s_wo = rcc_wo.speedup_over(&sc);
-        let s_tcw = tc_w.speedup_over(&sc);
+    for (bench, row) in Benchmark::ALL
+        .into_iter()
+        .zip(runs.chunks_exact(KINDS.len()))
+    {
+        let (sc, rcc_wo, tc_w) = (&row[0], &row[1], &row[2]);
+        let s_wo = rcc_wo.speedup_over(sc);
+        let s_tcw = tc_w.speedup_over(sc);
         println!(
             "{:6} {:>9.3} {:>9.3} {:>9.3}",
             bench.name(),

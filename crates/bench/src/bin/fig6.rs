@@ -19,8 +19,12 @@ fn main() {
         "{:6} {:>10} {:>14} {:>12} {:>12}",
         "bench", "loads", "expired", "expired%", "renewable%"
     );
-    for bench in Benchmark::ALL {
-        let m = h.run(ProtocolKind::RccSc, bench);
+    let pairs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .map(|b| (ProtocolKind::RccSc, b))
+        .collect();
+    let runs = h.run_pairs(&pairs);
+    for (bench, m) in Benchmark::ALL.into_iter().zip(&runs) {
         println!(
             "{:6} {:>10} {:>14} {:>12} {:>12}",
             bench.name(),

@@ -4,7 +4,7 @@
 //! Right: expired-read reduction with (+P) and without (-P) the per-block
 //! lease predictor.
 
-use rcc_bench::{banner, pct, Harness};
+use rcc_bench::{banner, pct, pool, Harness};
 use rcc_core::ProtocolKind;
 use rcc_sim::runner::simulate;
 use rcc_workloads::Benchmark;
@@ -20,16 +20,29 @@ fn main() {
         "{:6} {:>12} {:>12} {:>8} | {:>10} {:>10} {:>8}",
         "bench", "flits +R", "flits -R", "saved", "expired +P", "expired -P", "saved"
     );
-    let (mut tr_on, mut tr_off, mut ex_on, mut ex_off) = (0u64, 0u64, 0u64, 0u64);
-    for bench in Benchmark::ALL {
+    // Three machine variants: baseline, renewal off, predictor off. Each
+    // (benchmark, variant) cell is an independent simulation, so the
+    // whole grid goes through the job pool; workloads regenerate from
+    // the shared seed inside each job.
+    let mut no_renew = h.cfg.clone();
+    no_renew.rcc.renew_enabled = false;
+    let mut no_pred = h.cfg.clone();
+    no_pred.rcc.predictor_enabled = false;
+    let cfgs = [&h.cfg, &no_renew, &no_pred];
+    let grid: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| (0..cfgs.len()).map(move |v| (b, v)))
+        .collect();
+    let runs = pool::run_indexed(grid, h.jobs, |(bench, variant)| {
         let wl = h.workload(bench);
-        let base = simulate(ProtocolKind::RccSc, &h.cfg, &wl, &h.opts);
-        let mut no_renew = h.cfg.clone();
-        no_renew.rcc.renew_enabled = false;
-        let mr = simulate(ProtocolKind::RccSc, &no_renew, &wl, &h.opts);
-        let mut no_pred = h.cfg.clone();
-        no_pred.rcc.predictor_enabled = false;
-        let mp = simulate(ProtocolKind::RccSc, &no_pred, &wl, &h.opts);
+        simulate(ProtocolKind::RccSc, cfgs[variant], &wl, &h.opts)
+    });
+    let (mut tr_on, mut tr_off, mut ex_on, mut ex_off) = (0u64, 0u64, 0u64, 0u64);
+    for (bench, row) in Benchmark::ALL
+        .into_iter()
+        .zip(runs.chunks_exact(cfgs.len()))
+    {
+        let (base, mr, mp) = (&row[0], &row[1], &row[2]);
         let traffic_saved =
             1.0 - base.traffic.total_flits() as f64 / mr.traffic.total_flits().max(1) as f64;
         let expired_saved = 1.0 - base.l1.expired_loads as f64 / mp.l1.expired_loads.max(1) as f64;

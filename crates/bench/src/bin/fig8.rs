@@ -5,6 +5,12 @@ use rcc_bench::{banner, gmean_or_one, Harness};
 use rcc_core::ProtocolKind;
 use rcc_workloads::Benchmark;
 
+const KINDS: [ProtocolKind; 3] = [
+    ProtocolKind::Mesi,
+    ProtocolKind::TcStrong,
+    ProtocolKind::RccSc,
+];
+
 fn main() {
     let h = Harness::from_args();
     banner(
@@ -16,15 +22,20 @@ fn main() {
         "{:6} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
         "bench", "MESI", "TCS", "RCC", "MESI-lat", "TCS-lat", "RCC-lat"
     );
+    let pairs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| KINDS.map(|k| (k, b)))
+        .collect();
+    let runs = h.run_pairs(&pairs);
     let mut rate_tcs = Vec::new();
     let mut rate_rcc = Vec::new();
     let mut lat_tcs = Vec::new();
     let mut lat_rcc = Vec::new();
-    for bench in Benchmark::ALL {
-        let wl = h.workload(bench);
-        let mesi = h.run_workload(ProtocolKind::Mesi, &wl);
-        let tcs = h.run_workload(ProtocolKind::TcStrong, &wl);
-        let rcc = h.run_workload(ProtocolKind::RccSc, &wl);
+    for (bench, row) in Benchmark::ALL
+        .into_iter()
+        .zip(runs.chunks_exact(KINDS.len()))
+    {
+        let (mesi, tcs, rcc) = (&row[0], &row[1], &row[2]);
         let base_rate = mesi.sc_stalls_per_mem_op().max(1e-9);
         let base_lat = mesi.core.stall_resolve.mean().max(1e-9);
         println!(

@@ -24,12 +24,15 @@ fn main() {
         &h,
     );
 
-    let mut results: Vec<(Benchmark, Vec<RunMetrics>)> = Vec::new();
-    for bench in Benchmark::ALL {
-        let wl = h.workload(bench);
-        let runs: Vec<RunMetrics> = KINDS.iter().map(|k| h.run_workload(*k, &wl)).collect();
-        results.push((bench, runs));
-    }
+    let pairs: Vec<_> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| KINDS.map(|k| (k, b)))
+        .collect();
+    let mut rows = h.run_pairs(&pairs).into_iter();
+    let results: Vec<(Benchmark, Vec<RunMetrics>)> = Benchmark::ALL
+        .into_iter()
+        .map(|b| (b, rows.by_ref().take(KINDS.len()).collect()))
+        .collect();
 
     // (a) speedup
     println!("\n(a) speedup over MESI");

@@ -1,0 +1,136 @@
+//! Engine performance smoke test: measures what the fast-forward engine
+//! and the job pool buy over the naive sequential engine, and writes the
+//! numbers to `BENCH_sim.json` (consumed by the CI perf-smoke job).
+//!
+//! Two passes over the same (protocol × benchmark) grid:
+//!
+//! 1. **baseline** — fast-forward off, one job at a time (the engine as
+//!    it was before the idle-cycle skipper existed);
+//! 2. **optimized** — fast-forward on, grid spread over the job pool
+//!    (`--jobs N`; defaults to one worker per core here, unlike the
+//!    figure binaries, because the point is to measure the speedup).
+//!
+//! Both passes must agree on every simulated metric — the engine
+//! invariant is that fast-forwarding never changes results, only
+//! wall-clock — so the binary exits non-zero on any divergence.
+
+use rcc_bench::{banner, pool, Harness};
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_sim::RunMetrics;
+use rcc_workloads::{Benchmark, Workload};
+use std::time::Instant;
+
+const KINDS: [ProtocolKind; 5] = [
+    ProtocolKind::Mesi,
+    ProtocolKind::TcStrong,
+    ProtocolKind::TcWeak,
+    ProtocolKind::RccSc,
+    ProtocolKind::IdealSc,
+];
+
+// Workloads are generated once, outside the timed region: generation is
+// identical in both passes and is not what this smoke test measures.
+fn run_grid(
+    h: &Harness,
+    workloads: &[Workload],
+    opts: &SimOptions,
+    jobs: usize,
+) -> (Vec<(RunMetrics, f64)>, f64) {
+    let grid: Vec<_> = KINDS
+        .into_iter()
+        .flat_map(|k| workloads.iter().map(move |wl| (k, wl)))
+        .collect();
+    let start = Instant::now();
+    let results = pool::run_indexed(grid, jobs, |(kind, wl)| {
+        // Per-run wall time, measured inside the job so the per-protocol
+        // rates below stay meaningful under the pool.
+        let t = Instant::now();
+        let m = simulate(kind, &h.cfg, wl, opts);
+        (m, t.elapsed().as_secs_f64())
+    });
+    (results, start.elapsed().as_secs_f64())
+}
+
+fn main() -> std::process::ExitCode {
+    let h = Harness::from_args();
+    // Default to one worker per core: this binary exists to measure the
+    // parallel harness, not to be conservative.
+    let jobs = if h.jobs > 1 {
+        h.jobs
+    } else {
+        pool::resolve_jobs(0)
+    };
+    banner(
+        "Perf smoke",
+        "engine wall-clock: baseline vs FF + job pool",
+        &h,
+    );
+
+    let workloads: Vec<Workload> = Benchmark::ALL.map(|b| h.workload(b)).to_vec();
+    let mut base_opts = h.opts.clone();
+    base_opts.fast_forward = false;
+    let (baseline, baseline_s) = run_grid(&h, &workloads, &base_opts, 1);
+    let (optimized, optimized_s) = run_grid(&h, &workloads, &h.opts, jobs);
+
+    let mut diverged = 0;
+    for ((b, _), (o, _)) in baseline.iter().zip(&optimized) {
+        if !b.same_simulated_results(o) {
+            eprintln!(
+                "DIVERGENCE: {} on {} differs between baseline and fast-forward",
+                b.kind, b.workload
+            );
+            diverged += 1;
+        }
+    }
+
+    let speedup = baseline_s / optimized_s.max(1e-9);
+    println!(
+        "\n{:8} {:>14} {:>14} {:>12} {:>10}",
+        "protocol", "sim cycles", "sim cyc/s", "skipped", "skip%"
+    );
+    let mut proto_json = Vec::new();
+    for kind in KINDS {
+        let runs: Vec<_> = optimized.iter().filter(|(m, _)| m.kind == kind).collect();
+        let cycles: u64 = runs.iter().map(|(m, _)| m.cycles).sum();
+        let skipped: u64 = runs.iter().map(|(m, _)| m.skipped_cycles).sum();
+        let skip_ratio = skipped as f64 / cycles.max(1) as f64;
+        let wall: f64 = runs.iter().map(|(_, s)| s).sum();
+        let rate = cycles as f64 / wall.max(1e-9);
+        println!(
+            "{:8} {:>14} {:>14.0} {:>12} {:>9.1}%",
+            kind.label(),
+            cycles,
+            rate,
+            skipped,
+            100.0 * skip_ratio
+        );
+        proto_json.push(format!(
+            "    {{\"protocol\": \"{}\", \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}, \"skipped_cycles\": {}, \"skip_ratio\": {:.4}}}",
+            kind.label(), cycles, rate, skipped, skip_ratio
+        ));
+    }
+    println!(
+        "\nbaseline (no FF, sequential): {baseline_s:.2}s   optimized (FF, {jobs} jobs): {optimized_s:.2}s   speedup {speedup:.2}x"
+    );
+    println!(
+        "determinism: {}",
+        if diverged == 0 { "ok" } else { "FAILED" }
+    );
+
+    let json = format!(
+        "{{\n  \"baseline_wall_s\": {baseline_s:.3},\n  \"optimized_wall_s\": {optimized_s:.3},\n  \"speedup\": {speedup:.3},\n  \"jobs\": {jobs},\n  \"runs\": {},\n  \"deterministic\": {},\n  \"protocols\": [\n{}\n  ]\n}}\n",
+        optimized.len(),
+        diverged == 0,
+        proto_json.join(",\n")
+    );
+    if let Err(e) = std::fs::write("BENCH_sim.json", &json) {
+        eprintln!("cannot write BENCH_sim.json: {e}");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("wrote BENCH_sim.json");
+    if diverged > 0 {
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

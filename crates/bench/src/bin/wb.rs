@@ -28,14 +28,21 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
 
+    let categories = [("inter-workgroup", inter()), ("intra-workgroup", intra())];
+    let pairs: Vec<_> = categories
+        .iter()
+        .flat_map(|(_, benches)| benches.iter())
+        .flat_map(|&b| [(ProtocolKind::Mesi, b), (ProtocolKind::MesiWb, b)])
+        .collect();
+    let mut runs = h.run_pairs(&pairs).into_iter();
+
     let mut speedups = Vec::new();
     let mut flit_ratios = Vec::new();
-    for (cat, benches) in [("inter-workgroup", inter()), ("intra-workgroup", intra())] {
+    for (cat, benches) in &categories {
         let mut cat_speedups = Vec::new();
         for b in benches {
-            let wl = h.workload(b);
-            let wt = h.run_workload(ProtocolKind::Mesi, &wl);
-            let wb = h.run_workload(ProtocolKind::MesiWb, &wl);
+            let wt = runs.next().expect("one WT run per benchmark");
+            let wb = runs.next().expect("one WB run per benchmark");
             let speedup = wb.cycles as f64 / wt.cycles as f64;
             let flit_ratio =
                 wb.traffic.total_flits() as f64 / wt.traffic.total_flits().max(1) as f64;

@@ -18,6 +18,8 @@
 //!   order explains, or the run aborts (adds an end-of-run check, slows
 //!   recording slightly)
 
+pub mod pool;
+
 use rcc_common::stats::gmean;
 use rcc_common::GpuConfig;
 use rcc_core::ProtocolKind;
@@ -37,34 +39,40 @@ pub struct Harness {
     pub scale: Scale,
     /// Simulation options.
     pub opts: SimOptions,
+    /// Worker threads for experiment grids (`--jobs N`; 1 = sequential).
+    pub jobs: usize,
 }
 
 impl Harness {
-    /// Parses `--quick` / `--full` / `--sanitize` from the process
-    /// arguments.
+    /// Parses `--quick` / `--full` / `--sanitize` / `--jobs N` from the
+    /// process arguments.
     pub fn from_args() -> Harness {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
         let full = args.iter().any(|a| a == "--full");
         let mut opts = SimOptions::fast();
         opts.sanitize = args.iter().any(|a| a == "--sanitize");
+        let jobs = parse_jobs(&args);
         if quick {
             Harness {
                 cfg: GpuConfig::small(),
                 scale: Scale::quick(),
                 opts,
+                jobs,
             }
         } else if full {
             Harness {
                 cfg: GpuConfig::gtx480(),
                 scale: Scale::full(),
                 opts,
+                jobs,
             }
         } else {
             Harness {
                 cfg: GpuConfig::gtx480(),
                 scale: Scale::standard(),
                 opts,
+                jobs,
             }
         }
     }
@@ -84,6 +92,26 @@ impl Harness {
     pub fn run_workload(&self, kind: ProtocolKind, wl: &Workload) -> RunMetrics {
         simulate(kind, &self.cfg, wl, &self.opts)
     }
+
+    /// Runs a whole experiment grid over the job pool, returning metrics
+    /// in the order the pairs were given (independent of `jobs`). Each
+    /// job regenerates its workload from the shared seed, so results
+    /// match per-pair [`Harness::run`] calls exactly.
+    pub fn run_pairs(&self, pairs: &[(ProtocolKind, Benchmark)]) -> Vec<RunMetrics> {
+        pool::run_indexed(pairs.to_vec(), self.jobs, |(kind, bench)| {
+            self.run(kind, bench)
+        })
+    }
+}
+
+/// Parses `--jobs N` (`0` = one per core) from an argument list;
+/// defaults to 1 (sequential).
+pub fn parse_jobs(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok())
+        .map_or(1, pool::resolve_jobs)
 }
 
 /// Prints a header with the figure id and run configuration.

@@ -1,0 +1,114 @@
+//! A deterministic fork-join job pool for experiment grids.
+//!
+//! Every figure binary runs dozens of independent `(protocol ×
+//! benchmark)` simulations; this pool spreads them over OS threads with
+//! `std::thread::scope` — no external dependencies, so the workspace
+//! still builds offline. Determinism matters more than scheduling
+//! cleverness here: each job's result is written into a slot addressed
+//! by the job's index, so the returned vector is always in submission
+//! order and downstream output (tables, CSV rows) is byte-identical to
+//! a sequential run regardless of thread count or completion order.
+
+use std::sync::Mutex;
+
+/// Runs `f` over `jobs`, using up to `threads` worker threads, and
+/// returns the results in submission order.
+///
+/// With `threads <= 1` (or a single job) the jobs run sequentially on
+/// the calling thread — the reference behaviour the parallel path must
+/// reproduce byte-for-byte.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_indexed<J, T, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(J) -> T + Sync,
+{
+    let n = jobs.len();
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+
+    // Job queue: index-stamped so results land in submission order.
+    let work: Vec<(usize, J)> = jobs.into_iter().enumerate().collect();
+    let work = Mutex::new(work.into_iter());
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Pull the next job; the iterator hands them out in
+                // submission order, one at a time.
+                let job = work.lock().expect("job queue poisoned").next();
+                let Some((idx, job)) = job else { break };
+                let result = f(job);
+                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job stores its result")
+        })
+        .collect()
+}
+
+/// Resolves a `--jobs N` request: `0` means "one per available core".
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order() {
+        // Jobs finish out of order (larger index sleeps less), yet the
+        // results must come back in submission order.
+        let jobs: Vec<u64> = (0..32).collect();
+        let out = run_indexed(jobs.clone(), 4, |j| {
+            std::thread::sleep(std::time::Duration::from_micros(200 - 6 * j.min(30)));
+            j * 10
+        });
+        assert_eq!(out, jobs.iter().map(|j| j * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let jobs: Vec<u64> = (0..40).collect();
+        let seq = run_indexed(jobs.clone(), 1, |j| j * j + 3);
+        let par = run_indexed(jobs, 4, |j| j * j + 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(run_indexed(Vec::<u64>::new(), 8, |j| j), Vec::<u64>::new());
+        assert_eq!(run_indexed(vec![5u64], 8, |j| j + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let out = run_indexed(vec![1u64, 2], 16, |j| j);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn resolve_jobs_zero_means_cores() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! Pool determinism guard: an experiment grid run through the job pool
+//! with several workers must produce byte-identical output to the same
+//! grid run sequentially — figure tables and CSV exports may not depend
+//! on `--jobs`.
+
+use rcc_bench::pool;
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_workloads::{Benchmark, Scale};
+
+fn csv_rows(jobs: usize) -> Vec<String> {
+    let cfg = GpuConfig::small();
+    let opts = SimOptions::fast();
+    let grid: Vec<_> = [
+        ProtocolKind::Mesi,
+        ProtocolKind::TcWeak,
+        ProtocolKind::RccSc,
+    ]
+    .into_iter()
+    .flat_map(|k| [Benchmark::Bh, Benchmark::Dlb, Benchmark::Hsp].map(|b| (k, b)))
+    .collect();
+    pool::run_indexed(grid, jobs, |(kind, bench)| {
+        let wl = bench.generate(&cfg, &Scale::quick(), 5);
+        let m = simulate(kind, &cfg, &wl, &opts);
+        format!(
+            "{},{},{},{},{},{:.0}",
+            m.kind.label(),
+            m.workload,
+            m.cycles,
+            m.core.mem_ops,
+            m.traffic.total_flits(),
+            m.energy.total_pj(),
+        )
+    })
+}
+
+#[test]
+fn csv_identical_sequential_vs_four_jobs() {
+    let seq = csv_rows(1);
+    let par = csv_rows(4);
+    assert_eq!(seq, par, "--jobs 4 changed the CSV output");
+}

@@ -1,0 +1,144 @@
+//! A small, fast, deterministic hasher for simulator-internal maps.
+//!
+//! The standard library's default `SipHash` is keyed per process for
+//! HashDoS resistance — protection the simulator does not need for maps
+//! keyed by line addresses and warp ids it generated itself. Profiles
+//! show the per-access maps (MSHRs, deferred-request queues, the
+//! scoreboard feed) spend a visible share of their time hashing, so the
+//! hot paths use this multiply-xor hash (the `FxHasher` scheme from the
+//! Firefox/rustc family) instead: one rotate, one xor, and one multiply
+//! per word of input, with a fixed seed so behaviour is identical on
+//! every run.
+//!
+//! Note that iteration order over an `FxHashMap` is *deterministic given
+//! the insertion sequence* but still arbitrary; code that needs a
+//! canonical order must sort (see `MshrFile::for_each_sorted`).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash scheme: a 64-bit constant derived from
+/// pi with good bit-mixing behaviour under multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The hasher state: a single 64-bit accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (chunk, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (chunk, rest) = bytes.split_at(4);
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                chunk.try_into().expect("4 bytes"),
+            )));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, fixed seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&0x1234_5678_u64), hash_of(&0x1234_5678_u64));
+        assert_eq!(hash_of(&"warp"), hash_of(&"warp"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(&1_u64);
+        let b = hash_of(&2_u64);
+        let c = hash_of(&3_u64);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<u64, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        map.insert(11, "eleven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        assert_eq!(map.len(), 2);
+
+        let mut set: FxHashSet<(usize, usize)> = FxHashSet::default();
+        set.insert((1, 2));
+        assert!(set.contains(&(1, 2)));
+        assert!(!set.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn mixed_width_writes() {
+        // 12 bytes exercises the 8-byte and 4-byte chunks; 3 bytes the
+        // tail loop.
+        assert_ne!(hash_of(&[1u8; 12]), 0);
+        assert_ne!(hash_of(&[1u8; 3]), hash_of(&[1u8; 12]));
+    }
+}

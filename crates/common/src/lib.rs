@@ -20,6 +20,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod hash;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -28,6 +29,7 @@ pub mod trace;
 
 pub use addr::{Addr, LineAddr, WordAddr};
 pub use config::GpuConfig;
+pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{CoreId, PartitionId, WarpId, WorkgroupId};
 pub use rng::Pcg32;
 pub use time::{Cycle, Timestamp};

@@ -321,6 +321,11 @@ impl L1Cache for IdealL1 {
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L1Outbox) {}
 
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Magic coherence actions arrive out-of-band; nothing to do.
+        None
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len()
     }
@@ -565,6 +570,11 @@ impl L2Bank for IdealL2 {
     }
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L2Outbox) {}
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: requests and DRAM fills drive everything.
+        None
+    }
 
     fn pending(&self) -> usize {
         self.mshrs.len()

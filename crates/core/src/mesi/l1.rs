@@ -335,6 +335,11 @@ impl L1Cache for MesiL1 {
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L1Outbox) {}
 
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: invalidations and fills drive all transitions.
+        None
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len()
     }

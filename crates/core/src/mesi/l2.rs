@@ -8,8 +8,9 @@ use rcc_common::addr::LineAddr;
 use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, PartitionId};
 use rcc_common::time::{Cycle, Timestamp};
+use rcc_common::{FxHashMap, FxHashSet};
 use rcc_mem::{LineData, MshrFile, TagArray};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Directory state per line: which cores hold (possibly stale-tracked)
 /// copies. L1s evict silently, so a bit may be set for a core that no
@@ -75,13 +76,13 @@ pub struct MesiL2 {
     partition: PartitionId,
     tags: TagArray<Directory>,
     mshrs: MshrFile<MesiEntry>,
-    pending_inv: HashMap<LineAddr, PendingInv>,
-    recalls: HashMap<LineAddr, Recall>,
+    pending_inv: FxHashMap<LineAddr, PendingInv>,
+    recalls: FxHashMap<LineAddr, Recall>,
     /// Lines whose fill is parked behind a recall.
-    filling: std::collections::HashSet<LineAddr>,
+    filling: FxHashSet<LineAddr>,
     /// Fills that found every way transiently busy; retried each tick.
     stalled_fills: Vec<PendingFill>,
-    deferred: HashMap<LineAddr, VecDeque<ReqMsg>>,
+    deferred: FxHashMap<LineAddr, VecDeque<ReqMsg>>,
     deferred_count: usize,
     seq: u64,
     stats: L2Stats,
@@ -98,11 +99,11 @@ impl MesiL2 {
                 cfg.l2.num_partitions as u64,
             ),
             mshrs: MshrFile::new(cfg.l2.partition.mshrs, cfg.l2.partition.mshr_merge),
-            pending_inv: HashMap::new(),
-            recalls: HashMap::new(),
-            filling: std::collections::HashSet::new(),
+            pending_inv: FxHashMap::default(),
+            recalls: FxHashMap::default(),
+            filling: FxHashSet::default(),
             stalled_fills: Vec::new(),
-            deferred: HashMap::new(),
+            deferred: FxHashMap::default(),
             deferred_count: 0,
             seq: 0,
             stats: L2Stats::default(),
@@ -460,6 +461,16 @@ impl L2Bank for MesiL2 {
             for pf in stalled {
                 self.try_fill_or_recall(cycle, pf.line, pf.data, pf.queued, out);
             }
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Only stalled fills need per-cycle retries; everything else is
+        // driven by requests, acks, and DRAM fills.
+        if self.stalled_fills.is_empty() {
+            None
+        } else {
+            Some(now + 1)
         }
     }
 

@@ -27,8 +27,9 @@ use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, PartitionId, WarpId};
 use rcc_common::time::{Cycle, Timestamp};
+use rcc_common::{FxHashMap, FxHashSet};
 use rcc_mem::{LineData, MshrFile, MshrRejection, TagArray};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Factory for the MESI-WB controllers.
 #[derive(Debug, Clone, Default)]
@@ -90,7 +91,7 @@ pub struct MesiWbL1 {
     tags: TagArray<WbMeta>,
     mshrs: MshrFile<WbEntry>,
     /// Voluntary writebacks in flight (awaiting WbAck).
-    wb_pending: HashSet<LineAddr>,
+    wb_pending: FxHashSet<LineAddr>,
     next_req: u64,
     stats: L1Stats,
 }
@@ -102,7 +103,7 @@ impl MesiWbL1 {
             core,
             tags: TagArray::new(cfg.l1.num_sets(), cfg.l1.ways),
             mshrs: MshrFile::new(cfg.l1.mshrs, cfg.l1.mshr_merge),
-            wb_pending: HashSet::new(),
+            wb_pending: FxHashSet::default(),
             next_req: 1,
             stats: L1Stats::default(),
         }
@@ -487,6 +488,12 @@ impl L1Cache for MesiWbL1 {
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L1Outbox) {}
 
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: invalidations, recalls, and fills drive all
+        // transitions.
+        None
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len() + self.wb_pending.len()
     }
@@ -548,10 +555,10 @@ pub struct MesiWbL2 {
     partition: PartitionId,
     tags: TagArray<WbDir>,
     mshrs: MshrFile<WbL2Entry>,
-    txns: HashMap<LineAddr, Txn>,
-    filling: HashSet<LineAddr>,
+    txns: FxHashMap<LineAddr, Txn>,
+    filling: FxHashSet<LineAddr>,
     stalled_fills: Vec<PendingFill>,
-    deferred: HashMap<LineAddr, VecDeque<ReqMsg>>,
+    deferred: FxHashMap<LineAddr, VecDeque<ReqMsg>>,
     deferred_count: usize,
     seq: u64,
     stats: L2Stats,
@@ -568,10 +575,10 @@ impl MesiWbL2 {
                 cfg.l2.num_partitions as u64,
             ),
             mshrs: MshrFile::new(cfg.l2.partition.mshrs, cfg.l2.partition.mshr_merge),
-            txns: HashMap::new(),
-            filling: HashSet::new(),
+            txns: FxHashMap::default(),
+            filling: FxHashSet::default(),
             stalled_fills: Vec::new(),
-            deferred: HashMap::new(),
+            deferred: FxHashMap::default(),
             deferred_count: 0,
             seq: 0,
             stats: L2Stats::default(),
@@ -1108,6 +1115,16 @@ impl L2Bank for MesiWbL2 {
                 self.filling.remove(&pf.line);
                 self.try_fill_or_recall(cycle, pf.line, pf.data, pf.queued, out);
             }
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Stalled fills poll every cycle until the blocking transaction
+        // clears; with none parked the bank is purely reactive.
+        if self.stalled_fills.is_empty() {
+            None
+        } else {
+            Some(now + 1)
         }
     }
 

@@ -35,6 +35,12 @@ impl L1Outbox {
         self.completions.append(&mut other.completions);
     }
 
+    /// Discards all contents, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.to_l2.clear();
+        self.completions.clear();
+    }
+
     /// True if nothing was produced.
     pub fn is_empty(&self) -> bool {
         self.to_l2.is_empty() && self.completions.is_empty()
@@ -78,6 +84,14 @@ impl L2Outbox {
         Self::default()
     }
 
+    /// Discards all contents, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.to_l1.clear();
+        self.dram_fetch.clear();
+        self.dram_writeback.clear();
+        self.magic_inv.clear();
+    }
+
     /// True if nothing was produced.
     pub fn is_empty(&self) -> bool {
         self.to_l1.is_empty()
@@ -88,7 +102,7 @@ impl L2Outbox {
 }
 
 /// Counters maintained by every L1 controller.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct L1Stats {
     /// Load accesses presented.
     pub loads: u64,
@@ -113,7 +127,7 @@ pub struct L1Stats {
 }
 
 /// Counters maintained by every L2 bank.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct L2Stats {
     /// GETS requests served.
     pub gets: u64,
@@ -179,6 +193,20 @@ pub trait L1Cache {
     /// to detect deadlock).
     fn pending(&self) -> usize;
 
+    /// The earliest future cycle at which this controller would act
+    /// *spontaneously* — i.e. its [`L1Cache::tick`] would do something
+    /// even if no access or response arrives first. `None` means "never:
+    /// only external input wakes me". Used by the simulator to fast
+    /// forward over idle stretches, so the contract is strict: returning
+    /// a cycle *later* than the true next action would skip real work
+    /// and corrupt the run; returning one earlier merely costs a wasted
+    /// tick. The conservative default, `now + 1`, claims work every
+    /// cycle and therefore disables fast-forwarding for controllers
+    /// that don't override it.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
+
     /// Statistics.
     fn stats(&self) -> &L1Stats;
 }
@@ -215,6 +243,16 @@ pub trait L2Bank {
 
     /// Number of outstanding transactions (MSHRs + deferred requests).
     fn pending(&self) -> usize;
+
+    /// The earliest future cycle at which this bank's [`L2Bank::tick`]
+    /// would act with no further input (e.g. TC-Strong releasing a
+    /// stalled store once the blocking lease expires). Same contract as
+    /// [`L1Cache::next_event`]: never later than the truth; `None` means
+    /// purely reactive; the default `now + 1` opts out of
+    /// fast-forwarding.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now + 1)
+    }
 
     /// Statistics.
     fn stats(&self) -> &L2Stats;

@@ -609,6 +609,15 @@ impl L1Cache for RccL1 {
         }
     }
 
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The only spontaneous action is the periodic livelock bump.
+        let interval = self.params.livelock_bump_interval;
+        if interval == 0 {
+            return None;
+        }
+        Some(Cycle((now.raw() / interval + 1) * interval))
+    }
+
     fn fence(&mut self) {
         // RCC-WO: a full fence joins the read and write views
         // (Section III-F). In SC mode the views are always equal.

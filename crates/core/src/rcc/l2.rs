@@ -16,8 +16,9 @@ use rcc_common::addr::LineAddr;
 use rcc_common::config::{GpuConfig, RccParams};
 use rcc_common::ids::{CoreId, PartitionId};
 use rcc_common::time::{Cycle, Timestamp};
+use rcc_common::FxHashMap;
 use rcc_mem::{LineData, MshrFile, TagArray};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The paper's L2 state names (Fig. 5, right table), derived for
 /// inspection: two stable states plus the two transient fill states.
@@ -90,7 +91,7 @@ pub struct RccL2 {
     mshrs: MshrFile<L2Entry>,
     /// Requests stalled behind a same-line transient state (IAV, or an
     /// atomic arriving in IV).
-    deferred: HashMap<LineAddr, VecDeque<ReqMsg>>,
+    deferred: FxHashMap<LineAddr, VecDeque<ReqMsg>>,
     deferred_count: usize,
     /// Memory time: max(`exp`, `ver`) over all lines evicted to DRAM.
     mnow: Timestamp,
@@ -114,7 +115,7 @@ impl RccL2 {
                 cfg.l2.num_partitions as u64,
             ),
             mshrs: MshrFile::new(cfg.l2.partition.mshrs, cfg.l2.partition.mshr_merge),
-            deferred: HashMap::new(),
+            deferred: FxHashMap::default(),
             deferred_count: 0,
             mnow: Timestamp::ZERO,
             seq: 0,
@@ -577,6 +578,11 @@ impl L2Bank for RccL2 {
     }
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L2Outbox) {}
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Purely reactive: RCC L2s act only on requests and DRAM fills.
+        None
+    }
 
     fn needs_rollover(&self) -> bool {
         self.ts_high.raw() >= self.rollover_threshold

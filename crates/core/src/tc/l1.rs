@@ -354,6 +354,11 @@ impl L1Cache for TcL1 {
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L1Outbox) {}
 
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        // Lease expiry is checked lazily on access; no spontaneous work.
+        None
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len()
     }

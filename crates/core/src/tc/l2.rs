@@ -9,8 +9,9 @@ use rcc_common::addr::LineAddr;
 use rcc_common::config::{GpuConfig, TcParams};
 use rcc_common::ids::PartitionId;
 use rcc_common::time::{Cycle, Timestamp};
+use rcc_common::FxHashMap;
 use rcc_mem::{LineData, MshrFile, TagArray};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-line metadata: the latest lease expiration granted (a cycle) and
 /// the lifetime predictor's current lease for this line.
@@ -49,8 +50,8 @@ pub struct TcL2 {
     waiting: BTreeMap<u64, Vec<WaitingWrite>>,
     /// Lines with waiting stores; same-line requests defer here to keep
     /// the per-line order (and to stop new leases from starving the store).
-    deferred: HashMap<LineAddr, VecDeque<ReqMsg>>,
-    blocked_lines: HashMap<LineAddr, usize>,
+    deferred: FxHashMap<LineAddr, VecDeque<ReqMsg>>,
+    blocked_lines: FxHashMap<LineAddr, usize>,
     /// Fills whose every candidate way held a line with parked stores;
     /// retried each tick.
     stalled_fills: Vec<(LineAddr, LineData, VecDeque<ReqMsg>)>,
@@ -83,8 +84,8 @@ impl TcL2 {
             ),
             mshrs: MshrFile::new(cfg.l2.partition.mshrs, cfg.l2.partition.mshr_merge),
             waiting: BTreeMap::new(),
-            deferred: HashMap::new(),
-            blocked_lines: HashMap::new(),
+            deferred: FxHashMap::default(),
+            blocked_lines: FxHashMap::default(),
             stalled_fills: Vec::new(),
             deferred_count: 0,
             max_evicted_exp: Timestamp::ZERO,
@@ -384,6 +385,18 @@ impl L2Bank for TcL2 {
                 self.redispatch_deferred(cycle, line, out);
             }
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Stalled fills retry every cycle; parked stores wake when the
+        // earliest blocking lease expires (first key of the ordered map).
+        if !self.stalled_fills.is_empty() {
+            return Some(now + 1);
+        }
+        self.waiting
+            .keys()
+            .next()
+            .map(|&release| Cycle(release.max(now.raw() + 1)))
     }
 
     fn pending(&self) -> usize {

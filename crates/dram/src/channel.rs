@@ -213,14 +213,15 @@ impl DramChannel {
     }
 
     /// Earliest cycle at which something will complete or could issue,
-    /// if known (lets the simulator skip idle cycles).
+    /// if known (lets the simulator skip idle cycles). While commands
+    /// are queued the channel arbitrates every cycle (bank timing may
+    /// free up at any point), so the queue takes precedence over any
+    /// known completion time.
     pub fn next_event(&self) -> Option<Cycle> {
-        let c = self.completions.iter().map(|(at, _)| *at).min();
-        match (c, self.queue.is_empty()) {
-            (Some(at), _) => Some(Cycle(at)),
-            (None, false) => Some(Cycle(0)), // work queued: poll every cycle
-            (None, true) => None,
+        if !self.queue.is_empty() {
+            return Some(Cycle(0)); // work queued: poll every cycle
         }
+        self.completions.iter().map(|(at, _)| *at).min().map(Cycle)
     }
 
     /// Reads serviced.

@@ -338,6 +338,136 @@ impl Core {
         }
     }
 
+    /// The earliest future cycle at which this core would do anything —
+    /// issue, retire, or advance micro-state — assuming no completion
+    /// arrives first. `None` means every live warp is blocked on memory
+    /// (or on another core's barrier progress) and only an external
+    /// event can wake it.
+    ///
+    /// Pure *counter* activity (SC/fence stall accounting) is not an
+    /// event: it is replicated exactly by [`Core::fast_forward`], which
+    /// the simulator must call over any cycles it skips.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.done() {
+            return None;
+        }
+        let nowr = now.raw();
+        let floor = nowr + 1;
+        let mut best: u64 = u64::MAX;
+        for warp in &self.warps {
+            if best == floor {
+                break; // already at the earliest possible answer
+            }
+            if warp.done {
+                continue;
+            }
+            if let Some(need) = warp.waiting_local {
+                // Released the cycle after the workgroup epoch advances;
+                // epochs only advance on barrier completions (external).
+                if self.wg_epochs[warp.wg_index] >= need {
+                    best = floor;
+                }
+                continue;
+            }
+            if warp.at_fence {
+                if warp.outstanding.is_empty() {
+                    if self.params.fence_policy == FencePolicy::DrainGwct && nowr <= warp.max_gwct {
+                        best = best.min(warp.max_gwct + 1);
+                    } else {
+                        best = floor;
+                    }
+                }
+                // Not drained: a completion must arrive first.
+                continue;
+            }
+            if warp.current_op().is_none() {
+                // Retirement is checked every cycle regardless of timers.
+                if warp.outstanding.is_empty() && warp.micro == Micro::Fresh {
+                    best = floor;
+                }
+                continue;
+            }
+            // An op is waiting; find when its timers next allow a visit.
+            let mut wake = floor;
+            let mut timer_pending = false;
+            if warp.busy_until > nowr {
+                wake = wake.max(warp.busy_until);
+                timer_pending = true;
+            }
+            match warp.micro {
+                Micro::SyncWait => continue, // woken by its completion
+                Micro::LockBackoff { until } | Micro::BarrierBackoff { until } if until > nowr => {
+                    wake = wake.max(until);
+                    timer_pending = true;
+                }
+                _ => {}
+            }
+            if wake > floor {
+                // A timer expires mid-idle: stepping resumes there (the
+                // warp either issues or starts accruing ordering stalls).
+                best = best.min(wake);
+                continue;
+            }
+            match warp.current_op() {
+                Some(MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. }) => best = floor,
+                _ => {
+                    if let Some((_, addr, _, is_sync)) = self.issue_intent(warp, wake) {
+                        if timer_pending || self.ordering_allows(warp, addr, is_sync) {
+                            // A timer expiring right at the window floor is
+                            // an event even if ordering then stalls the
+                            // warp: its stall accrual *starts* there, and
+                            // `fast_forward` (which evaluates intent at
+                            // `now`, where the timer is still live) would
+                            // miss those cycles.
+                            best = floor;
+                        }
+                        // Ordering-stalled with no timer: only counters
+                        // advance, and `fast_forward` replicates those.
+                    }
+                }
+            }
+        }
+        (best != u64::MAX).then_some(Cycle(best))
+    }
+
+    /// Accounts for `cycles` consecutive skipped cycles during which the
+    /// simulator proved (via [`Core::next_event`]) that this core takes
+    /// no action: replays the per-cycle stall counters [`Core::tick`]'s
+    /// bookkeeping phase would have accumulated, so metrics are
+    /// bit-identical with and without fast-forwarding.
+    pub fn fast_forward(&mut self, now: Cycle, cycles: u64) {
+        if cycles == 0 || self.done() {
+            return;
+        }
+        let nowr = now.raw();
+        for i in 0..self.warps.len() {
+            let warp = &self.warps[i];
+            if warp.done || warp.waiting_local.is_some() {
+                continue;
+            }
+            if warp.at_fence {
+                // The fence cannot retire inside the window (that would
+                // have been an event), so every skipped cycle stalls.
+                self.stats.fence_stall_cycles += cycles;
+                continue;
+            }
+            // Timer comparisons are stable across the window: any timer
+            // expiring inside it would have bounded the skip.
+            if let Some((_, addr, _, is_sync)) = self.issue_intent(warp, nowr) {
+                if !self.ordering_allows(warp, addr, is_sync) {
+                    let prev = warp
+                        .outstanding
+                        .back()
+                        .expect("ordering blocks only with outstanding ops")
+                        .class
+                        .prev_kind();
+                    self.stats.record_sc_stall_cycles(prev, cycles);
+                    self.warps[i].wait_for_issue += cycles;
+                }
+            }
+        }
+    }
+
     /// Advances non-issuing warp state (fences, local waits, retirement)
     /// and counts ordering stalls, then issues at most one instruction
     /// via `try_access`.

@@ -15,7 +15,7 @@ pub enum PrevOpKind {
 }
 
 /// Counters and histograms for one core.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct CoreStats {
     /// Instructions issued (memory + compute + synchronization steps).
     pub issued: u64,
@@ -56,11 +56,18 @@ pub struct CoreStats {
 impl CoreStats {
     /// Records an SC stall cycle attributed to `prev`.
     pub fn record_sc_stall_cycle(&mut self, prev: PrevOpKind) {
-        self.sc_stall_cycles += 1;
+        self.record_sc_stall_cycles(prev, 1);
+    }
+
+    /// Records `cycles` consecutive SC stall cycles attributed to `prev`
+    /// (bulk form used when the simulator fast-forwards over an idle
+    /// stretch).
+    pub fn record_sc_stall_cycles(&mut self, prev: PrevOpKind, cycles: u64) {
+        self.sc_stall_cycles += cycles;
         match prev {
-            PrevOpKind::Load => self.sc_stall_cycles_prev_load += 1,
-            PrevOpKind::Store => self.sc_stall_cycles_prev_store += 1,
-            PrevOpKind::Atomic => self.sc_stall_cycles_prev_atomic += 1,
+            PrevOpKind::Load => self.sc_stall_cycles_prev_load += cycles,
+            PrevOpKind::Store => self.sc_stall_cycles_prev_store += cycles,
+            PrevOpKind::Atomic => self.sc_stall_cycles_prev_atomic += cycles,
         }
     }
 

@@ -11,7 +11,7 @@
 //! data in its entries (Section III-D).
 
 use rcc_common::addr::LineAddr;
-use std::collections::HashMap;
+use rcc_common::FxHashMap;
 
 /// Why an MSHR allocation or merge was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +27,7 @@ pub enum MshrRejection {
 pub struct MshrFile<E> {
     capacity: usize,
     merge_cap: usize,
-    entries: HashMap<LineAddr, (E, usize)>,
+    entries: FxHashMap<LineAddr, (E, usize)>,
     high_water: usize,
 }
 
@@ -43,7 +43,7 @@ impl<E> MshrFile<E> {
         MshrFile {
             capacity,
             merge_cap,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             high_water: 0,
         }
     }

@@ -41,9 +41,49 @@ pub struct RunMetrics {
     pub sanitizer_sc: Option<bool>,
     /// Timestamp rollovers performed (RCC only).
     pub rollovers: u64,
+    /// Cycles the engine fast-forwarded over instead of stepping. Pure
+    /// engine telemetry: simulated results are identical whether these
+    /// cycles were skipped or stepped (see
+    /// [`RunMetrics::same_simulated_results`]).
+    pub skipped_cycles: u64,
+    /// Fast-forward jumps taken (engine telemetry).
+    pub ff_jumps: u64,
 }
 
 impl RunMetrics {
+    /// Fraction of simulated cycles the engine skipped rather than
+    /// stepped (0 when fast-forwarding is off or never fired).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Whether two runs produced bit-identical *simulated* results:
+    /// every architectural measurement must match exactly; only the
+    /// engine telemetry (skipped cycles / jumps) may differ. This is
+    /// the fast-forward correctness contract the determinism tests
+    /// enforce.
+    #[allow(clippy::float_cmp)] // bit-identical is the requirement
+    pub fn same_simulated_results(&self, other: &RunMetrics) -> bool {
+        self.kind == other.kind
+            && self.workload == other.workload
+            && self.cycles == other.cycles
+            && self.core == other.core
+            && self.l1 == other.l1
+            && self.l2 == other.l2
+            && self.traffic == other.traffic
+            && self.energy == other.energy
+            && self.dram_reads == other.dram_reads
+            && self.dram_writes == other.dram_writes
+            && self.dram_read_latency == other.dram_read_latency
+            && self.sc_violations == other.sc_violations
+            && self.sanitizer_sc == other.sanitizer_sc
+            && self.rollovers == other.rollovers
+    }
+
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -132,6 +172,8 @@ mod tests {
             sc_violations: 0,
             sanitizer_sc: None,
             rollovers: 0,
+            skipped_cycles: 0,
+            ff_jumps: 0,
         }
     }
 

@@ -26,6 +26,10 @@ pub struct SimOptions {
     pub sanitize: bool,
     /// Abort if the run exceeds this many cycles.
     pub max_cycles: u64,
+    /// Fast-forward over provably idle cycles (on by default; results
+    /// are bit-identical either way — see DESIGN.md, "Simulation
+    /// performance").
+    pub fast_forward: bool,
 }
 
 impl SimOptions {
@@ -35,6 +39,7 @@ impl SimOptions {
             check_sc: false,
             sanitize: false,
             max_cycles: 200_000_000,
+            fast_forward: true,
         }
     }
 
@@ -61,6 +66,7 @@ fn run_system<P: Protocol>(
     opts: &SimOptions,
 ) -> RunMetrics {
     let mut system = System::new(protocol, cfg, workload, check);
+    system.set_fast_forward(opts.fast_forward);
     if opts.sanitize {
         system.enable_sanitizer();
     }

@@ -6,6 +6,7 @@ use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, WarpId};
 use rcc_common::stats::TrafficStats;
 use rcc_common::time::{Cycle, Timestamp};
+use rcc_common::FxHashMap;
 use rcc_core::msg::{
     flits_for, Access, AccessKind, AccessOutcome, Completion, CompletionKind, ReqMsg, ReqPayload,
     RespMsg, RespPayload,
@@ -18,7 +19,7 @@ use rcc_mem::LineData;
 use rcc_noc::{Network, NocEnergyModel};
 use rcc_verify::sanitizer::{SanReport, Sanitizer};
 use rcc_workloads::Workload;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What a store/atomic will write (for the scoreboard).
 #[derive(Debug, Clone, Copy)]
@@ -27,8 +28,8 @@ enum PendingValue {
     Atomic(rcc_core::msg::AtomicOp),
 }
 
-type PendingVals = HashMap<(usize, WarpId, WordAddr), VecDeque<PendingValue>>;
-type LoadLog = HashMap<(usize, usize, WordAddr), Vec<u64>>;
+type PendingVals = FxHashMap<(usize, WarpId, WordAddr), VecDeque<PendingValue>>;
+type LoadLog = FxHashMap<(usize, usize, WordAddr), Vec<u64>>;
 
 /// Rollover coordination (Section III-D), simulator-orchestrated: on
 /// threshold crossing the cores pause, the system drains, the L2s reset
@@ -139,7 +140,7 @@ pub struct System<P: Protocol> {
     l2_inbox: Vec<VecDeque<ReqMsg>>,
     l2_delay: Vec<VecDeque<(u64, RespMsg)>>,
     drams: Vec<DramChannel>,
-    memory: HashMap<LineAddr, LineData>,
+    memory: FxHashMap<LineAddr, LineData>,
     cycle: Cycle,
     recorder: Recorder,
     traffic: TrafficStats,
@@ -148,6 +149,20 @@ pub struct System<P: Protocol> {
     rollovers: u64,
     last_progress: u64,
     kind: rcc_core::ProtocolKind,
+    /// Incremental mirror of [`System::memory_system_pending_scan`]:
+    /// updated with before/after deltas at every controller call site so
+    /// the per-cycle drain checks are O(1).
+    mem_pending: usize,
+    /// Whether `run` may jump over provably idle cycles.
+    ff_enabled: bool,
+    /// Cycles skipped by fast-forwarding (simulated results are
+    /// unaffected; this only measures how much stepping was avoided).
+    skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    ff_jumps: u64,
+    /// Reusable outbox buffers (capacity persists across cycles).
+    scratch_l1: L1Outbox,
+    scratch_l2: L2Outbox,
 }
 
 impl<P: Protocol> System<P> {
@@ -196,13 +211,13 @@ impl<P: Protocol> System<P> {
             l2_inbox: (0..nparts).map(|_| VecDeque::new()).collect(),
             l2_delay: (0..nparts).map(|_| VecDeque::new()).collect(),
             drams: (0..nparts).map(|_| DramChannel::new(&cfg.dram)).collect(),
-            memory: HashMap::new(),
+            memory: FxHashMap::default(),
             cycle: Cycle::ZERO,
             recorder: Recorder {
                 scoreboard: check_sc.then(Scoreboard::new),
                 sanitizer: None,
-                pending_vals: HashMap::new(),
-                load_log: HashMap::new(),
+                pending_vals: FxHashMap::default(),
+                load_log: FxHashMap::default(),
                 epoch_base: 0,
                 max_ts_seen: 0,
                 completions: 0,
@@ -214,7 +229,26 @@ impl<P: Protocol> System<P> {
             last_progress: 0,
             kind,
             cfg: cfg.clone(),
+            mem_pending: 0,
+            ff_enabled: true,
+            skipped_cycles: 0,
+            ff_jumps: 0,
+            scratch_l1: L1Outbox::new(),
+            scratch_l2: L2Outbox::new(),
         }
+    }
+
+    /// Enables or disables idle-cycle fast-forwarding (on by default).
+    /// Results are bit-identical either way; disabling forces the run to
+    /// step through every cycle (the reference behaviour the determinism
+    /// tests compare against).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.ff_enabled = enabled;
+    }
+
+    /// Cycles skipped by fast-forwarding so far.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Attaches the runtime SC sanitizer (off by default; recording adds
@@ -295,32 +329,36 @@ impl<P: Protocol> System<P> {
         flits
     }
 
-    /// Routes one L1 outbox: requests onto the request network,
-    /// completions into the core and recorder.
-    fn process_l1_out(&mut self, core: usize, out: L1Outbox) {
-        for req in out.to_l2 {
+    /// Routes one L1 outbox (drained in place so its buffers can be
+    /// reused): requests onto the request network, completions into the
+    /// core and recorder.
+    fn process_l1_out(&mut self, core: usize, out: &mut L1Outbox) {
+        self.mem_pending += out.to_l2.len();
+        for req in out.to_l2.drain(..) {
             let part = req.line.partition(self.cfg.l2.num_partitions);
             let flits = Self::bill_req(&mut self.traffic, &self.cfg, &req);
             self.req_net.inject(self.cycle, core, part, 0, flits, req);
         }
-        for c in out.completions {
+        for c in out.completions.drain(..) {
             self.recorder.note_completion(core, &c);
             self.cores[core].complete(self.cycle, &c);
             self.last_progress = self.cycle.raw();
         }
     }
 
-    /// Routes one L2 outbox: responses into the bank's delay pipe, DRAM
-    /// commands into the channel, magic coherence actions straight to L1s.
-    fn process_l2_out(&mut self, part: usize, out: L2Outbox) {
+    /// Routes one L2 outbox (drained in place): responses into the
+    /// bank's delay pipe, DRAM commands into the channel, magic
+    /// coherence actions straight to L1s.
+    fn process_l2_out(&mut self, part: usize, out: &mut L2Outbox) {
         let ready = self.cycle.raw() + self.cfg.l2.partition.latency;
-        for resp in out.to_l1 {
+        self.mem_pending += out.to_l1.len() + out.dram_fetch.len() + out.dram_writeback.len();
+        for resp in out.to_l1.drain(..) {
             self.l2_delay[part].push_back((ready, resp));
         }
-        for line in out.dram_fetch {
+        for line in out.dram_fetch.drain(..) {
             self.drams[part].enqueue(self.cycle, line, false);
         }
-        for (line, data) in out.dram_writeback {
+        for (line, data) in out.dram_writeback.drain(..) {
             // Data is applied functionally at once; the channel models
             // the bandwidth/occupancy cost.
             self.traffic.record(
@@ -334,14 +372,25 @@ impl<P: Protocol> System<P> {
             self.memory.insert(line, data);
             self.drams[part].enqueue(self.cycle, line, true);
         }
-        for (core, line, action) in out.magic_inv {
+        for (core, line, action) in out.magic_inv.drain(..) {
             // SC-IDEAL: zero-cost, zero-latency coherence action.
+            let before = self.l1s[core.index()].pending();
             self.l1s[core.index()].magic(self.cycle, line, action);
+            self.mem_pending += self.l1s[core.index()].pending();
+            self.mem_pending -= before;
         }
     }
 
-    /// Total outstanding work anywhere in the memory system.
+    /// Total outstanding work anywhere in the memory system — the
+    /// incrementally maintained counter ([`System::step`] cross-checks
+    /// it against the full scan in debug builds).
     fn memory_system_pending(&self) -> usize {
+        self.mem_pending
+    }
+
+    /// Reference implementation of [`System::memory_system_pending`]:
+    /// re-sums every component. O(components); kept for validation.
+    fn memory_system_pending_scan(&self) -> usize {
         self.l1s.iter().map(L1Cache::pending).sum::<usize>()
             + self.l2s.iter().map(L2Bank::pending).sum::<usize>()
             + self.l2_inbox.iter().map(VecDeque::len).sum::<usize>()
@@ -357,15 +406,23 @@ impl<P: Protocol> System<P> {
         let cycle = self.cycle;
 
         // 1. Response network → L1s.
-        for (dst, resp) in self.resp_net.deliver(cycle) {
-            let mut out = L1Outbox::new();
+        let delivered = self.resp_net.deliver(cycle);
+        self.mem_pending -= delivered.len();
+        for (dst, resp) in delivered {
+            let mut out = std::mem::take(&mut self.scratch_l1);
+            let before = self.l1s[dst].pending();
             self.l1s[dst].handle_resp(cycle, resp, &mut out);
-            self.process_l1_out(dst, out);
+            self.mem_pending += self.l1s[dst].pending();
+            self.mem_pending -= before;
+            self.process_l1_out(dst, &mut out);
+            self.scratch_l1 = out;
         }
 
         // 2. Request network → bank inboxes (flush acks are intercepted
         //    by the rollover coordinator).
-        for (dst, req) in self.req_net.deliver(cycle) {
+        let delivered = self.req_net.deliver(cycle);
+        self.mem_pending -= delivered.len();
+        for (dst, req) in delivered {
             if matches!(req.payload, ReqPayload::FlushAck) {
                 if let RolloverState::Flushing { acks_outstanding } = &mut self.rollover {
                     *acks_outstanding -= 1;
@@ -373,25 +430,42 @@ impl<P: Protocol> System<P> {
                 continue;
             }
             self.l2_inbox[dst].push_back(req);
+            self.mem_pending += 1;
         }
 
         // 3. L2 banks: tick, then serve one request per cycle.
         for p in 0..self.l2s.len() {
-            let mut out = L2Outbox::new();
+            let mut out = std::mem::take(&mut self.scratch_l2);
+            let before = self.l2s[p].pending();
             self.l2s[p].tick(cycle, &mut out);
+            self.mem_pending += self.l2s[p].pending();
+            self.mem_pending -= before;
             if !out.is_empty() {
-                self.process_l2_out(p, out);
+                self.process_l2_out(p, &mut out);
             }
             if let Some(req) = self.l2_inbox[p].pop_front() {
-                let mut out = L2Outbox::new();
+                self.mem_pending -= 1;
+                let before = self.l2s[p].pending();
                 match self.l2s[p].handle_req(cycle, req.clone(), &mut out) {
-                    Ok(()) => self.process_l2_out(p, out),
-                    Err(()) => self.l2_inbox[p].push_front(req),
+                    Ok(()) => {
+                        self.mem_pending += self.l2s[p].pending();
+                        self.mem_pending -= before;
+                        self.process_l2_out(p, &mut out);
+                    }
+                    Err(()) => {
+                        self.mem_pending += self.l2s[p].pending();
+                        self.mem_pending -= before;
+                        out.clear(); // discard any partial output
+                        self.l2_inbox[p].push_front(req);
+                        self.mem_pending += 1;
+                    }
                 }
             }
+            self.scratch_l2 = out;
         }
 
-        // 4. L2 delay pipes → response network.
+        // 4. L2 delay pipes → response network (one message leaves the
+        //    pipe, one enters the network: pending is unchanged).
         for p in 0..self.l2_delay.len() {
             while self.l2_delay[p]
                 .front()
@@ -406,11 +480,19 @@ impl<P: Protocol> System<P> {
 
         // 5. DRAM.
         for p in 0..self.drams.len() {
-            for line in self.drams[p].tick(cycle) {
+            let before = self.drams[p].pending();
+            let lines = self.drams[p].tick(cycle);
+            self.mem_pending += self.drams[p].pending();
+            self.mem_pending -= before;
+            for line in lines {
                 let data = self.memory.get(&line).cloned().unwrap_or_default();
-                let mut out = L2Outbox::new();
+                let mut out = std::mem::take(&mut self.scratch_l2);
+                let before = self.l2s[p].pending();
                 self.l2s[p].handle_dram(cycle, line, data, &mut out);
-                self.process_l2_out(p, out);
+                self.mem_pending += self.l2s[p].pending();
+                self.mem_pending -= before;
+                self.process_l2_out(p, &mut out);
+                self.scratch_l2 = out;
             }
         }
 
@@ -420,7 +502,8 @@ impl<P: Protocol> System<P> {
         // 7. Cores + L1 ticks (paused while a rollover is in progress).
         let issuing = self.rollover == RolloverState::Idle;
         for i in 0..self.cores.len() {
-            let mut out = L1Outbox::new();
+            let mut out = std::mem::take(&mut self.scratch_l1);
+            let before = self.l1s[i].pending();
             self.l1s[i].tick(cycle, &mut out);
             if issuing && !self.cores[i].done() {
                 let l1 = &mut self.l1s[i];
@@ -452,8 +535,17 @@ impl<P: Protocol> System<P> {
                     self.last_progress = cycle.raw();
                 }
             }
-            self.process_l1_out(i, out);
+            self.mem_pending += self.l1s[i].pending();
+            self.mem_pending -= before;
+            self.process_l1_out(i, &mut out);
+            self.scratch_l1 = out;
         }
+
+        debug_assert_eq!(
+            self.mem_pending,
+            self.memory_system_pending_scan(),
+            "incremental pending counter diverged at {cycle}"
+        );
 
         // Watchdog.
         assert!(
@@ -493,6 +585,7 @@ impl<P: Protocol> System<P> {
                         };
                         let flits = Self::bill_resp(&mut self.traffic, &self.cfg, &resp);
                         self.resp_net.inject(self.cycle, 0, core, 1, flits, resp);
+                        self.mem_pending += 1;
                     }
                     self.rollover = RolloverState::Flushing {
                         acks_outstanding: self.cores.len(),
@@ -511,6 +604,130 @@ impl<P: Protocol> System<P> {
         }
     }
 
+    /// The earliest cycle strictly after `self.cycle` at which *any*
+    /// component acts, assuming nothing new happens first. `None` means
+    /// the machine is fully quiescent (only the watchdog would fire).
+    ///
+    /// The skip invariant: a fast-forward may never cross a cycle where
+    /// any component would act. Each component's hint is therefore an
+    /// upper bound on how far we may jump, and the minimum over all of
+    /// them is the next cycle that must actually be stepped.
+    fn next_event_cycle(&self) -> Option<u64> {
+        let now = self.cycle;
+        let floor = now.raw() + 1;
+        // `floor` is the earliest answer possible, so the scan bails the
+        // moment any component reports it — the common case in busy
+        // phases, where this runs every cycle and must cost ~nothing.
+        // Checks are ordered cheapest-first.
+        if self.l2_inbox.iter().any(|inbox| !inbox.is_empty()) {
+            return Some(floor);
+        }
+        let mut best: u64 = u64::MAX;
+        for delay in &self.l2_delay {
+            // The pipe is FIFO with a fixed latency, so the front is the
+            // earliest entry.
+            if let Some((ready, _)) = delay.front() {
+                best = best.min((*ready).max(floor));
+            }
+        }
+        if best == floor {
+            return Some(floor);
+        }
+        let nets = [self.req_net.next_event(), self.resp_net.next_event()];
+        for c in nets.into_iter().flatten() {
+            best = best.min(c.raw().max(floor));
+            if best == floor {
+                return Some(floor);
+            }
+        }
+        for dram in &self.drams {
+            if let Some(c) = dram.next_event() {
+                best = best.min(c.raw().max(floor));
+                if best == floor {
+                    return Some(floor);
+                }
+            }
+        }
+        for l2 in &self.l2s {
+            if let Some(c) = l2.next_event(now) {
+                best = best.min(c.raw().max(floor));
+                if best == floor {
+                    return Some(floor);
+                }
+            }
+        }
+        // L1 ticks run every cycle even while a rollover pauses issue.
+        for l1 in &self.l1s {
+            if let Some(c) = l1.next_event(now) {
+                best = best.min(c.raw().max(floor));
+                if best == floor {
+                    return Some(floor);
+                }
+            }
+        }
+        match self.rollover {
+            RolloverState::Idle => {
+                if self.l2s.iter().any(L2Bank::needs_rollover) {
+                    return Some(floor);
+                }
+                for core in &self.cores {
+                    if let Some(c) = core.next_event(now) {
+                        best = best.min(c.raw().max(floor));
+                        if best == floor {
+                            return Some(floor);
+                        }
+                    }
+                }
+            }
+            RolloverState::Draining => {
+                // Cores are paused; the coordinator acts the cycle the
+                // drain completes, and both terms only fall when
+                // messages move (which are events of their own).
+                let outstanding: usize = self.cores.iter().map(Core::outstanding).sum();
+                if outstanding == 0 && self.memory_system_pending() == 0 {
+                    return Some(floor);
+                }
+            }
+            RolloverState::Flushing { acks_outstanding } => {
+                if acks_outstanding == 0 {
+                    return Some(floor);
+                }
+            }
+        }
+        (best != u64::MAX).then_some(best)
+    }
+
+    /// Jumps `self.cycle` to just before the next event when the gap is
+    /// provably idle, replaying per-cycle stall counters so the metrics
+    /// are bit-identical to a stepped run. The jump is capped so the
+    /// watchdog and the `max_cycles` abort fire at exactly the cycles
+    /// they would in a stepped run.
+    fn maybe_fast_forward(&mut self, max_cycles: u64) {
+        let now = self.cycle.raw();
+        let deadline = self.last_progress + self.cfg.watchdog_cycles + 1;
+        let target = self
+            .next_event_cycle()
+            .unwrap_or(deadline)
+            .min(deadline)
+            .min(max_cycles);
+        if target <= now + 1 {
+            return;
+        }
+        let skipped = target - now - 1;
+        if self.rollover == RolloverState::Idle {
+            // Paused cores do no bookkeeping, so only an idle machine
+            // accrues per-cycle stall counters.
+            let at = self.cycle;
+            for core in &mut self.cores {
+                core.fast_forward(at, skipped);
+            }
+        }
+        self.skipped_cycles += skipped;
+        self.ff_jumps += 1;
+        // Land one cycle short: the next `step` executes the event cycle.
+        self.cycle = Cycle(target - 1);
+    }
+
     /// Runs to completion (or `max_cycles`) and returns the metrics.
     ///
     /// # Panics
@@ -519,6 +736,9 @@ impl<P: Protocol> System<P> {
     /// execution violates SC for a protocol that must support it.
     pub fn run(&mut self, max_cycles: u64) -> RunMetrics {
         while !self.done() && self.cycle.raw() < max_cycles {
+            if self.ff_enabled {
+                self.maybe_fast_forward(max_cycles);
+            }
             self.step();
         }
         assert!(
@@ -614,6 +834,8 @@ impl<P: Protocol> System<P> {
             sc_violations,
             sanitizer_sc: self.recorder.sanitizer.as_ref().map(|san| san.check().sc),
             rollovers: self.rollovers,
+            skipped_cycles: self.skipped_cycles,
+            ff_jumps: self.ff_jumps,
         }
     }
 }

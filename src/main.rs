@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! USAGE: rcc-repro [--protocol P] [--bench B] [--machine M] [--scale S]
-//!                  [--seed N] [--check] [--csv] [--all]
+//!                  [--seed N] [--check] [--csv] [--all] [--jobs N]
 //!
 //!   --protocol  mesi | mesi-wb | tcs | tcw | rcc | rcc-wo | ideal  (default rcc)
 //!   --bench     bh|bfs|cl|dlb|stn|vpr|hsp|kmn|lps|ndl|sr|lud  (default dlb)
@@ -12,8 +12,11 @@
 //!   --trace-file PATH   run a custom trace (see workloads::custom)
 //!   --mesh      use a 2D-mesh NoC instead of the crossbars
 //!   --check     verify the run with the SC scoreboard
+//!   --no-ff     disable idle-cycle fast-forwarding (same results, slower)
 //!   --csv       print one CSV row instead of the report
 //!   --all       run every protocol on the chosen benchmark
+//!   --jobs N    run --all protocols on N worker threads (0 = one per
+//!               core); output is identical to a sequential run
 //! ```
 
 use rcc_repro::coherence::ProtocolKind;
@@ -111,9 +114,9 @@ fn main() -> ExitCode {
             "{}",
             include_str!("main.rs")
                 .lines()
-                .skip(2)
-                .take(12)
-                .map(|l| l.trim_start_matches("//! "))
+                .skip(3)
+                .take(16)
+                .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
         );
@@ -152,11 +155,14 @@ fn main() -> ExitCode {
         }
     };
     let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
-    let opts = if has("--check") {
+    let mut opts = if has("--check") {
         SimOptions::checked()
     } else {
         SimOptions::fast()
     };
+    if has("--no-ff") {
+        opts.fast_forward = false;
+    }
 
     let wl = if let Some(path) = get("--trace-file") {
         let text = match std::fs::read_to_string(&path) {
@@ -184,15 +190,19 @@ fn main() -> ExitCode {
     if has("--csv") {
         println!("{}", csv_header());
     }
-    for (i, k) in kinds.iter().enumerate() {
-        let m = simulate(*k, &cfg, &wl, &opts);
+    // The protocol runs are independent, so --all can spread them over a
+    // job pool; results come back in submission order, keeping the
+    // report/CSV output byte-identical to a sequential run.
+    let jobs = rcc_bench::parse_jobs(&args);
+    let results = rcc_bench::pool::run_indexed(kinds, jobs, |k| simulate(k, &cfg, &wl, &opts));
+    for (i, m) in results.iter().enumerate() {
         if has("--csv") {
-            println!("{}", csv_row(&m));
+            println!("{}", csv_row(m));
         } else {
             if i > 0 {
                 println!();
             }
-            report(&m);
+            report(m);
         }
     }
     ExitCode::SUCCESS
