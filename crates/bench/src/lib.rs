@@ -17,6 +17,10 @@
 //!   run; SC-capable protocols must produce an execution some SC total
 //!   order explains, or the run aborts (adds an end-of-run check, slows
 //!   recording slightly)
+//! * `--chaos seed=N,profile=P` — arm deterministic perturbation
+//!   injection (`rcc-chaos`) on every run; profiles: `light`, `heavy`,
+//!   `reorder`, `canary` (the last is deliberately unsound — pair it
+//!   with `--sanitize` to watch the sanitizer catch it)
 
 pub mod pool;
 
@@ -44,14 +48,15 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Parses `--quick` / `--full` / `--sanitize` / `--jobs N` from the
-    /// process arguments.
+    /// Parses `--quick` / `--full` / `--sanitize` / `--chaos SPEC` /
+    /// `--jobs N` from the process arguments.
     pub fn from_args() -> Harness {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
         let full = args.iter().any(|a| a == "--full");
         let mut opts = SimOptions::fast();
         opts.sanitize = args.iter().any(|a| a == "--sanitize");
+        opts.chaos = parse_chaos(&args);
         let jobs = parse_jobs(&args);
         if quick {
             Harness {
@@ -114,6 +119,23 @@ pub fn parse_jobs(args: &[String]) -> usize {
         .map_or(1, pool::resolve_jobs)
 }
 
+/// Parses `--chaos seed=N,profile=P` from an argument list; `None` when
+/// the flag is absent. A malformed spec aborts with the parser's message
+/// (silently running unperturbed would defeat the point of the flag).
+pub fn parse_chaos(args: &[String]) -> Option<rcc_chaos::ChaosSpec> {
+    let spec = args
+        .iter()
+        .position(|a| a == "--chaos")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_default())?;
+    match rcc_chaos::ChaosSpec::parse(&spec) {
+        Ok(spec) => Some(spec),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Prints a header with the figure id and run configuration.
 pub fn banner(fig: &str, what: &str, h: &Harness) {
     println!("================================================================");
@@ -171,5 +193,17 @@ mod tests {
     fn benchmark_halves() {
         assert_eq!(inter().len(), 6);
         assert_eq!(intra().len(), 6);
+    }
+
+    #[test]
+    fn parse_chaos_flag() {
+        let args: Vec<String> = ["bin", "--chaos", "seed=5,profile=heavy"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let spec = parse_chaos(&args).expect("flag present");
+        assert_eq!(spec.seed, 5);
+        assert_eq!(spec.profile.name, "heavy");
+        assert!(parse_chaos(&["bin".to_string()]).is_none());
     }
 }

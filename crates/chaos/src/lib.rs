@@ -1,0 +1,530 @@
+//! Deterministic perturbation injection ("chaos") for the RCC simulator.
+//!
+//! RCC enforces sequential consistency in *logical* time, so no amount of
+//! physical-time perturbation — NoC congestion, DRAM refresh stalls,
+//! variable hit latencies, transient MSHR exhaustion, early lease
+//! expiration — may ever produce an SC violation. This crate supplies the
+//! adversary for that claim: a seeded, reproducible [`Perturber`] that the
+//! timing-bearing crates (`noc`, `dram`, `mem`, `core`, `sim`) consult at
+//! well-defined injection [`Site`]s.
+//!
+//! Design constraints, in order of importance:
+//!
+//! 1. **Determinism.** Every draw comes from a [`Pcg32`] stream derived
+//!    from `(seed, component stream id)`. Sampling is strictly
+//!    *event-driven* — a draw happens when a request is serviced, a packet
+//!    injected, an MSHR allocated — never per simulated cycle. This is
+//!    what makes chaos compose with fast-forwarding: the skipper elides
+//!    idle cycles only, so the sequence of events (and hence of rng draws)
+//!    is identical with the skipper on or off.
+//! 2. **Zero cost when off.** Components hold an
+//!    `Option<Box<dyn PerturbPoint>>` that is `None` by default; the hot
+//!    path pays one branch.
+//! 3. **Soundness by construction.** Sound profiles only *delay* physical
+//!    events or *shrink* leases — transformations the protocols must
+//!    tolerate. The one deliberately unsound profile ([`canary`]) exists
+//!    to prove the sanitizer catches a real protocol hole (an L1 serving
+//!    reads from a line whose lease expired, as if a lease extension it
+//!    never received had been granted).
+//!
+//! [`canary`]: ChaosProfile::canary
+
+use rcc_common::rng::Pcg32;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Well-known injection points. Each site is consulted at most once per
+/// *event* (request serviced, packet injected, …), never per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Extra cycles added to a NoC packet's traversal latency (applied
+    /// before output-port serialization, so per-destination FIFO order —
+    /// which the protocols rely on — is preserved; reordering happens
+    /// only across (src, dst) pairs, which the mesh legally permits).
+    NocTraversal,
+    /// Extra cycles a response spends in the L2-partition delay pipe.
+    L2Pipe,
+    /// Extra cycles added to a DRAM command's issue time (bank/channel
+    /// timing stretch).
+    DramCommand,
+    /// A refresh-like stall: a large fixed delay charged to a DRAM
+    /// command when it fires.
+    DramRefresh,
+    /// Bounce an otherwise-issuable L1 access for one cycle (variable
+    /// hit latency seen from the core).
+    L1Access,
+    /// Transiently report an MSHR file as full (allocate) or a merge
+    /// list as saturated (merge).
+    MshrSqueeze,
+    /// Truncate a granted read lease to a single cycle, forcing early
+    /// expiration and renewal pressure.
+    LeaseTruncate,
+    /// Bump an L2 write/atomic's logical timestamp forward, creating
+    /// timestamp-rollover pressure.
+    TsBump,
+    /// UNSOUND (canary only): let an L1 serve a read from a resident
+    /// line whose lease has expired, as if an extension had been granted.
+    CanaryStaleHit,
+}
+
+/// A perturbation hook. Components call [`jitter`](PerturbPoint::jitter)
+/// for sites that yield a delay/amount and [`fires`](PerturbPoint::fires)
+/// for yes/no sites. Both mutate rng state, so call them exactly once per
+/// event, in a deterministic order.
+pub trait PerturbPoint: fmt::Debug + Send {
+    /// Extra cycles (or timestamp delta, for [`Site::TsBump`]) to inject
+    /// at `site`; 0 when nothing fires.
+    fn jitter(&mut self, site: Site) -> u64;
+
+    /// Whether the yes/no perturbation at `site` fires for this event.
+    fn fires(&mut self, site: Site) -> bool;
+
+    /// Derives an independent hook for a sub-component (e.g. a
+    /// controller handing a hook to its MSHR file). The child is seeded
+    /// from this hook's stream *and* `salt`, so siblings are
+    /// decorrelated — a plain `clone` would replay identical draws.
+    fn fork(&mut self, salt: u64) -> Box<dyn PerturbPoint>;
+
+    /// Clones the hook, preserving rng state (used by `#[derive(Clone)]`
+    /// on components; cloned components replay identical perturbations,
+    /// which is exactly what snapshot/replay debugging wants).
+    fn clone_box(&self) -> Box<dyn PerturbPoint>;
+}
+
+impl Clone for Box<dyn PerturbPoint> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Per-site probabilities and magnitudes. All cycle counts are bounded so
+/// perturbed runs terminate within the usual watchdogs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosProfile {
+    pub name: &'static str,
+    /// P(extra NoC traversal latency) and its max, in cycles.
+    pub noc_jitter_p: f64,
+    pub noc_jitter_max: u64,
+    /// P(extra L2 delay-pipe latency) and its max, in cycles.
+    pub pipe_jitter_p: f64,
+    pub pipe_jitter_max: u64,
+    /// P(DRAM command timing stretch) and its max, in cycles.
+    pub dram_cmd_jitter_p: f64,
+    pub dram_cmd_jitter_max: u64,
+    /// P(refresh-like stall) and its fixed duration, in cycles.
+    pub dram_refresh_p: f64,
+    pub dram_refresh_stall: u64,
+    /// P(bouncing an issuable L1 access for one cycle).
+    pub l1_stall_p: f64,
+    /// P(transiently reporting MSHRs exhausted).
+    pub mshr_squeeze_p: f64,
+    /// P(truncating a granted read lease to 1 cycle).
+    pub lease_truncate_p: f64,
+    /// P(bumping a write/atomic timestamp) and the max bump.
+    pub ts_bump_p: f64,
+    pub ts_bump_max: u64,
+    /// UNSOUND: serve reads from expired resident lines. Canary only.
+    pub canary_stale_hit: bool,
+}
+
+impl ChaosProfile {
+    /// Mild jitter everywhere: the "realistic bad day" profile.
+    pub fn light() -> Self {
+        ChaosProfile {
+            name: "light",
+            noc_jitter_p: 0.05,
+            noc_jitter_max: 8,
+            pipe_jitter_p: 0.05,
+            pipe_jitter_max: 4,
+            dram_cmd_jitter_p: 0.05,
+            dram_cmd_jitter_max: 16,
+            dram_refresh_p: 0.01,
+            dram_refresh_stall: 64,
+            l1_stall_p: 0.02,
+            mshr_squeeze_p: 0.01,
+            lease_truncate_p: 0.02,
+            ts_bump_p: 0.02,
+            ts_bump_max: 256,
+            canary_stale_hit: false,
+        }
+    }
+
+    /// Aggressive delays and resource exhaustion: the "adversarial
+    /// scheduler" profile.
+    pub fn heavy() -> Self {
+        ChaosProfile {
+            name: "heavy",
+            noc_jitter_p: 0.25,
+            noc_jitter_max: 32,
+            pipe_jitter_p: 0.20,
+            pipe_jitter_max: 16,
+            dram_cmd_jitter_p: 0.25,
+            dram_cmd_jitter_max: 64,
+            dram_refresh_p: 0.05,
+            dram_refresh_stall: 200,
+            l1_stall_p: 0.10,
+            mshr_squeeze_p: 0.10,
+            lease_truncate_p: 0.25,
+            ts_bump_p: 0.10,
+            ts_bump_max: 4096,
+            canary_stale_hit: false,
+        }
+    }
+
+    /// Maximizes cross-flow reordering: large, frequent NoC/pipe jitter,
+    /// no resource squeezes — isolates message-arrival-order effects.
+    pub fn reorder() -> Self {
+        ChaosProfile {
+            name: "reorder",
+            noc_jitter_p: 0.50,
+            noc_jitter_max: 64,
+            pipe_jitter_p: 0.40,
+            pipe_jitter_max: 32,
+            dram_cmd_jitter_p: 0.30,
+            dram_cmd_jitter_max: 48,
+            dram_refresh_p: 0.0,
+            dram_refresh_stall: 0,
+            l1_stall_p: 0.0,
+            mshr_squeeze_p: 0.0,
+            lease_truncate_p: 0.10,
+            ts_bump_p: 0.05,
+            ts_bump_max: 1024,
+            canary_stale_hit: false,
+        }
+    }
+
+    /// Deliberately UNSOUND: models a lost lease-extension message by
+    /// (a) truncating every granted lease to 1 cycle, so lines expire
+    /// almost immediately, and (b) letting L1s keep serving reads from
+    /// those expired lines as if the extension had arrived. The runtime
+    /// SC sanitizer must flag this — it is the proof that the chaos
+    /// harness + sanitizer pair actually detects unsound protocols.
+    pub fn canary() -> Self {
+        ChaosProfile {
+            name: "canary",
+            lease_truncate_p: 1.0,
+            canary_stale_hit: true,
+            ..Self::light()
+        }
+    }
+
+    /// The sound profiles, i.e. every preset an SC protocol must survive.
+    pub fn sound() -> Vec<ChaosProfile> {
+        vec![Self::light(), Self::heavy(), Self::reorder()]
+    }
+
+    /// Looks a profile up by preset name.
+    pub fn by_name(name: &str) -> Option<ChaosProfile> {
+        match name {
+            "light" => Some(Self::light()),
+            "heavy" => Some(Self::heavy()),
+            "reorder" => Some(Self::reorder()),
+            "canary" => Some(Self::canary()),
+            _ => None,
+        }
+    }
+
+    /// True if the profile only delays events / shrinks leases (safe
+    /// transformations); false for the canary.
+    pub fn is_sound(&self) -> bool {
+        !self.canary_stale_hit
+    }
+}
+
+/// What `--chaos seed=N,profile=P` parses into; carried on
+/// `SimOptions::chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    pub seed: u64,
+    pub profile: ChaosProfile,
+}
+
+impl ChaosSpec {
+    pub fn new(seed: u64, profile: ChaosProfile) -> Self {
+        ChaosSpec { seed, profile }
+    }
+
+    /// Parses `seed=N,profile=P` (either key may be omitted; defaults
+    /// are seed 0 and the `light` profile).
+    pub fn parse(s: &str) -> Result<ChaosSpec, String> {
+        let mut seed = 0u64;
+        let mut profile = ChaosProfile::light();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                Some(("seed", v)) => {
+                    seed = v.parse().map_err(|_| format!("--chaos: bad seed {v:?}"))?;
+                }
+                Some(("profile", v)) => {
+                    profile = ChaosProfile::by_name(v).ok_or_else(|| {
+                        format!(
+                            "--chaos: unknown profile {v:?} \
+                             (known: light, heavy, reorder, canary)"
+                        )
+                    })?;
+                }
+                _ => {
+                    return Err(format!(
+                        "--chaos: expected seed=N or profile=P, got {part:?}"
+                    ))
+                }
+            }
+        }
+        Ok(ChaosSpec { seed, profile })
+    }
+}
+
+/// Stable per-component rng stream selectors. Keeping these fixed means a
+/// given (seed, profile) names one schedule forever, independent of the
+/// order in which `sim::System` happens to wire components.
+pub mod stream {
+    pub const REQ_NET: u64 = 0x11;
+    pub const RESP_NET: u64 = 0x12;
+    pub const L2_PIPE: u64 = 0x13;
+    pub const L1_ACCESS: u64 = 0x14;
+    /// Per-partition DRAM channels: `DRAM_BASE + partition`.
+    pub const DRAM_BASE: u64 = 0x100;
+    /// Per-core L1 controllers: `L1_BASE + core`.
+    pub const L1_BASE: u64 = 0x200;
+    /// Per-partition L2 banks: `L2_BASE + partition`.
+    pub const L2_BASE: u64 = 0x300;
+}
+
+/// The standard [`PerturbPoint`]: a profile plus a PCG-32 stream, with a
+/// shared counter of fired injections (reported as
+/// `RunMetrics::chaos_events`, so determinism tests also pin that both
+/// runs injected the *same number* of perturbations).
+#[derive(Debug, Clone)]
+pub struct Perturber {
+    profile: ChaosProfile,
+    rng: Pcg32,
+    fired: Arc<AtomicU64>,
+}
+
+impl Perturber {
+    /// A hook for component stream `stream`, counting fired injections
+    /// into `fired`.
+    pub fn new(spec: &ChaosSpec, stream: u64, fired: Arc<AtomicU64>) -> Self {
+        Perturber {
+            profile: spec.profile.clone(),
+            rng: Pcg32::new(spec.seed, stream),
+            fired,
+        }
+    }
+
+    /// Convenience constructor with a private counter (tests).
+    pub fn standalone(spec: &ChaosSpec, stream: u64) -> Self {
+        Self::new(spec, stream, Arc::new(AtomicU64::new(0)))
+    }
+
+    pub fn profile(&self) -> &ChaosProfile {
+        &self.profile
+    }
+
+    fn hit(&mut self) {
+        self.fired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bounded(&mut self, p: f64, max: u64) -> u64 {
+        if max == 0 || !self.rng.chance(p) {
+            return 0;
+        }
+        self.hit();
+        self.rng.range(1, max + 1)
+    }
+}
+
+impl PerturbPoint for Perturber {
+    fn jitter(&mut self, site: Site) -> u64 {
+        let p = self.profile.clone();
+        match site {
+            Site::NocTraversal => self.bounded(p.noc_jitter_p, p.noc_jitter_max),
+            Site::L2Pipe => self.bounded(p.pipe_jitter_p, p.pipe_jitter_max),
+            Site::DramCommand => self.bounded(p.dram_cmd_jitter_p, p.dram_cmd_jitter_max),
+            Site::DramRefresh => {
+                if p.dram_refresh_stall > 0 && self.rng.chance(p.dram_refresh_p) {
+                    self.hit();
+                    p.dram_refresh_stall
+                } else {
+                    0
+                }
+            }
+            Site::TsBump => self.bounded(p.ts_bump_p, p.ts_bump_max),
+            // Yes/no sites answered through `fires`; a jitter query on
+            // them is a wiring bug, but returning 0 keeps it harmless.
+            Site::L1Access | Site::MshrSqueeze | Site::LeaseTruncate | Site::CanaryStaleHit => 0,
+        }
+    }
+
+    fn fires(&mut self, site: Site) -> bool {
+        let p = match site {
+            Site::L1Access => self.profile.l1_stall_p,
+            Site::MshrSqueeze => self.profile.mshr_squeeze_p,
+            Site::LeaseTruncate => self.profile.lease_truncate_p,
+            Site::CanaryStaleHit => {
+                if !self.profile.canary_stale_hit {
+                    return false;
+                }
+                self.hit();
+                return true;
+            }
+            // Delay sites answered through `jitter`.
+            _ => return false,
+        };
+        if self.rng.chance(p) {
+            self.hit();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fork(&mut self, salt: u64) -> Box<dyn PerturbPoint> {
+        // Reseed from this stream's output so the child is decorrelated
+        // from the parent *and* from siblings forked with other salts.
+        let seed = self.rng.next_u64();
+        Box::new(Perturber {
+            profile: self.profile.clone(),
+            rng: Pcg32::new(seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15), salt),
+            fired: Arc::clone(&self.fired),
+        })
+    }
+
+    fn clone_box(&self) -> Box<dyn PerturbPoint> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64, profile: ChaosProfile) -> ChaosSpec {
+        ChaosSpec { seed, profile }
+    }
+
+    #[test]
+    fn parse_accepts_both_keys_any_order() {
+        let s = ChaosSpec::parse("seed=42,profile=heavy").unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.profile.name, "heavy");
+        let s = ChaosSpec::parse("profile=reorder,seed=7").unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.profile.name, "reorder");
+    }
+
+    #[test]
+    fn parse_defaults_and_errors() {
+        let s = ChaosSpec::parse("seed=3").unwrap();
+        assert_eq!((s.seed, s.profile.name), (3, "light"));
+        let s = ChaosSpec::parse("profile=canary").unwrap();
+        assert_eq!((s.seed, s.profile.name), (0, "canary"));
+        assert!(ChaosSpec::parse("profile=nope").is_err());
+        assert!(ChaosSpec::parse("seed=x").is_err());
+        assert!(ChaosSpec::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn sound_presets_are_sound_and_canary_is_not() {
+        for p in ChaosProfile::sound() {
+            assert!(p.is_sound(), "{} must be sound", p.name);
+            assert!(ChaosProfile::by_name(p.name).is_some());
+        }
+        assert!(!ChaosProfile::canary().is_sound());
+        assert_eq!(ChaosProfile::canary().lease_truncate_p, 1.0);
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let sp = spec(9, ChaosProfile::heavy());
+        let mut a = Perturber::standalone(&sp, stream::REQ_NET);
+        let mut b = Perturber::standalone(&sp, stream::REQ_NET);
+        for _ in 0..256 {
+            assert_eq!(a.jitter(Site::NocTraversal), b.jitter(Site::NocTraversal));
+            assert_eq!(a.fires(Site::MshrSqueeze), b.fires(Site::MshrSqueeze));
+        }
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let sp = spec(9, ChaosProfile::heavy());
+        let mut a = Perturber::standalone(&sp, stream::REQ_NET);
+        let mut b = Perturber::standalone(&sp, stream::RESP_NET);
+        let same = (0..64)
+            .filter(|_| a.jitter(Site::NocTraversal) == b.jitter(Site::NocTraversal))
+            .count();
+        assert!(same < 60, "streams look identical ({same}/64 equal)");
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let sp = spec(1, ChaosProfile::heavy());
+        let mut p = Perturber::standalone(&sp, 1);
+        for _ in 0..1000 {
+            assert!(p.jitter(Site::NocTraversal) <= ChaosProfile::heavy().noc_jitter_max);
+            assert!(p.jitter(Site::DramCommand) <= ChaosProfile::heavy().dram_cmd_jitter_max);
+            let r = p.jitter(Site::DramRefresh);
+            assert!(r == 0 || r == ChaosProfile::heavy().dram_refresh_stall);
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates_but_clone_replays() {
+        let sp = spec(5, ChaosProfile::heavy());
+        let mut parent = Perturber::standalone(&sp, stream::L1_BASE);
+        let mut fork_a = parent.fork(1);
+        let mut fork_b = parent.fork(2);
+        let mut clone = fork_a.clone_box();
+        let mut same_ab = 0;
+        let mut same_ac = 0;
+        for _ in 0..64 {
+            let a = fork_a.jitter(Site::NocTraversal);
+            let b = fork_b.jitter(Site::NocTraversal);
+            let c = clone.jitter(Site::NocTraversal);
+            same_ab += usize::from(a == b);
+            same_ac += usize::from(a == c);
+        }
+        assert!(same_ab < 60, "forks correlated ({same_ab}/64)");
+        assert_eq!(same_ac, 64, "clone must replay the original");
+    }
+
+    #[test]
+    fn fired_counter_is_shared_and_counts() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let sp = spec(3, ChaosProfile::heavy());
+        let mut a = Perturber::new(&sp, 1, Arc::clone(&fired));
+        let mut b = a.fork(7);
+        let mut n = 0u64;
+        for _ in 0..500 {
+            n += u64::from(a.jitter(Site::NocTraversal) > 0);
+            n += u64::from(b.fires(Site::MshrSqueeze));
+        }
+        assert!(n > 0, "heavy profile must fire sometimes");
+        assert_eq!(fired.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn canary_always_serves_stale_and_counts() {
+        let sp = spec(0, ChaosProfile::canary());
+        let mut p = Perturber::standalone(&sp, 1);
+        assert!((0..32).all(|_| p.fires(Site::CanaryStaleHit)));
+        let sp = spec(0, ChaosProfile::light());
+        let mut p = Perturber::standalone(&sp, 1);
+        assert!((0..32).all(|_| !p.fires(Site::CanaryStaleHit)));
+    }
+
+    #[test]
+    fn zero_probability_profile_never_fires() {
+        let mut quiet = ChaosProfile::light();
+        quiet.noc_jitter_p = 0.0;
+        quiet.mshr_squeeze_p = 0.0;
+        quiet.dram_refresh_p = 0.0;
+        let sp = spec(11, quiet);
+        let mut p = Perturber::standalone(&sp, 1);
+        for _ in 0..200 {
+            assert_eq!(p.jitter(Site::NocTraversal), 0);
+            assert_eq!(p.jitter(Site::DramRefresh), 0);
+            assert!(!p.fires(Site::MshrSqueeze));
+        }
+    }
+}

@@ -1,20 +1,69 @@
 //! Lightweight, env-gated event tracing.
 //!
 //! Set `RCC_TRACE=1` to stream protocol events (L2 serves, fills,
-//! evictions, rollovers, invalidations) to stderr. The gate is read once
-//! and cached, so disabled tracing costs a single boolean load per site.
+//! evictions, rollovers, invalidations) to stderr. The environment is
+//! consulted once; after that every site pays exactly one relaxed atomic
+//! load and a predictable branch, so `trace!` is safe to leave in hot
+//! loops (the L2 serve path, the system drain loop).
 //!
 //! ```
 //! rcc_common::trace!("cycle {}: something interesting", 42);
 //! ```
+//!
+//! All emission funnels through [`emit`], which counts lines — that is
+//! what lets a test *prove* disabled tracing adds no output instead of
+//! eyeballing stderr.
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
-static ENABLED: OnceLock<bool> = OnceLock::new();
+const UNKNOWN: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
 
-/// Whether tracing is enabled (`RCC_TRACE` set in the environment).
+/// Tri-state gate: unresolved until the first site asks, then pinned to
+/// the environment's answer (or a test's [`force`]).
+static GATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+
+/// Trace lines emitted since process start.
+static EMITTED: AtomicU64 = AtomicU64::new(0);
+
+/// Whether tracing is enabled (`RCC_TRACE` set in the environment). The
+/// first call reads the environment; every later call is a cached load.
+#[inline]
 pub fn enabled() -> bool {
-    *ENABLED.get_or_init(|| std::env::var_os("RCC_TRACE").is_some())
+    match GATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => {
+            let on = std::env::var_os("RCC_TRACE").is_some();
+            GATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the gate: `Some(on)` pins it, `None` re-arms the
+/// environment read. Test hook — production code never toggles tracing.
+#[doc(hidden)]
+pub fn force(state: Option<bool>) {
+    let v = match state {
+        Some(true) => ON,
+        Some(false) => OFF,
+        None => UNKNOWN,
+    };
+    GATE.store(v, Ordering::Relaxed);
+}
+
+/// Number of trace lines emitted so far.
+pub fn emitted_lines() -> u64 {
+    EMITTED.load(Ordering::Relaxed)
+}
+
+/// Sink for the `trace!` macro: counts, then writes to stderr.
+#[doc(hidden)]
+pub fn emit(args: std::fmt::Arguments<'_>) {
+    EMITTED.fetch_add(1, Ordering::Relaxed);
+    eprintln!("[rcc-trace] {args}");
 }
 
 /// Emits a trace line to stderr when `RCC_TRACE` is set.
@@ -22,21 +71,37 @@ pub fn enabled() -> bool {
 macro_rules! trace {
     ($($arg:tt)*) => {
         if $crate::trace::enabled() {
-            eprintln!("[rcc-trace] {}", format_args!($($arg)*));
+            $crate::trace::emit(format_args!($($arg)*));
         }
     };
 }
 
 #[cfg(test)]
 mod tests {
-    #[test]
-    fn gate_is_stable() {
-        let first = super::enabled();
-        assert_eq!(super::enabled(), first);
-    }
+    use super::*;
 
+    // The gate is process-global, so every assertion that toggles it
+    // lives in this one #[test] — tests in a binary run concurrently,
+    // and a second gate-toggling test would race this one.
     #[test]
-    fn macro_compiles_in_statement_position() {
-        crate::trace!("value {}", 1);
+    fn disabled_tracing_adds_no_output() {
+        force(Some(false));
+        let before = emitted_lines();
+        crate::trace!("suppressed {}", 1);
+        crate::trace!("also suppressed {}", 2);
+        assert_eq!(
+            emitted_lines(),
+            before,
+            "disabled tracing must emit nothing"
+        );
+
+        force(Some(true));
+        crate::trace!("counted {}", 3);
+        assert_eq!(emitted_lines(), before + 1);
+
+        force(None);
+        let first = enabled();
+        assert_eq!(super::enabled(), first, "gate must pin after resolving");
+        force(Some(false));
     }
 }

@@ -326,6 +326,12 @@ impl L1Cache for IdealL1 {
         None
     }
 
+    fn set_chaos(&mut self, hook: Box<dyn rcc_chaos::PerturbPoint>) {
+        // The only SC-IDEAL L1 injection point is transient MSHR
+        // exhaustion (its "network" is magic and carries no timing).
+        self.mshrs.set_chaos(hook);
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len()
     }

@@ -340,6 +340,11 @@ impl L1Cache for MesiL1 {
         None
     }
 
+    fn set_chaos(&mut self, hook: Box<dyn rcc_chaos::PerturbPoint>) {
+        // The only MESI L1 injection point is transient MSHR exhaustion.
+        self.mshrs.set_chaos(hook);
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len()
     }

@@ -494,6 +494,12 @@ impl L1Cache for MesiWbL1 {
         None
     }
 
+    fn set_chaos(&mut self, hook: Box<dyn rcc_chaos::PerturbPoint>) {
+        // The only MESI-WB L1 injection point is transient MSHR
+        // exhaustion; every allocate/merge path here tolerates rejection.
+        self.mshrs.set_chaos(hook);
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len() + self.wb_pending.len()
     }

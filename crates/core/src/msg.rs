@@ -116,6 +116,9 @@ pub enum RejectReason {
     MergeFull,
     /// The line is in a transient state that cannot accept this operation.
     TransientState,
+    /// Chaos injection: the access was bounced for one cycle to model a
+    /// variable hit latency (never produced without a chaos profile).
+    ChaosStall,
 }
 
 /// Completion notice delivered to the core when a memory access finishes.

@@ -185,6 +185,11 @@ pub trait L1Cache {
     /// other protocols need no L1 action).
     fn fence(&mut self) {}
 
+    /// Installs a chaos perturbation hook. Default: ignore (no injection
+    /// points). Controllers that opt in forward the hook — or forks of
+    /// it — to their injection sites (MSHR files, lease grants, …).
+    fn set_chaos(&mut self, _hook: Box<dyn rcc_chaos::PerturbPoint>) {}
+
     /// Applies a zero-cost out-of-band coherence action (SC-IDEAL only;
     /// real protocols never receive these).
     fn magic(&mut self, _cycle: Cycle, _line: LineAddr, _action: MagicAction) {}
@@ -229,6 +234,11 @@ pub trait L2Bank {
     /// Advances per-cycle state (TC-Strong releases stores whose leases
     /// have expired). Called once per core cycle.
     fn tick(&mut self, cycle: Cycle, out: &mut L2Outbox);
+
+    /// Installs a chaos perturbation hook (see [`L1Cache::set_chaos`]).
+    /// L2 banks must *not* forward the hook to their MSHR files: deferred
+    /// requests are re-dispatched with "cannot be rejected" invariants.
+    fn set_chaos(&mut self, _hook: Box<dyn rcc_chaos::PerturbPoint>) {}
 
     /// Whether this bank's timestamps are close enough to the rollover
     /// threshold that the global rollover protocol must run (RCC only).

@@ -20,6 +20,7 @@ use crate::msg::{
     ReqPayload, RespMsg, RespPayload,
 };
 use crate::protocol::{L1Cache, L1Outbox, L1Stats};
+use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::{GpuConfig, RccParams};
 use rcc_common::ids::{CoreId, WarpId};
@@ -108,6 +109,9 @@ pub struct RccL1 {
     mshrs: MshrFile<L1Entry>,
     next_req: u64,
     stats: L1Stats,
+    /// Chaos hook for the canary injection (`Site::CanaryStaleHit`);
+    /// a fork of it drives the MSHR squeeze.
+    chaos: Option<Box<dyn PerturbPoint>>,
     /// Seeded fault for verification: when set, [`Self::is_readable`]
     /// ignores lease expiry, so loads hit on logically stale copies.
     #[cfg(feature = "bug-injection")]
@@ -127,6 +131,7 @@ impl RccL1 {
             mshrs: MshrFile::new(cfg.l1.mshrs, cfg.l1.mshr_merge),
             next_req: 1,
             stats: L1Stats::default(),
+            chaos: None,
             #[cfg(feature = "bug-injection")]
             lease_bug: false,
         }
@@ -267,6 +272,21 @@ impl RccL1 {
 
     fn start_load(&mut self, access: Access, out: &mut L1Outbox) -> AccessOutcome {
         let line = access.addr.line();
+        // Canary (deliberately unsound; fires only under the chaos
+        // `canary` profile): serve the load from a resident line whose
+        // lease has expired, as if a lease extension the L1 never
+        // received had been granted. The runtime SC sanitizer must
+        // flag the resulting stale read.
+        if self.chaos.is_some() && self.tags.probe(line).is_some() && !self.is_readable(line) {
+            let fired = match &mut self.chaos {
+                Some(c) => c.fires(Site::CanaryStaleHit),
+                None => false,
+            };
+            if fired {
+                self.stats.load_hits += 1;
+                return AccessOutcome::Done(self.hit_completion(access.warp, access.addr));
+            }
+        }
         let waiting = WaitingLoad {
             warp: access.warp,
             addr: access.addr,
@@ -624,6 +644,11 @@ impl L1Cache for RccL1 {
         let joined = self.read_now.join(self.write_now);
         self.read_now = joined;
         self.write_now = joined;
+    }
+
+    fn set_chaos(&mut self, mut hook: Box<dyn PerturbPoint>) {
+        self.mshrs.set_chaos(hook.fork(1));
+        self.chaos = Some(hook);
     }
 
     fn pending(&self) -> usize {

@@ -12,6 +12,7 @@
 use crate::msg::{AtomicOp, ReqId, ReqMsg, ReqPayload, RespMsg, RespPayload};
 use crate::protocol::{L2Bank, L2Outbox, L2Stats};
 use crate::rcc::predictor::LeasePredictor;
+use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::addr::LineAddr;
 use rcc_common::config::{GpuConfig, RccParams};
 use rcc_common::ids::{CoreId, PartitionId};
@@ -99,6 +100,10 @@ pub struct RccL2 {
     seq: u64,
     /// Largest timestamp minted by this bank, for rollover detection.
     ts_high: Timestamp,
+    /// Chaos hook: truncates granted leases (`Site::LeaseTruncate`) and
+    /// bumps write/atomic positions (`Site::TsBump`) to create early
+    /// expirations and rollover pressure.
+    chaos: Option<Box<dyn PerturbPoint>>,
     stats: L2Stats,
 }
 
@@ -120,6 +125,7 @@ impl RccL2 {
             mnow: Timestamp::ZERO,
             seq: 0,
             ts_high: Timestamp::ZERO,
+            chaos: None,
             stats: L2Stats::default(),
         }
     }
@@ -187,6 +193,31 @@ impl RccL2 {
         self.seq
     }
 
+    /// Chaos: whether to truncate the lease granted by the current
+    /// read-service event to a single logical tick. Shrinking a lease is
+    /// always sound — `exp` still never decreases (it only gains a
+    /// smaller extension), rule 3 still pushes writes past it.
+    fn chaos_truncates(&mut self) -> bool {
+        match &mut self.chaos {
+            Some(c) => c.fires(Site::LeaseTruncate),
+            None => false,
+        }
+    }
+
+    /// Chaos: bump a write/atomic's logical position forward. Applied to
+    /// the request's `now` at service entry, so the bump flows through
+    /// every timestamp derived from it (`lastwr`, `PendingAtomic::now`,
+    /// `meta.ver`) and a later DRAM fill can never recompute a version
+    /// below an already-acked one. Bumps only advance logical time —
+    /// exactly what rules 2/3 are built to tolerate — while dragging
+    /// `ts_high` toward the rollover threshold faster.
+    fn chaos_bump(&mut self, now: Timestamp) -> Timestamp {
+        match &mut self.chaos {
+            Some(c) => now.plus(c.jitter(Site::TsBump)),
+            None => now,
+        }
+    }
+
     fn defer(&mut self, req: ReqMsg) {
         self.deferred_count += 1;
         self.deferred.entry(req.line).or_default().push_back(req);
@@ -231,8 +262,9 @@ impl RccL2 {
         renew_exp: Option<Timestamp>,
         out: &mut L2Outbox,
     ) {
+        let truncated = self.chaos_truncates();
         let meta = self.tags.access(line).expect("hit requires resident line");
-        let lease = meta.state.lease;
+        let lease = if truncated { 1 } else { meta.state.lease };
         // Fig. 5, GETS in V: D.exp = max(D.exp, D.ver + lease, M.now + lease).
         let new_exp = meta
             .state
@@ -404,6 +436,7 @@ impl L2Bank for RccL2 {
                 }
             }
             ReqPayload::Write { now, word, value } => {
+                let now = self.chaos_bump(now);
                 self.stats.writes += 1;
                 if self.mshrs.contains(line) {
                     // IV: merge the write; ack immediately with
@@ -453,6 +486,7 @@ impl L2Bank for RccL2 {
                 }
             }
             ReqPayload::Atomic { now, word, op } => {
+                let now = self.chaos_bump(now);
                 self.stats.atomics += 1;
                 if self.mshrs.contains(line) {
                     // Fig. 5: ATOMIC in IV stalls.
@@ -551,6 +585,7 @@ impl L2Bank for RccL2 {
         } else {
             self.predictor.initial()
         };
+        let lease = if self.chaos_truncates() { 1 } else { lease };
         let mut exp = ver;
         if entry.has_read {
             exp = ver.plus(lease).join(entry.lastrd.plus(lease));
@@ -578,6 +613,12 @@ impl L2Bank for RccL2 {
     }
 
     fn tick(&mut self, _cycle: Cycle, _out: &mut L2Outbox) {}
+
+    fn set_chaos(&mut self, hook: Box<dyn PerturbPoint>) {
+        // Deliberately NOT forwarded to `self.mshrs`: deferred requests
+        // are re-dispatched under a "cannot be rejected" invariant.
+        self.chaos = Some(hook);
+    }
 
     fn next_event(&self, _now: Cycle) -> Option<Cycle> {
         // Purely reactive: RCC L2s act only on requests and DRAM fills.

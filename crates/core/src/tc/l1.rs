@@ -359,6 +359,11 @@ impl L1Cache for TcL1 {
         None
     }
 
+    fn set_chaos(&mut self, hook: Box<dyn rcc_chaos::PerturbPoint>) {
+        // The only TC L1 injection point is transient MSHR exhaustion.
+        self.mshrs.set_chaos(hook);
+    }
+
     fn pending(&self) -> usize {
         self.mshrs.len()
     }

@@ -5,6 +5,7 @@
 use crate::msg::{ReqMsg, ReqPayload, RespMsg, RespPayload};
 use crate::protocol::{L2Bank, L2Outbox, L2Stats};
 use crate::tc::StoreDiscipline;
+use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::addr::LineAddr;
 use rcc_common::config::{GpuConfig, TcParams};
 use rcc_common::ids::PartitionId;
@@ -60,6 +61,9 @@ pub struct TcL2 {
     /// of RCC's `mnow`; see module docs in [`crate::tc`]).
     max_evicted_exp: Timestamp,
     seq: u64,
+    /// Chaos hook: truncates granted leases (`Site::LeaseTruncate`),
+    /// forcing early physical-time expirations.
+    chaos: Option<Box<dyn PerturbPoint>>,
     stats: L2Stats,
 }
 
@@ -90,6 +94,7 @@ impl TcL2 {
             deferred_count: 0,
             max_evicted_exp: Timestamp::ZERO,
             seq: 0,
+            chaos: None,
             stats: L2Stats::default(),
         }
     }
@@ -143,11 +148,16 @@ impl TcL2 {
     fn serve_gets_hit(&mut self, cycle: Cycle, req: &ReqMsg, out: &mut L2Outbox) {
         let max = self.lease_max;
         let seq = self.next_seq();
+        // Chaos: a fired truncation grants a one-cycle lease. Shorter
+        // leases are strictly more conservative for TC (smaller stale
+        // window, earlier self-invalidation), so this is always sound.
+        let truncated = match &mut self.chaos {
+            Some(c) => c.fires(Site::LeaseTruncate),
+            None => false,
+        };
         let meta = self.tags.access(req.line).expect("hit requires residency");
-        let exp = meta
-            .state
-            .exp
-            .join(Timestamp(cycle.raw() + meta.state.lease));
+        let granted = if truncated { 1 } else { meta.state.lease };
+        let exp = meta.state.exp.join(Timestamp(cycle.raw() + granted));
         meta.state.exp = exp;
         // Lifetime predictor: additive growth per re-read, so read-only
         // data creeps toward long leases while the ÷8 write penalty keeps
@@ -385,6 +395,12 @@ impl L2Bank for TcL2 {
                 self.redispatch_deferred(cycle, line, out);
             }
         }
+    }
+
+    fn set_chaos(&mut self, hook: Box<dyn PerturbPoint>) {
+        // Deliberately NOT forwarded to `self.mshrs`: deferred requests
+        // are re-dispatched under a "cannot be rejected" invariant.
+        self.chaos = Some(hook);
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {

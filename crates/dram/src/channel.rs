@@ -1,5 +1,6 @@
 //! One DRAM channel: FR-FCFS queue + banks + shared data bus.
 
+use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::addr::{LineAddr, LINE_BYTES};
 use rcc_common::config::DramParams;
 use rcc_common::time::Cycle;
@@ -37,6 +38,11 @@ pub struct DramChannel {
     any_act_ready: u64,
     /// Read completions scheduled but not yet reported.
     completions: Vec<(u64, LineAddr)>,
+    /// Chaos hook: stretches a serviced command's effective issue time
+    /// (`Site::DramCommand`) and occasionally charges a refresh-like
+    /// stall (`Site::DramRefresh`). Pure delays — every timing
+    /// constraint still holds at the shifted time.
+    chaos: Option<Box<dyn PerturbPoint>>,
     // Statistics.
     reads: u64,
     writes: u64,
@@ -55,6 +61,7 @@ impl DramChannel {
             bus_free: 0,
             any_act_ready: 0,
             completions: Vec::new(),
+            chaos: None,
             reads: 0,
             writes: 0,
             row_hits: 0,
@@ -63,6 +70,11 @@ impl DramChannel {
             peak_queue: 0,
             params: params.clone(),
         }
+    }
+
+    /// Installs a perturbation hook (see [`Site::DramCommand`]).
+    pub fn set_chaos(&mut self, hook: Box<dyn PerturbPoint>) {
+        self.chaos = Some(hook);
     }
 
     fn lines_per_row(&self) -> u64 {
@@ -153,6 +165,14 @@ impl DramChannel {
     }
 
     fn service(&mut self, req: Request, now: u64) {
+        // Chaos: pretend the command was picked `stretch` cycles later
+        // than it really was. One draw pair per serviced command (event-
+        // driven), and purely a delay, so `next_event`'s poll-while-
+        // queued contract is unaffected.
+        let now = match &mut self.chaos {
+            Some(c) => now + c.jitter(Site::DramCommand) + c.jitter(Site::DramRefresh),
+            None => now,
+        };
         let bank_idx = self.bank_of(req.line);
         let row = self.row_of(req.line);
         let burst = self.burst();
@@ -383,6 +403,36 @@ mod tests {
         );
         let done_ser = run_until_done(&mut ser, 10_000);
         assert!(done_par.last().unwrap().0 < done_ser.last().unwrap().0);
+    }
+
+    #[test]
+    fn chaos_stretch_only_delays_completions() {
+        use rcc_chaos::{ChaosProfile, ChaosSpec, Perturber};
+        let cfg = GpuConfig::small();
+        let mut clean = DramChannel::new(&cfg.dram);
+        let mut slow = DramChannel::new(&cfg.dram);
+        let mut always = ChaosProfile::heavy();
+        always.dram_cmd_jitter_p = 1.0;
+        always.dram_refresh_p = 1.0;
+        slow.set_chaos(Box::new(Perturber::standalone(
+            &ChaosSpec::new(2, always),
+            0,
+        )));
+        for i in 0..4 {
+            clean.enqueue(Cycle(0), LineAddr(i), false);
+            slow.enqueue(Cycle(0), LineAddr(i), false);
+        }
+        let done_clean = run_until_done(&mut clean, 1_000_000);
+        let done_slow = run_until_done(&mut slow, 1_000_000);
+        assert_eq!(
+            done_slow.len(),
+            done_clean.len(),
+            "chaos must not drop work"
+        );
+        assert!(
+            done_slow.last().unwrap().0 > done_clean.last().unwrap().0,
+            "stretch + refresh must delay the tail"
+        );
     }
 
     #[test]

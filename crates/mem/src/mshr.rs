@@ -10,6 +10,7 @@
 //! example, stores `lastrd`/`lastwr` logical timestamps and merged store
 //! data in its entries (Section III-D).
 
+use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::addr::LineAddr;
 use rcc_common::FxHashMap;
 
@@ -29,6 +30,11 @@ pub struct MshrFile<E> {
     merge_cap: usize,
     entries: FxHashMap<LineAddr, (E, usize)>,
     high_water: usize,
+    /// Chaos hook: when set, allocations/merges may be transiently
+    /// refused as if the file were full (`Site::MshrSqueeze`). Callers
+    /// already handle both rejections (structural stall + retry), so a
+    /// squeeze only perturbs timing, never correctness.
+    chaos: Option<Box<dyn PerturbPoint>>,
 }
 
 impl<E> MshrFile<E> {
@@ -45,6 +51,23 @@ impl<E> MshrFile<E> {
             merge_cap,
             entries: FxHashMap::default(),
             high_water: 0,
+            chaos: None,
+        }
+    }
+
+    /// Installs a perturbation hook (see [`Site::MshrSqueeze`]). Only
+    /// safe on files whose callers tolerate rejection on *every*
+    /// allocate/merge path — L1 controllers do; L2 banks re-dispatch
+    /// deferred requests with `expect(no rejection)` and must not be
+    /// squeezed.
+    pub fn set_chaos(&mut self, hook: Box<dyn PerturbPoint>) {
+        self.chaos = Some(hook);
+    }
+
+    fn squeezed(&mut self) -> bool {
+        match &mut self.chaos {
+            Some(c) => c.fires(Site::MshrSqueeze),
+            None => false,
         }
     }
 
@@ -76,6 +99,9 @@ impl<E> MshrFile<E> {
         if self.entries.len() >= self.capacity {
             return Err(MshrRejection::Full);
         }
+        if self.squeezed() {
+            return Err(MshrRejection::Full);
+        }
         self.entries.insert(addr, (entry, 1));
         self.high_water = self.high_water.max(self.entries.len());
         Ok(())
@@ -93,13 +119,17 @@ impl<E> MshrFile<E> {
     ///
     /// Panics if no entry exists for `addr`.
     pub fn merge(&mut self, addr: LineAddr, f: impl FnOnce(&mut E)) -> Result<(), MshrRejection> {
-        let (entry, count) = self
-            .entries
-            .get_mut(&addr)
-            .unwrap_or_else(|| panic!("MSHR merge into missing entry {addr}"));
-        if *count >= self.merge_cap {
+        assert!(
+            self.entries.contains_key(&addr),
+            "MSHR merge into missing entry {addr}"
+        );
+        if self.entries[&addr].1 >= self.merge_cap {
             return Err(MshrRejection::MergeListFull);
         }
+        if self.squeezed() {
+            return Err(MshrRejection::MergeListFull);
+        }
+        let (entry, count) = self.entries.get_mut(&addr).expect("checked above");
         *count += 1;
         f(entry);
         Ok(())
@@ -210,6 +240,24 @@ mod tests {
     fn merge_into_missing_is_a_bug() {
         let mut m: MshrFile<()> = MshrFile::new(4, 2);
         let _ = m.merge(LineAddr(1), |_| ());
+    }
+
+    #[test]
+    fn chaos_squeeze_rejects_transiently() {
+        use rcc_chaos::{ChaosProfile, ChaosSpec, Perturber};
+        let mut squeeze = ChaosProfile::light();
+        squeeze.mshr_squeeze_p = 1.0;
+        let spec = ChaosSpec::new(1, squeeze);
+        let mut m: MshrFile<()> = MshrFile::new(4, 2);
+        m.set_chaos(Box::new(Perturber::standalone(&spec, 0)));
+        // Empty file, but every allocate/merge is squeezed.
+        assert_eq!(m.allocate(LineAddr(1), ()), Err(MshrRejection::Full));
+        assert!(m.is_empty());
+        // With p = 0 the hook is transparent.
+        let spec = ChaosSpec::new(1, ChaosProfile::reorder());
+        m.set_chaos(Box::new(Perturber::standalone(&spec, 0)));
+        m.allocate(LineAddr(1), ()).unwrap();
+        m.merge(LineAddr(1), |_| ()).unwrap();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! Per-(src,dst) FIFO delivery holds in both cases, which every protocol
 //! in this suite relies on.
 
+use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::config::{NocParams, NocTopology};
 use rcc_common::time::Cycle;
 use std::cmp::Reverse;
@@ -88,6 +89,11 @@ pub struct Network<T> {
     dst_free_at: Vec<u64>,
     in_flight: BinaryHeap<Reverse<InFlight<T>>>,
     next_order: u64,
+    /// Chaos hook: adds bounded jitter to a packet's traversal latency
+    /// (`Site::NocTraversal`). Applied *before* ejection-port
+    /// serialization, so per-(src,dst) FIFO — which the protocols rely
+    /// on — is preserved; only cross-flow arrival order is perturbed.
+    chaos: Option<Box<dyn PerturbPoint>>,
     // Statistics.
     flits_injected: u64,
     packets_injected: u64,
@@ -125,6 +131,7 @@ impl<T> Network<T> {
             dst_free_at: vec![0; num_dsts],
             in_flight: BinaryHeap::new(),
             next_order: 0,
+            chaos: None,
             flits_injected: 0,
             packets_injected: 0,
             flit_hops: 0,
@@ -136,6 +143,11 @@ impl<T> Network<T> {
     /// Number of virtual channels (for energy accounting).
     pub fn num_vcs(&self) -> usize {
         self.num_vcs
+    }
+
+    /// Installs a perturbation hook (see [`Site::NocTraversal`]).
+    pub fn set_chaos(&mut self, hook: Box<dyn PerturbPoint>) {
+        self.chaos = Some(hook);
     }
 
     /// Injects a packet of `flits` flits from `src` to `dst` on `vc`.
@@ -159,7 +171,11 @@ impl<T> Network<T> {
                 (hops * m.per_hop, hops)
             }
         };
-        let at_output = serialized + traversal;
+        let jitter = match &mut self.chaos {
+            Some(c) => c.jitter(Site::NocTraversal),
+            None => 0,
+        };
+        let at_output = serialized + traversal + jitter;
         let delivered = self.dst_free_at[dst].max(at_output) + flits * self.cycles_per_flit;
         self.dst_free_at[dst] = delivered;
         self.flits_injected += flits;
@@ -353,6 +369,30 @@ mod tests {
             .map(|(_, v)| v)
             .collect();
         assert_eq!(got, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn chaos_jitter_delays_but_keeps_fifo() {
+        use rcc_chaos::{ChaosProfile, ChaosSpec, Perturber};
+        let mut always = ChaosProfile::heavy();
+        always.noc_jitter_p = 1.0;
+        let spec = ChaosSpec::new(3, always);
+        let mut jittered = net();
+        jittered.set_chaos(Box::new(Perturber::standalone(&spec, 0)));
+        let mut clean = net();
+        for i in 0..10 {
+            jittered.inject(Cycle(i), 2, 1, 0, 3, i as u32);
+            clean.inject(Cycle(i), 2, 1, 0, 3, i as u32);
+        }
+        // Jitter only delays: first delivery is no earlier than clean.
+        assert!(jittered.next_event().unwrap() >= clean.next_event().unwrap());
+        // Per-(src,dst) FIFO still holds under jitter.
+        let vals: Vec<u32> = jittered
+            .deliver(Cycle(100_000))
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(vals, (0..10).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! outcome really is non-SC rather than merely unusual.
 
 use crate::system::System;
+use rcc_chaos::ChaosSpec;
 use rcc_common::config::GpuConfig;
 use rcc_core::ideal::IdealProtocol;
 use rcc_core::mesi::{MesiProtocol, MesiWbProtocol};
@@ -35,6 +36,7 @@ fn run_one<P: rcc_core::protocol::Protocol>(
     protocol: &P,
     cfg: &GpuConfig,
     litmus: &Litmus,
+    chaos: Option<&ChaosSpec>,
 ) -> LitmusOutcome {
     let workload = Workload {
         name: litmus.name,
@@ -43,6 +45,9 @@ fn run_one<P: rcc_core::protocol::Protocol>(
         warps_per_workgroup: 1,
     };
     let mut sys = System::new(protocol, cfg, &workload, false);
+    if let Some(spec) = chaos {
+        sys.set_chaos(spec);
+    }
     sys.enable_sanitizer();
     sys_run(&mut sys);
     let values: Vec<u64> = litmus
@@ -83,15 +88,7 @@ fn sys_run<P: rcc_core::protocol::Protocol>(sys: &mut System<P>) -> u64 {
 /// cannot explain with any SC total order — that is a protocol bug, not
 /// an interesting outcome.
 pub fn run_litmus(kind: ProtocolKind, cfg: &GpuConfig, litmus: &Litmus) -> LitmusOutcome {
-    let out = match kind {
-        ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus),
-        ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus),
-        ProtocolKind::TcStrong => run_one(&TcProtocol::strong(cfg), cfg, litmus),
-        ProtocolKind::TcWeak => run_one(&TcProtocol::weak(cfg), cfg, litmus),
-        ProtocolKind::RccSc => run_one(&RccProtocol::sequential(cfg), cfg, litmus),
-        ProtocolKind::RccWo => run_one(&RccProtocol::weakly_ordered(cfg), cfg, litmus),
-        ProtocolKind::IdealSc => run_one(&IdealProtocol::new(cfg), cfg, litmus),
-    };
+    let out = run_litmus_chaos(kind, cfg, litmus, None);
     if kind.supports_sc() {
         assert!(
             out.sanitizer_sc,
@@ -100,6 +97,30 @@ pub fn run_litmus(kind: ProtocolKind, cfg: &GpuConfig, litmus: &Litmus) -> Litmu
         );
     }
     out
+}
+
+/// Runs one litmus test under `kind` with optional chaos injection.
+///
+/// Unlike [`run_litmus`] this never panics on the sanitizer verdict: the
+/// chaos sweep *wants* to observe failed verdicts (that is how the canary
+/// profile proves the sanitizer catches unsound protocols), so the caller
+/// inspects [`LitmusOutcome::sanitizer_sc`] and decides what a violation
+/// means for the (protocol, profile) pair at hand.
+pub fn run_litmus_chaos(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    litmus: &Litmus,
+    chaos: Option<&ChaosSpec>,
+) -> LitmusOutcome {
+    match kind {
+        ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus, chaos),
+        ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus, chaos),
+        ProtocolKind::TcStrong => run_one(&TcProtocol::strong(cfg), cfg, litmus, chaos),
+        ProtocolKind::TcWeak => run_one(&TcProtocol::weak(cfg), cfg, litmus, chaos),
+        ProtocolKind::RccSc => run_one(&RccProtocol::sequential(cfg), cfg, litmus, chaos),
+        ProtocolKind::RccWo => run_one(&RccProtocol::weakly_ordered(cfg), cfg, litmus, chaos),
+        ProtocolKind::IdealSc => run_one(&IdealProtocol::new(cfg), cfg, litmus, chaos),
+    }
 }
 
 /// Runs `make_litmus(seed)` for every seed in `0..runs`, counting how

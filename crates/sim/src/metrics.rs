@@ -41,6 +41,11 @@ pub struct RunMetrics {
     pub sanitizer_sc: Option<bool>,
     /// Timestamp rollovers performed (RCC only).
     pub rollovers: u64,
+    /// Perturbations fired by the chaos harness (0 unless the run was
+    /// armed with a [`rcc_chaos::ChaosSpec`]). Part of the simulated
+    /// results: two runs of the same (seed, profile) must inject exactly
+    /// the same perturbations, fast-forwarding or not.
+    pub chaos_events: u64,
     /// Cycles the engine fast-forwarded over instead of stepping. Pure
     /// engine telemetry: simulated results are identical whether these
     /// cycles were skipped or stepped (see
@@ -82,6 +87,7 @@ impl RunMetrics {
             && self.sc_violations == other.sc_violations
             && self.sanitizer_sc == other.sanitizer_sc
             && self.rollovers == other.rollovers
+            && self.chaos_events == other.chaos_events
     }
 
     /// Instructions per cycle.
@@ -172,6 +178,7 @@ mod tests {
             sc_violations: 0,
             sanitizer_sc: None,
             rollovers: 0,
+            chaos_events: 0,
             skipped_cycles: 0,
             ff_jumps: 0,
         }

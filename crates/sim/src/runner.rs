@@ -30,6 +30,11 @@ pub struct SimOptions {
     /// are bit-identical either way — see DESIGN.md, "Simulation
     /// performance").
     pub fast_forward: bool,
+    /// Deterministic perturbation injection (see `rcc-chaos` and
+    /// DESIGN.md, "Perturbation testing"). `None` — the default — arms
+    /// nothing and leaves the run bit-identical to a build without the
+    /// chaos subsystem.
+    pub chaos: Option<rcc_chaos::ChaosSpec>,
 }
 
 impl SimOptions {
@@ -40,6 +45,7 @@ impl SimOptions {
             sanitize: false,
             max_cycles: 200_000_000,
             fast_forward: true,
+            chaos: None,
         }
     }
 
@@ -67,6 +73,9 @@ fn run_system<P: Protocol>(
 ) -> RunMetrics {
     let mut system = System::new(protocol, cfg, workload, check);
     system.set_fast_forward(opts.fast_forward);
+    if let Some(spec) = &opts.chaos {
+        system.set_chaos(spec);
+    }
     if opts.sanitize {
         system.enable_sanitizer();
     }
@@ -118,14 +127,17 @@ pub fn simulate(
             run_system(&p, cfg, workload, check, opts)
         }
     };
-    if check {
+    // An unsound chaos profile (the canary) is *expected* to break SC;
+    // the caller inspects the verdicts instead of the harness panicking.
+    let chaos_sound = opts.chaos.as_ref().is_none_or(|c| c.profile.is_sound());
+    if check && chaos_sound {
         assert_eq!(
             metrics.sc_violations, 0,
             "{kind} violated SC on {}",
             workload.name
         );
     }
-    if opts.sanitize && kind.supports_sc() {
+    if opts.sanitize && kind.supports_sc() && chaos_sound {
         assert_eq!(
             metrics.sanitizer_sc,
             Some(true),

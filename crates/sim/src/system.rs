@@ -1,6 +1,7 @@
 //! The cycle-driven full system.
 
 use crate::metrics::RunMetrics;
+use rcc_chaos::{stream, ChaosSpec, PerturbPoint, Perturber, Site};
 use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, WarpId};
@@ -8,8 +9,8 @@ use rcc_common::stats::TrafficStats;
 use rcc_common::time::{Cycle, Timestamp};
 use rcc_common::FxHashMap;
 use rcc_core::msg::{
-    flits_for, Access, AccessKind, AccessOutcome, Completion, CompletionKind, ReqMsg, ReqPayload,
-    RespMsg, RespPayload,
+    flits_for, Access, AccessKind, AccessOutcome, Completion, CompletionKind, RejectReason, ReqMsg,
+    ReqPayload, RespMsg, RespPayload,
 };
 use rcc_core::protocol::{L1Cache, L1Outbox, L1Stats, L2Bank, L2Outbox, L2Stats, Protocol};
 use rcc_core::scoreboard::Scoreboard;
@@ -20,6 +21,8 @@ use rcc_noc::{Network, NocEnergyModel};
 use rcc_verify::sanitizer::{SanReport, Sanitizer};
 use rcc_workloads::Workload;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What a store/atomic will write (for the scoreboard).
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +166,13 @@ pub struct System<P: Protocol> {
     /// Reusable outbox buffers (capacity persists across cycles).
     scratch_l1: L1Outbox,
     scratch_l2: L2Outbox,
+    /// Chaos hook for the L2 delay pipes (the pipes live in the system,
+    /// not in a component crate, so the system samples for them).
+    chaos_pipe: Option<Perturber>,
+    /// Chaos hook that bounces otherwise-issuable L1 accesses.
+    chaos_access: Option<Perturber>,
+    /// Total perturbations fired across every hook (shared counter).
+    chaos_fired: Arc<AtomicU64>,
 }
 
 impl<P: Protocol> System<P> {
@@ -235,7 +245,39 @@ impl<P: Protocol> System<P> {
             ff_jumps: 0,
             scratch_l1: L1Outbox::new(),
             scratch_l2: L2Outbox::new(),
+            chaos_pipe: None,
+            chaos_access: None,
+            chaos_fired: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Arms deterministic perturbation injection for this run: every
+    /// timing-bearing component gets a [`Perturber`] on its own fixed rng
+    /// stream (see [`rcc_chaos::stream`]), all sharing one fired-event
+    /// counter (surfaced as [`RunMetrics::chaos_events`]). Call before
+    /// the run starts; off by default.
+    pub fn set_chaos(&mut self, spec: &ChaosSpec) {
+        let fired = &self.chaos_fired;
+        let hook =
+            |s: u64| Box::new(Perturber::new(spec, s, Arc::clone(fired))) as Box<dyn PerturbPoint>;
+        self.req_net.set_chaos(hook(stream::REQ_NET));
+        self.resp_net.set_chaos(hook(stream::RESP_NET));
+        for (p, dram) in self.drams.iter_mut().enumerate() {
+            dram.set_chaos(hook(stream::DRAM_BASE + p as u64));
+        }
+        for (i, l1) in self.l1s.iter_mut().enumerate() {
+            l1.set_chaos(hook(stream::L1_BASE + i as u64));
+        }
+        for (p, l2) in self.l2s.iter_mut().enumerate() {
+            l2.set_chaos(hook(stream::L2_BASE + p as u64));
+        }
+        self.chaos_pipe = Some(Perturber::new(spec, stream::L2_PIPE, Arc::clone(fired)));
+        self.chaos_access = Some(Perturber::new(spec, stream::L1_ACCESS, Arc::clone(fired)));
+    }
+
+    /// Perturbations fired so far (0 unless [`System::set_chaos`] armed).
+    pub fn chaos_events(&self) -> u64 {
+        self.chaos_fired.load(Ordering::Relaxed)
     }
 
     /// Enables or disables idle-cycle fast-forwarding (on by default).
@@ -353,6 +395,17 @@ impl<P: Protocol> System<P> {
         let ready = self.cycle.raw() + self.cfg.l2.partition.latency;
         self.mem_pending += out.to_l1.len() + out.dram_fetch.len() + out.dram_writeback.len();
         for resp in out.to_l1.drain(..) {
+            let ready = match &mut self.chaos_pipe {
+                Some(chaos) => {
+                    // Clamp to the partition's last queued readiness: the
+                    // pipe must stay sorted so its front remains the
+                    // earliest entry (both the drain loop in `step` and
+                    // the fast-forward hint rely on that).
+                    let floor = self.l2_delay[part].back().map_or(0, |(r, _)| *r);
+                    (ready + chaos.jitter(Site::L2Pipe)).max(floor)
+                }
+                None => ready,
+            };
             self.l2_delay[part].push_back((ready, resp));
         }
         for line in out.dram_fetch.drain(..) {
@@ -508,8 +561,17 @@ impl<P: Protocol> System<P> {
             if issuing && !self.cores[i].done() {
                 let l1 = &mut self.l1s[i];
                 let recorder = &mut self.recorder;
+                let chaos = &mut self.chaos_access;
                 let mut issued_any = false;
                 let core_out = self.cores[i].tick(cycle, |access| {
+                    if let Some(c) = chaos.as_mut() {
+                        if c.fires(Site::L1Access) {
+                            // Bounce before the access reaches the L1 (or
+                            // the recorder): the warp retries next cycle,
+                            // modelling a variable L1 service latency.
+                            return AccessOutcome::Reject(RejectReason::ChaosStall);
+                        }
+                    }
                     recorder.note_issue(i, access);
                     let outcome = l1.access(cycle, access, &mut out);
                     match &outcome {
@@ -834,6 +896,7 @@ impl<P: Protocol> System<P> {
             sc_violations,
             sanitizer_sc: self.recorder.sanitizer.as_ref().map(|san| san.check().sc),
             rollovers: self.rollovers,
+            chaos_events: self.chaos_fired.load(Ordering::Relaxed),
             skipped_cycles: self.skipped_cycles,
             ff_jumps: self.ff_jumps,
         }

@@ -92,6 +92,47 @@ fn same_seed_same_run() {
 }
 
 #[test]
+fn chaos_is_deterministic_under_fast_forward() {
+    // Chaos draws are event-driven (one draw per message/command/access,
+    // never per cycle), so skipping idle cycles must not change which
+    // perturbations fire: same chaos seed ⇒ bit-identical metrics —
+    // including the fired-injection count — with the fast-forwarder on
+    // and off, for every sound profile.
+    let cfg = GpuConfig::small();
+    for profile in rcc_chaos::ChaosProfile::sound() {
+        for kind in [
+            ProtocolKind::RccSc,
+            ProtocolKind::Mesi,
+            ProtocolKind::TcWeak,
+        ] {
+            let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 7);
+            let chaos = rcc_chaos::ChaosSpec::new(11, profile.clone());
+            let mut stepped_opts = opts(false);
+            stepped_opts.chaos = Some(chaos.clone());
+            let mut ff_opts = opts(true);
+            ff_opts.chaos = Some(chaos);
+            let stepped = simulate(kind, &cfg, &wl, &stepped_opts);
+            let skipped = simulate(kind, &cfg, &wl, &ff_opts);
+            assert!(
+                stepped.chaos_events > 0,
+                "{kind}/{}: chaos never fired — test is vacuous",
+                profile.name
+            );
+            assert!(
+                stepped.same_simulated_results(&skipped),
+                "{kind}/{}: fast-forward changed a chaos run \
+                 (stepped {} cycles / {} events, skipped {} cycles / {} events)",
+                profile.name,
+                stepped.cycles,
+                stepped.chaos_events,
+                skipped.cycles,
+                skipped.chaos_events,
+            );
+        }
+    }
+}
+
+#[test]
 fn fast_forward_passes_sc_checking() {
     // The litmus matrix runs elsewhere; here, pin that the SC scoreboard
     // and sanitizer both hold under fast-forward on a real workload.
