@@ -22,6 +22,9 @@
 //! Flags: `--seeds N` (default 64; `--quick` defaults to 8), `--jobs N`,
 //! `--out PATH` (default `BENCH_chaos.json`).
 
+use rcc_bench::report::{
+    check_schema, schemas, BenchRow, CanarySummary, ChaosReport, ViolationRow,
+};
 use rcc_bench::{parse_jobs, pool};
 use rcc_chaos::{ChaosProfile, ChaosSpec};
 use rcc_common::GpuConfig;
@@ -40,13 +43,21 @@ const KINDS: [ProtocolKind; 3] = [
 /// show: fences, release-style atomics, and per-location coherence.
 const TCW_MUST_HOLD: [&str; 4] = ["mp+fence", "sb+fence", "mp+atomic", "corr"];
 
-struct Violation {
-    profile: &'static str,
+fn violation(
+    profile: &str,
     seed: u64,
     kind: ProtocolKind,
-    litmus: &'static str,
-    values: Vec<u64>,
-    sanitizer_sc: bool,
+    litmus: &str,
+    out: &LitmusOutcome,
+) -> ViolationRow {
+    ViolationRow {
+        profile: profile.to_string(),
+        seed,
+        protocol: kind.label().to_string(),
+        litmus: litmus.to_string(),
+        values: out.values.clone(),
+        sanitizer_sc: out.sanitizer_sc,
+    }
 }
 
 fn is_violation(kind: ProtocolKind, name: &'static str, out: &LitmusOutcome) -> bool {
@@ -101,24 +112,17 @@ fn main() -> std::process::ExitCode {
             let out = run_litmus_chaos(kind, &cfg, &lit, Some(&spec));
             runs += 1;
             if is_violation(kind, lit.name, &out) {
-                violations.push(Violation {
-                    profile,
-                    seed,
-                    kind,
-                    litmus: lit.name,
-                    values: out.values,
-                    sanitizer_sc: out.sanitizer_sc,
-                });
+                violations.push(violation(profile, seed, kind, lit.name, &out));
             }
         }
         (runs, violations)
     });
     let litmus_runs: u64 = results.iter().map(|(r, _)| r).sum();
-    let violations: Vec<Violation> = results.into_iter().flat_map(|(_, v)| v).collect();
+    let violations: Vec<ViolationRow> = results.into_iter().flat_map(|(_, v)| v).collect();
     for v in &violations {
         eprintln!(
             "VIOLATION: {} seed={} {} on {}: values {:?}, sanitizer_sc={}",
-            v.profile, v.seed, v.kind, v.litmus, v.values, v.sanitizer_sc
+            v.profile, v.seed, v.protocol, v.litmus, v.values, v.sanitizer_sc
         );
     }
     println!(
@@ -186,61 +190,46 @@ fn main() -> std::process::ExitCode {
         ));
         let wl = bench.generate(&cfg, &Scale::quick(), rcc_bench::SEED);
         let m = simulate(kind, &cfg, &wl, &opts);
-        format!(
-            "    {{\"profile\": \"{}\", \"protocol\": \"{}\", \"benchmark\": \"{:?}\", \
-             \"cycles\": {}, \"chaos_events\": {}, \"sanitizer_sc\": {}}}",
-            profile,
-            kind.label(),
-            bench,
-            m.cycles,
-            m.chaos_events,
-            m.sanitizer_sc.unwrap_or(false)
-        )
+        BenchRow {
+            profile: profile.to_string(),
+            protocol: kind.label().to_string(),
+            benchmark: format!("{bench:?}"),
+            cycles: m.cycles,
+            chaos_events: m.chaos_events,
+            sanitizer_sc: m.sanitizer_sc.unwrap_or(false),
+        }
     });
     println!("benchmark smoke: {} runs, all sanitized", bench_rows.len());
 
-    let violation_json: Vec<String> = violations
-        .iter()
-        .take(20)
-        .map(|v| {
-            format!(
-                "    {{\"profile\": \"{}\", \"seed\": {}, \"protocol\": \"{}\", \
-                 \"litmus\": \"{}\", \"values\": {:?}, \"sanitizer_sc\": {}}}",
-                v.profile,
-                v.seed,
-                v.kind.label(),
-                v.litmus,
-                v.values,
-                v.sanitizer_sc
-            )
-        })
-        .collect();
-    let profile_names: Vec<String> = profiles.iter().map(|p| format!("\"{}\"", p.name)).collect();
-    let json = format!(
-        "{{\n  \"seeds\": {seeds},\n  \"profiles\": [{}],\n  \"protocols\": [{}],\n  \
-         \"litmus_runs\": {litmus_runs},\n  \"violations\": {},\n  \"violation_detail\": [\n{}\n  ],\n  \
-         \"canary\": {{\"seeds\": {}, \"caught\": {canary_caught}, \"earliest_caught_after_runs\": {}, \"forbidden_unflagged\": {missed}}},\n  \
-         \"benchmarks\": [\n{}\n  ]\n}}\n",
-        profile_names.join(", "),
-        KINDS
-            .map(|k| format!("\"{}\"", k.label()))
-            .join(", "),
-        violations.len(),
-        violation_json.join(",\n"),
-        canary_seeds.len(),
-        min_runs.map_or("null".to_string(), |r| r.to_string()),
-        bench_rows.join(",\n"),
-    );
+    let report = ChaosReport {
+        seeds,
+        profiles: profiles.iter().map(|p| p.name.to_string()).collect(),
+        protocols: KINDS.map(|k| k.label().to_string()).to_vec(),
+        litmus_runs,
+        violations,
+        canary: CanarySummary {
+            seeds: canary_seeds.len() as u64,
+            caught: canary_caught as u64,
+            earliest_caught_after_runs: min_runs,
+            forbidden_unflagged: missed,
+        },
+        benchmarks: bench_rows,
+    };
+    let json = report.to_json();
+    if let Err(e) = check_schema(&out_path, schemas::BENCH_CHAOS, &json) {
+        eprintln!("{e}");
+        return std::process::ExitCode::FAILURE;
+    }
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return std::process::ExitCode::FAILURE;
     }
     println!("wrote {out_path}");
 
-    if !violations.is_empty() || !canary_ok {
+    if !report.violations.is_empty() || !canary_ok {
         eprintln!(
             "chaos sweep FAILED: {} violations, canary ok: {canary_ok}",
-            violations.len()
+            report.violations.len()
         );
         return std::process::ExitCode::FAILURE;
     }

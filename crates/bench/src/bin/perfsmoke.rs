@@ -13,9 +13,18 @@
 //! Both passes must agree on every simulated metric — the engine
 //! invariant is that fast-forwarding never changes results, only
 //! wall-clock — so the binary exits non-zero on any divergence.
+//!
+//! Both passes run with the simulator self-profiler attached (same
+//! overhead on both sides of the comparison); the merged per-phase
+//! wall-clock attribution of the optimized pass lands in the report's
+//! `self_profile` section, so a perf PR can see *where* its time moved.
+//! The JSON is validated against `schemas/bench_sim.schema.json` before
+//! it is written.
 
+use rcc_bench::report::{check_schema, schemas, ProtocolRow, SimReport};
 use rcc_bench::{banner, pool, Harness};
 use rcc_core::ProtocolKind;
+use rcc_obs::{SimPhase, SimProfile};
 use rcc_sim::runner::{simulate, SimOptions};
 use rcc_sim::RunMetrics;
 use rcc_workloads::{Benchmark, Workload};
@@ -70,8 +79,11 @@ fn main() -> std::process::ExitCode {
     let workloads: Vec<Workload> = Benchmark::ALL.map(|b| h.workload(b)).to_vec();
     let mut base_opts = h.opts.clone();
     base_opts.fast_forward = false;
+    base_opts.profile = true;
+    let mut opt_opts = h.opts.clone();
+    opt_opts.profile = true;
     let (baseline, baseline_s) = run_grid(&h, &workloads, &base_opts, 1);
-    let (optimized, optimized_s) = run_grid(&h, &workloads, &h.opts, jobs);
+    let (optimized, optimized_s) = run_grid(&h, &workloads, &opt_opts, jobs);
 
     let mut diverged = 0;
     for ((b, _), (o, _)) in baseline.iter().zip(&optimized) {
@@ -89,7 +101,7 @@ fn main() -> std::process::ExitCode {
         "\n{:8} {:>14} {:>14} {:>12} {:>10}",
         "protocol", "sim cycles", "sim cyc/s", "skipped", "skip%"
     );
-    let mut proto_json = Vec::new();
+    let mut rows = Vec::new();
     for kind in KINDS {
         let runs: Vec<_> = optimized.iter().filter(|(m, _)| m.kind == kind).collect();
         let cycles: u64 = runs.iter().map(|(m, _)| m.cycles).sum();
@@ -105,11 +117,29 @@ fn main() -> std::process::ExitCode {
             skipped,
             100.0 * skip_ratio
         );
-        proto_json.push(format!(
-            "    {{\"protocol\": \"{}\", \"sim_cycles\": {}, \"sim_cycles_per_sec\": {:.0}, \"skipped_cycles\": {}, \"skip_ratio\": {:.4}}}",
-            kind.label(), cycles, rate, skipped, skip_ratio
-        ));
+        rows.push(ProtocolRow {
+            protocol: kind.label().to_string(),
+            sim_cycles: cycles,
+            sim_cycles_per_sec: rate,
+            skipped_cycles: skipped,
+            skip_ratio,
+        });
     }
+
+    // Where the optimized pass's wall-clock actually went, merged over
+    // every run.
+    let mut profile = SimProfile::new();
+    for (m, _) in &optimized {
+        if let Some(p) = &m.profile {
+            profile.merge(p);
+        }
+    }
+    print!("\nself-profile ({} steps):", profile.steps);
+    for ph in SimPhase::ALL {
+        print!(" {} {:.1}%", ph.label(), 100.0 * profile.share(ph));
+    }
+    println!();
+
     println!(
         "\nbaseline (no FF, sequential): {baseline_s:.2}s   optimized (FF, {jobs} jobs): {optimized_s:.2}s   speedup {speedup:.2}x"
     );
@@ -118,12 +148,21 @@ fn main() -> std::process::ExitCode {
         if diverged == 0 { "ok" } else { "FAILED" }
     );
 
-    let json = format!(
-        "{{\n  \"baseline_wall_s\": {baseline_s:.3},\n  \"optimized_wall_s\": {optimized_s:.3},\n  \"speedup\": {speedup:.3},\n  \"jobs\": {jobs},\n  \"runs\": {},\n  \"deterministic\": {},\n  \"protocols\": [\n{}\n  ]\n}}\n",
-        optimized.len(),
-        diverged == 0,
-        proto_json.join(",\n")
-    );
+    let report = SimReport {
+        baseline_wall_s: baseline_s,
+        optimized_wall_s: optimized_s,
+        speedup,
+        jobs,
+        runs: optimized.len(),
+        deterministic: diverged == 0,
+        protocols: rows,
+        self_profile: profile,
+    };
+    let json = report.to_json();
+    if let Err(e) = check_schema("BENCH_sim.json", schemas::BENCH_SIM, &json) {
+        eprintln!("{e}");
+        return std::process::ExitCode::FAILURE;
+    }
     if let Err(e) = std::fs::write("BENCH_sim.json", &json) {
         eprintln!("cannot write BENCH_sim.json: {e}");
         return std::process::ExitCode::FAILURE;

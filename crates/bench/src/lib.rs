@@ -21,8 +21,17 @@
 //!   injection (`rcc-chaos`) on every run; profiles: `light`, `heavy`,
 //!   `reorder`, `canary` (the last is deliberately unsound — pair it
 //!   with `--sanitize` to watch the sanitizer catch it)
+//! * `--sample-every N` — record a metrics time-series sample every N
+//!   cycles (see `rcc-obs`); exported with `--series-out`
+//! * `--trace-out PATH` — write a Chrome/Perfetto trace of the runs a
+//!   binary chooses to export (see [`Harness::dump_observation`])
+//! * `--series-out PATH` — write the sampled time-series (`.csv` or
+//!   `.json` by extension; defaults sampling to every 256 cycles if
+//!   `--sample-every` is absent)
+//! * `--profile` — attach the simulator self-profiler to every run
 
 pub mod pool;
+pub mod report;
 
 use rcc_common::stats::gmean;
 use rcc_common::GpuConfig;
@@ -45,11 +54,16 @@ pub struct Harness {
     pub opts: SimOptions,
     /// Worker threads for experiment grids (`--jobs N`; 1 = sequential).
     pub jobs: usize,
+    /// Where `--trace-out` asked for a Chrome-trace export (`None` = off).
+    pub trace_out: Option<String>,
+    /// Where `--series-out` asked for a time-series export (`None` = off).
+    pub series_out: Option<String>,
 }
 
 impl Harness {
     /// Parses `--quick` / `--full` / `--sanitize` / `--chaos SPEC` /
-    /// `--jobs N` from the process arguments.
+    /// `--jobs N` / `--sample-every N` / `--trace-out PATH` /
+    /// `--series-out PATH` / `--profile` from the process arguments.
     pub fn from_args() -> Harness {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
@@ -57,29 +71,56 @@ impl Harness {
         let mut opts = SimOptions::fast();
         opts.sanitize = args.iter().any(|a| a == "--sanitize");
         opts.chaos = parse_chaos(&args);
+        opts.profile = args.iter().any(|a| a == "--profile");
+        let flag_value = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let trace_out = flag_value("--trace-out");
+        let series_out = flag_value("--series-out");
+        opts.trace = trace_out.is_some();
+        opts.sample_every = flag_value("--sample-every")
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap_or(if series_out.is_some() { 256 } else { 0 });
         let jobs = parse_jobs(&args);
-        if quick {
-            Harness {
-                cfg: GpuConfig::small(),
-                scale: Scale::quick(),
-                opts,
-                jobs,
-            }
+        let (cfg, scale) = if quick {
+            (GpuConfig::small(), Scale::quick())
         } else if full {
-            Harness {
-                cfg: GpuConfig::gtx480(),
-                scale: Scale::full(),
-                opts,
-                jobs,
-            }
+            (GpuConfig::gtx480(), Scale::full())
         } else {
-            Harness {
-                cfg: GpuConfig::gtx480(),
-                scale: Scale::standard(),
-                opts,
-                jobs,
-            }
+            (GpuConfig::gtx480(), Scale::standard())
+        };
+        Harness {
+            cfg,
+            scale,
+            opts,
+            jobs,
+            trace_out,
+            series_out,
         }
+    }
+
+    /// Writes one run's recorded observation to the `--trace-out` /
+    /// `--series-out` paths (whichever were given). The series export is
+    /// CSV unless the path ends in `.json`. Does nothing when the run
+    /// carried no observation.
+    pub fn dump_observation(&self, m: &RunMetrics) -> std::io::Result<()> {
+        let Some(obs) = &m.obs else { return Ok(()) };
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, obs.trace.to_chrome_json())?;
+            println!("wrote {path} ({} trace events)", obs.trace.len());
+        }
+        if let Some(path) = &self.series_out {
+            let dump = if path.ends_with(".json") {
+                obs.series.to_json()
+            } else {
+                obs.series.to_csv()
+            };
+            std::fs::write(path, dump)?;
+            println!("wrote {path} ({} sampled rows)", obs.series.rows());
+        }
+        Ok(())
     }
 
     /// Generates a benchmark's workload at this harness's scale.

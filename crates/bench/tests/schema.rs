@@ -1,0 +1,97 @@
+//! The report contracts, end to end: real runs produce artifacts the
+//! in-repo schemas accept, and the schemas still have teeth.
+//!
+//! The unit tests in `report.rs` cover the builders against hand-built
+//! sample reports; these tests exercise the actual producers — an
+//! observed litmus run and an observed benchmark run — so schema drift
+//! in either the producers or `schemas/*.json` fails here first.
+
+use rcc_bench::report::{check_schema, schemas, ProtocolRow, SimReport};
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_obs::ObsConfig;
+use rcc_obs::SimProfile;
+use rcc_sim::litmus::run_litmus_observed;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_workloads::{litmus, Benchmark, Scale};
+
+/// One observed litmus run: its exported Chrome trace and sampled
+/// series validate against the schemas shipped in `schemas/`.
+#[test]
+fn observed_litmus_artifacts_match_their_schemas() {
+    let cfg = GpuConfig::small();
+    let suite = litmus::all(cfg.num_cores, 3);
+    let lit = suite.iter().find(|l| l.name == "mp").expect("mp in suite");
+    let (out, report) = run_litmus_observed(
+        ProtocolKind::RccSc,
+        &cfg,
+        lit,
+        None,
+        Some(&ObsConfig::full(32)),
+    );
+    assert!(!out.forbidden);
+    let report = report.expect("observer was armed");
+    check_schema(
+        "litmus trace",
+        schemas::TRACE,
+        &report.trace.to_chrome_json(),
+    )
+    .expect("trace validates");
+    check_schema(
+        "litmus series",
+        schemas::TIMESERIES,
+        &report.series.to_json(),
+    )
+    .expect("series validates");
+}
+
+/// One observed benchmark run, exactly as `--trace-out`/`--series-out`
+/// would export it.
+#[test]
+fn observed_benchmark_artifacts_match_their_schemas() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 5);
+    let m = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::observed(64));
+    let obs = m.obs.as_ref().expect("observer was armed");
+    check_schema("bench trace", schemas::TRACE, &obs.trace.to_chrome_json())
+        .expect("trace validates");
+    check_schema("bench series", schemas::TIMESERIES, &obs.series.to_json())
+        .expect("series validates");
+}
+
+/// The schemas reject structurally broken documents — they are real
+/// contracts, not rubber stamps.
+#[test]
+fn schemas_reject_malformed_documents() {
+    // A trace event with an unknown phase type.
+    let bad_trace = r#"{"traceEvents": [{"ph": "X", "pid": 1}]}"#;
+    assert!(check_schema("trace", schemas::TRACE, bad_trace).is_err());
+    // A trace event missing the required pid.
+    let no_pid = r#"{"traceEvents": [{"ph": "i"}]}"#;
+    assert!(check_schema("trace", schemas::TRACE, no_pid).is_err());
+    // A series dump whose column kind is not delta/gauge.
+    let bad_series =
+        r#"{"schema": [{"name": "x", "kind": "rate"}], "rows": 0, "cycles": [], "columns": []}"#;
+    assert!(check_schema("series", schemas::TIMESERIES, bad_series).is_err());
+    // A sim report with the wrong type for a required field.
+    let report = SimReport {
+        baseline_wall_s: 2.0,
+        optimized_wall_s: 1.0,
+        speedup: 2.0,
+        jobs: 4,
+        runs: 1,
+        deterministic: true,
+        protocols: vec![ProtocolRow {
+            protocol: "RCC-SC".to_string(),
+            sim_cycles: 100,
+            sim_cycles_per_sec: 50.0,
+            skipped_cycles: 10,
+            skip_ratio: 0.1,
+        }],
+        self_profile: SimProfile::new(),
+    };
+    let good = report.to_json();
+    assert!(check_schema("sim", schemas::BENCH_SIM, &good).is_ok());
+    let drifted = good.replace("\"deterministic\": true", "\"deterministic\": \"yes\"");
+    assert!(check_schema("sim", schemas::BENCH_SIM, &drifted).is_err());
+}

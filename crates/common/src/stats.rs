@@ -149,13 +149,38 @@ impl TrafficStats {
     }
 }
 
-/// A streaming latency/size histogram with mean, min and max.
+/// A streaming latency/size histogram with mean, min, max and
+/// percentiles.
+///
+/// Samples are binned into power-of-two (log2) buckets: bucket 0 holds
+/// the value 0 and bucket `i` (i ≥ 1) holds `[2^(i-1), 2^i)`. That keeps
+/// the footprint at O(log max) while making tail percentiles (p99 of a
+/// load-latency distribution) answerable after the fact. The bucket
+/// vector grows on demand, so two histograms fed the same samples compare
+/// equal.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: u64,
     min: u64,
     max: u64,
+    buckets: Vec<u64>,
+}
+
+/// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`.
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lo, hi)
+    }
 }
 
 impl Histogram {
@@ -175,6 +200,11 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += value;
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
     }
 
     /// Number of samples.
@@ -206,6 +236,53 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Per-bucket sample counts (log2 buckets; see type docs). Exposed so
+    /// digests and dumps can cover the full distribution, not just the
+    /// moments.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) by the nearest-rank method
+    /// with linear interpolation inside the winning log2 bucket, clamped
+    /// to the observed `[min, max]`.
+    ///
+    /// The clamp makes boundary queries exact where the data allows it: a
+    /// 1-element histogram returns that element for every `p`, and a
+    /// sample at its bucket's lower bound (any power of two) is returned
+    /// exactly when it is the bucket's lowest-ranked sample.
+    ///
+    /// Returns `None` when the histogram is empty or `p` is out of range.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=100.0).contains(&p) || p == 0.0 {
+            return None;
+        }
+        // Nearest rank: k-th smallest sample, 1-based.
+        let k = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are known exactly — don't interpolate them.
+        if k == 1 {
+            return Some(self.min);
+        }
+        if k == self.count {
+            return Some(self.max);
+        }
+        let mut before = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if before + c >= k {
+                let (lo, hi) = bucket_range(i);
+                let r = k - before; // rank within this bucket, 1..=c
+                let v = lo + (hi - lo) / c * (r - 1);
+                return Some(v.clamp(self.min, self.max));
+            }
+            before += c;
+        }
+        // Unreachable: bucket counts always sum to `count`.
+        Some(self.max)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -219,6 +296,12 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
     }
 }
 
@@ -316,6 +399,68 @@ mod tests {
     }
 
     #[test]
+    fn percentile_one_element_is_exact_for_every_p() {
+        // The smallest boundary case: with a single sample every
+        // percentile must return exactly that sample, including values
+        // that sit on a log2 bucket boundary (powers of two).
+        for v in [0u64, 1, 2, 7, 8, 42, 64, 1 << 20] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for p in [1.0, 50.0, 99.0, 100.0] {
+                assert_eq!(h.percentile(p), Some(v), "p{p} of single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_power_of_two_element_boundaries() {
+        // 8 samples, each a power of two, each the lower boundary of its
+        // own log2 bucket — p50 and p99 land exactly on samples 4 and 8
+        // by the nearest-rank rule and must come back exact.
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(8), "p50 = 4th of 8 samples");
+        assert_eq!(h.percentile(99.0), Some(128), "p99 = 8th of 8 samples");
+        assert_eq!(h.percentile(100.0), Some(128));
+        assert_eq!(h.percentile(12.5), Some(1), "p12.5 = 1st of 8 samples");
+    }
+
+    #[test]
+    fn percentile_edge_inputs() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None, "empty histogram");
+        let mut h = Histogram::new();
+        h.record(16);
+        h.record(16);
+        h.record(16);
+        h.record(16);
+        // All samples equal at a bucket boundary: interpolation inside
+        // [16, 31] must be clamped back to the observed max.
+        assert_eq!(h.percentile(50.0), Some(16));
+        assert_eq!(h.percentile(99.0), Some(16));
+        assert_eq!(h.percentile(0.0), None, "p0 is out of range");
+        assert_eq!(h.percentile(100.1), None);
+        assert_eq!(h.percentile(-3.0), None);
+    }
+
+    #[test]
+    fn merge_preserves_buckets_and_percentiles() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(64);
+        b.record(128);
+        a.merge(&b);
+        let total: u64 = a.buckets().iter().sum();
+        assert_eq!(total, 4);
+        assert_eq!(a.percentile(50.0), Some(2));
+        assert_eq!(a.percentile(100.0), Some(128));
+    }
+
+    #[test]
     fn gmean_matches_hand_computation() {
         let g = gmean([1.0, 4.0]).unwrap();
         assert!((g - 2.0).abs() < 1e-12);
@@ -362,6 +507,28 @@ mod tests {
                 prop_assert_eq!(merged.sum(), all.sum());
                 prop_assert_eq!(merged.min(), all.min());
                 prop_assert_eq!(merged.max(), all.max());
+                prop_assert_eq!(merged, all, "merge must equal concatenation, buckets included");
+            }
+
+            /// Percentiles are bounded by [min, max], monotone in p, and
+            /// bucket counts always sum to the sample count.
+            #[test]
+            fn percentile_invariants(
+                xs in proptest::collection::vec(0u64..1_000_000, 1..100),
+            ) {
+                let mut h = Histogram::new();
+                for &x in &xs {
+                    h.record(x);
+                }
+                prop_assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+                let mut prev = h.min().unwrap();
+                for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+                    let v = h.percentile(p).expect("non-empty");
+                    prop_assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+                    prop_assert!(v >= prev, "percentile must be monotone in p");
+                    prev = v;
+                }
+                prop_assert_eq!(h.percentile(100.0), h.max());
             }
 
             /// gmean lies between min and max and is scale-equivariant.

@@ -11,7 +11,7 @@ use crate::msg::{Access, AccessOutcome, Completion, ReqMsg, RespMsg};
 use rcc_common::addr::LineAddr;
 use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, PartitionId};
-use rcc_common::time::Cycle;
+use rcc_common::time::{Cycle, Timestamp};
 use rcc_mem::LineData;
 
 /// Messages and events produced by an L1 controller in one step.
@@ -253,6 +253,14 @@ pub trait L2Bank {
 
     /// Number of outstanding transactions (MSHRs + deferred requests).
     fn pending(&self) -> usize;
+
+    /// The bank's logical clock, for timestamp protocols: the largest
+    /// timestamp this bank has minted so far. `None` for physical-time
+    /// protocols. Observability only — the sampler records it as a
+    /// per-bank counter track; nothing on the simulated path reads it.
+    fn logical_time(&self) -> Option<Timestamp> {
+        None
+    }
 
     /// The earliest future cycle at which this bank's [`L2Bank::tick`]
     /// would act with no further input (e.g. TC-Strong releasing a

@@ -646,6 +646,10 @@ impl L2Bank for RccL2 {
         self.mshrs.len() + self.deferred_count
     }
 
+    fn logical_time(&self) -> Option<Timestamp> {
+        Some(self.mnow)
+    }
+
     fn stats(&self) -> &L2Stats {
         &self.stats
     }

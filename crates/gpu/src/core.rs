@@ -244,6 +244,12 @@ impl Core {
         self.warps.iter().map(|w| w.outstanding.len()).sum()
     }
 
+    /// Warps that have not yet retired their program — the occupancy
+    /// figure the time-series sampler records per SM.
+    pub fn active_warps(&self) -> usize {
+        self.warps.len() - self.retired_warps
+    }
+
     /// Statistics.
     pub fn stats(&self) -> &CoreStats {
         &self.stats

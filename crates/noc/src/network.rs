@@ -217,6 +217,12 @@ impl<T> Network<T> {
         self.in_flight.len()
     }
 
+    /// High-water mark of packets simultaneously in flight — the
+    /// VC-queue-depth figure the time-series sampler records.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
     /// Whether nothing is in flight.
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+//! Observability for the RCC simulator: per-interval time-series
+//! sampling, Perfetto/Chrome-trace export, simulator self-profiling, and
+//! schema validation for every artifact the harness exports.
+//!
+//! The paper's figures are all end-of-run aggregates; this crate is what
+//! lets a run explain itself *in time*: where MESI's invalidation storms
+//! land, when RCC's logical-clock rollover bunches up, which phase of the
+//! simulator the wall-clock goes to. Everything here is passive — armed
+//! observers never feed back into simulated behaviour, and the sim crate
+//! enforces that with a determinism test (`same_simulated_results` with
+//! observation on vs off).
+//!
+//! * [`series`] — a compact columnar time-series buffer
+//!   ([`TimeSeries`]): cumulative counters are recorded as per-interval
+//!   deltas, instantaneous quantities as gauges; dumps as CSV or JSON and
+//!   produces a seeded [`digest`] for golden-snapshot tests.
+//! * [`trace`] — a [`TraceBuffer`] of structured spans / instant events /
+//!   counters with stable per-component track ids, serialized as Chrome
+//!   trace JSON that loads directly in [Perfetto](https://ui.perfetto.dev).
+//! * [`profile`] — [`SimProfile`], per-component wall-clock attribution
+//!   of the simulator itself (cores vs caches vs NoC vs DRAM vs engine
+//!   bookkeeping).
+//! * [`json`] / [`schema`] — a dependency-free JSON parser and a
+//!   JSON-Schema-subset validator, used to pin the shape of
+//!   `BENCH_sim.json`, `BENCH_chaos.json`, traces and time-series dumps
+//!   against the schemas committed under `schemas/`.
+
+pub mod digest;
+pub mod json;
+pub mod profile;
+pub mod schema;
+pub mod series;
+pub mod trace;
+
+pub use digest::DigestWriter;
+pub use json::JsonValue;
+pub use profile::{SimPhase, SimProfile};
+pub use series::{ColKind, TimeSeries};
+pub use trace::{track, ArgValue, TraceBuffer};
+
+/// Configuration for an attached observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Sample the time-series every this many cycles (0 disables
+    /// sampling).
+    pub sample_every: u64,
+    /// Record structured trace events.
+    pub trace: bool,
+    /// Hard cap on buffered trace events; once reached, further events
+    /// are counted as dropped rather than stored (never silently).
+    pub max_trace_events: usize,
+}
+
+impl ObsConfig {
+    /// Sampling at `every` cycles plus tracing — the full observer.
+    pub fn full(every: u64) -> Self {
+        ObsConfig {
+            sample_every: every,
+            trace: true,
+            max_trace_events: 1_000_000,
+        }
+    }
+
+    /// Sampling only, no trace buffer.
+    pub fn sampled(every: u64) -> Self {
+        ObsConfig {
+            sample_every: every,
+            trace: false,
+            max_trace_events: 0,
+        }
+    }
+
+    /// Whether anything is actually observed.
+    pub fn is_armed(&self) -> bool {
+        self.sample_every > 0 || self.trace
+    }
+}
+
+/// What an observed run produced: the sampled series and the trace.
+/// Carried on `RunMetrics` but excluded from result comparison — it is
+/// observation, not simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Sampled time-series (empty when sampling was off).
+    pub series: TimeSeries,
+    /// Structured trace events (empty when tracing was off).
+    pub trace: TraceBuffer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_arming() {
+        assert!(ObsConfig::full(64).is_armed());
+        assert!(ObsConfig::sampled(1).is_armed());
+        assert!(!ObsConfig::sampled(0).is_armed());
+        let trace_only = ObsConfig {
+            sample_every: 0,
+            trace: true,
+            max_trace_events: 10,
+        };
+        assert!(trace_only.is_armed());
+    }
+}

@@ -1,0 +1,228 @@
+//! A JSON-Schema-subset validator for exported artifacts.
+//!
+//! Supports the keywords the in-repo schemas under `schemas/` use:
+//! `type` (string or array of strings), `properties`, `required`,
+//! `additionalProperties` (boolean form), `items` (single schema),
+//! `minItems`, `enum`, `minimum`, `maximum`. Schemas are themselves JSON
+//! documents parsed with [`crate::json`], so the bench artifact tests can
+//! validate `BENCH_sim.json` against `schemas/bench_sim.schema.json`
+//! without any registry dependency.
+
+use crate::json::JsonValue;
+
+/// Validates `value` against `schema`, returning every violation with a
+/// JSON-pointer-ish path. Empty result means the document conforms.
+pub fn validate(schema: &JsonValue, value: &JsonValue) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(schema, value, "$", &mut errors);
+    errors
+}
+
+/// Parses both schema and document texts and validates.
+pub fn validate_text(schema_text: &str, doc_text: &str) -> Result<Vec<String>, String> {
+    let schema = crate::json::parse(schema_text).map_err(|e| format!("schema: {e}"))?;
+    let doc = crate::json::parse(doc_text).map_err(|e| format!("document: {e}"))?;
+    Ok(validate(&schema, &doc))
+}
+
+fn check(schema: &JsonValue, value: &JsonValue, path: &str, errors: &mut Vec<String>) {
+    if let Some(ty) = schema.get("type") {
+        if !type_matches(ty, value) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                type_label(ty),
+                value.type_name()
+            ));
+            // Structural keywords below would only cascade noise.
+            return;
+        }
+    }
+
+    if let Some(allowed) = schema.get("enum").and_then(JsonValue::as_array) {
+        if !allowed.iter().any(|a| a == value) {
+            errors.push(format!("{path}: value not in enum"));
+        }
+    }
+
+    if let Some(min) = schema.get("minimum").and_then(JsonValue::as_f64) {
+        if let Some(v) = value.as_f64() {
+            if v < min {
+                errors.push(format!("{path}: {v} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(max) = schema.get("maximum").and_then(JsonValue::as_f64) {
+        if let Some(v) = value.as_f64() {
+            if v > max {
+                errors.push(format!("{path}: {v} above maximum {max}"));
+            }
+        }
+    }
+
+    if let JsonValue::Obj(map) = value {
+        if let Some(req) = schema.get("required").and_then(JsonValue::as_array) {
+            for r in req {
+                if let Some(name) = r.as_str() {
+                    if !map.contains_key(name) {
+                        errors.push(format!("{path}: missing required property \"{name}\""));
+                    }
+                }
+            }
+        }
+        let props = schema.get("properties").and_then(JsonValue::as_object);
+        if let Some(props) = props {
+            for (k, sub) in props {
+                if let Some(v) = map.get(k) {
+                    check(sub, v, &format!("{path}.{k}"), errors);
+                }
+            }
+        }
+        if schema
+            .get("additionalProperties")
+            .and_then(JsonValue::as_bool)
+            == Some(false)
+        {
+            for k in map.keys() {
+                let declared = props.map(|p| p.contains_key(k)).unwrap_or(false);
+                if !declared {
+                    errors.push(format!("{path}: unexpected property \"{k}\""));
+                }
+            }
+        }
+    }
+
+    if let JsonValue::Arr(items) = value {
+        if let Some(min) = schema.get("minItems").and_then(JsonValue::as_u64) {
+            if (items.len() as u64) < min {
+                errors.push(format!(
+                    "{path}: {} items, fewer than minItems {min}",
+                    items.len()
+                ));
+            }
+        }
+        if let Some(item_schema) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                check(item_schema, item, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn type_matches(ty: &JsonValue, value: &JsonValue) -> bool {
+    match ty {
+        JsonValue::Str(s) => one_type_matches(s, value),
+        JsonValue::Arr(opts) => opts
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .any(|s| one_type_matches(s, value)),
+        _ => true,
+    }
+}
+
+fn one_type_matches(name: &str, value: &JsonValue) -> bool {
+    match name {
+        "null" => matches!(value, JsonValue::Null),
+        "boolean" => matches!(value, JsonValue::Bool(_)),
+        "number" => matches!(value, JsonValue::Num { .. }),
+        "integer" => matches!(value, JsonValue::Num { f, .. } if f.fract() == 0.0),
+        "string" => matches!(value, JsonValue::Str(_)),
+        "array" => matches!(value, JsonValue::Arr(_)),
+        "object" => matches!(value, JsonValue::Obj(_)),
+        _ => true,
+    }
+}
+
+fn type_label(ty: &JsonValue) -> String {
+    match ty {
+        JsonValue::Str(s) => s.clone(),
+        JsonValue::Arr(opts) => opts
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .collect::<Vec<_>>()
+            .join("|"),
+        _ => "?".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"{
+        "type": "object",
+        "required": ["name", "runs"],
+        "additionalProperties": false,
+        "properties": {
+            "name": {"type": "string"},
+            "runs": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "required": ["cycles"],
+                    "properties": {
+                        "cycles": {"type": "integer", "minimum": 0},
+                        "speedup": {"type": "number"},
+                        "mode": {"enum": ["fast", "checked"]}
+                    }
+                }
+            },
+            "note": {"type": ["string", "null"]}
+        }
+    }"#;
+
+    #[test]
+    fn conforming_document_passes() {
+        let doc = r#"{"name": "x", "runs": [{"cycles": 10, "speedup": 1.5, "mode": "fast"}],
+                      "note": null}"#;
+        assert_eq!(validate_text(SCHEMA, doc).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn violations_are_reported_with_paths() {
+        let doc = r#"{"runs": [{"cycles": -1, "mode": "warp"}], "extra": 1}"#;
+        let errs = validate_text(SCHEMA, doc).unwrap();
+        let joined = errs.join("\n");
+        assert!(
+            joined.contains("missing required property \"name\""),
+            "{joined}"
+        );
+        assert!(joined.contains("$.runs[0].cycles"), "{joined}");
+        assert!(joined.contains("not in enum"), "{joined}");
+        assert!(joined.contains("unexpected property \"extra\""), "{joined}");
+    }
+
+    #[test]
+    fn type_mismatch_short_circuits() {
+        let errs = validate_text(SCHEMA, r#"{"name": 5, "runs": "nope"}"#).unwrap();
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("$.name: expected type string")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("$.runs: expected type array")));
+    }
+
+    #[test]
+    fn min_items_and_union_types() {
+        let errs = validate_text(SCHEMA, r#"{"name": "x", "runs": [], "note": 3}"#).unwrap();
+        assert!(errs.iter().any(|e| e.contains("fewer than minItems")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("$.note: expected type string|null")));
+    }
+
+    #[test]
+    fn integer_accepts_whole_floats_only() {
+        let s = r#"{"type": "integer"}"#;
+        assert!(validate_text(s, "3").unwrap().is_empty());
+        assert!(validate_text(s, "3.0").unwrap().is_empty());
+        assert!(!validate_text(s, "3.5").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_schema_or_doc_is_an_error() {
+        assert!(validate_text("{", "3").is_err());
+        assert!(validate_text("{}", "{").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Columnar time-series buffer for per-interval metrics.
+//!
+//! The sampler records one row per sample interval. Each column is either
+//! a **delta** — the caller supplies a cumulative counter and the buffer
+//! stores the per-interval difference (IPC numerators, hit/miss counts,
+//! flits by class, lease extensions) — or a **gauge**, stored as-is
+//! (queue depths, MSHR occupancy, logical clocks). Columns are plain
+//! `u64` so digests are exact; rates like IPC or hit ratios are derived
+//! by the consumer from the raw numerators and the interval length.
+
+use crate::digest::DigestWriter;
+use std::fmt::Write as _;
+
+/// How a column's values are derived from what the sampler supplies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColKind {
+    /// Caller supplies a cumulative counter; the stored value is the
+    /// difference since the previous sample.
+    Delta,
+    /// Caller supplies an instantaneous value; stored verbatim.
+    Gauge,
+}
+
+impl ColKind {
+    /// Label used in the JSON dump.
+    pub fn label(self) -> &'static str {
+        match self {
+            ColKind::Delta => "delta",
+            ColKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// A fixed-schema columnar buffer of sampled rows.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    names: Vec<String>,
+    kinds: Vec<ColKind>,
+    /// Previous cumulative snapshot (delta columns only; gauge slots
+    /// unused).
+    prev: Vec<u64>,
+    /// End cycle of each sampled interval.
+    cycles: Vec<u64>,
+    /// `cols[c][row]`.
+    cols: Vec<Vec<u64>>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given column schema.
+    pub fn new(schema: Vec<(String, ColKind)>) -> Self {
+        let (names, kinds): (Vec<_>, Vec<_>) = schema.into_iter().unzip();
+        let n = names.len();
+        TimeSeries {
+            names,
+            kinds,
+            prev: vec![0; n],
+            cycles: Vec::new(),
+            cols: vec![Vec::new(); n],
+        }
+    }
+
+    /// Records one row. `values[i]` is the cumulative count for delta
+    /// columns and the instantaneous value for gauges, in schema order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the schema width.
+    pub fn push(&mut self, cycle: u64, values: &[u64]) {
+        assert_eq!(values.len(), self.names.len(), "schema width mismatch");
+        self.cycles.push(cycle);
+        for (i, &v) in values.iter().enumerate() {
+            let stored = match self.kinds[i] {
+                ColKind::Delta => {
+                    let d = v.wrapping_sub(self.prev[i]);
+                    self.prev[i] = v;
+                    d
+                }
+                ColKind::Gauge => v,
+            };
+            self.cols[i].push(stored);
+        }
+    }
+
+    /// Number of sampled rows.
+    pub fn rows(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Number of columns (excluding the implicit cycle column).
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Column names in schema order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// The sampled end cycles.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// A column's stored values by name.
+    pub fn col(&self, name: &str) -> Option<&[u64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.cols[i].as_slice())
+    }
+
+    /// CSV dump: `cycle,<name>,...` header then one line per row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle");
+        for n in &self.names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for r in 0..self.rows() {
+            let _ = write!(out, "{}", self.cycles[r]);
+            for c in &self.cols {
+                let _ = write!(out, ",{}", c[r]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON dump: schema (name + kind), cycles, and columns by name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": [");
+        for (i, (n, k)) in self.names.iter().zip(&self.kinds).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"name\": \"{n}\", \"kind\": \"{}\"}}", k.label());
+        }
+        out.push_str("],\n  \"rows\": ");
+        let _ = write!(out, "{}", self.rows());
+        out.push_str(",\n  \"cycles\": ");
+        push_u64_array(&mut out, &self.cycles);
+        out.push_str(",\n  \"columns\": {");
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{n}\": ");
+            push_u64_array(&mut out, &self.cols[i]);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Seeded digest over the schema and every stored value — what the
+    /// golden-snapshot tests pin instead of raw floats.
+    pub fn digest(&self, seed: u64) -> u64 {
+        let mut w = DigestWriter::new(seed);
+        w.write_u64(self.names.len() as u64);
+        for (n, k) in self.names.iter().zip(&self.kinds) {
+            w.write_str(n);
+            w.write_str(k.label());
+        }
+        w.write_u64s(&self.cycles);
+        for c in &self.cols {
+            w.write_u64s(c);
+        }
+        w.finish()
+    }
+}
+
+fn push_u64_array(out: &mut String, vs: &[u64]) {
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new(vec![
+            ("issued".to_string(), ColKind::Delta),
+            ("mshr".to_string(), ColKind::Gauge),
+        ])
+    }
+
+    #[test]
+    fn deltas_and_gauges() {
+        let mut s = series();
+        s.push(100, &[50, 3]);
+        s.push(200, &[80, 1]);
+        s.push(300, &[80, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.col("issued"), Some(&[50, 30, 0][..]));
+        assert_eq!(s.col("mshr"), Some(&[3, 1, 0][..]));
+        assert_eq!(s.cycles(), &[100, 200, 300]);
+        assert_eq!(s.col("nope"), None);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let mut s = series();
+        s.push(64, &[10, 2]);
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("cycle,issued,mshr"));
+        assert_eq!(lines.next(), Some("64,10,2"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn json_parses_and_matches() {
+        let mut s = series();
+        s.push(64, &[10, 2]);
+        s.push(128, &[25, 7]);
+        let v = crate::json::parse(&s.to_json()).expect("series JSON must parse");
+        assert_eq!(
+            v.get("rows").and_then(crate::json::JsonValue::as_u64),
+            Some(2)
+        );
+        let cols = v.get("columns").expect("columns");
+        let issued = cols
+            .get("issued")
+            .and_then(crate::json::JsonValue::as_array)
+            .unwrap();
+        assert_eq!(issued.len(), 2);
+        assert_eq!(issued[1].as_u64(), Some(15));
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let mut a = series();
+        a.push(64, &[10, 2]);
+        let mut b = series();
+        b.push(64, &[10, 2]);
+        assert_eq!(a.digest(1), b.digest(1));
+        assert_ne!(a.digest(1), a.digest(2), "seed must matter");
+        b.push(128, &[10, 2]);
+        assert_ne!(a.digest(1), b.digest(1), "content must matter");
+    }
+}

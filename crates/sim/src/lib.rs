@@ -27,9 +27,11 @@
 
 pub mod litmus;
 pub mod metrics;
+pub mod observe;
 pub mod runner;
 pub mod system;
 
 pub use metrics::RunMetrics;
+pub use observe::Observer;
 pub use runner::{simulate, SimOptions};
 pub use system::System;

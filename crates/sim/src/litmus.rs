@@ -17,6 +17,7 @@ use rcc_core::mesi::{MesiProtocol, MesiWbProtocol};
 use rcc_core::rcc::RccProtocol;
 use rcc_core::tc::TcProtocol;
 use rcc_core::ProtocolKind;
+use rcc_obs::{ObsConfig, ObsReport};
 use rcc_workloads::litmus::Litmus;
 use rcc_workloads::Workload;
 
@@ -32,21 +33,32 @@ pub struct LitmusOutcome {
     pub sanitizer_sc: bool,
 }
 
+/// The workload a litmus test runs as (one warp per program, forced
+/// inter-workgroup sharing). Public so observers and golden tests can run
+/// litmus programs through the regular [`crate::runner::simulate`] path.
+pub fn litmus_workload(litmus: &Litmus) -> Workload {
+    Workload {
+        name: litmus.name,
+        category: rcc_workloads::Sharing::InterWorkgroup,
+        programs: litmus.programs.clone(),
+        warps_per_workgroup: 1,
+    }
+}
+
 fn run_one<P: rcc_core::protocol::Protocol>(
     protocol: &P,
     cfg: &GpuConfig,
     litmus: &Litmus,
     chaos: Option<&ChaosSpec>,
-) -> LitmusOutcome {
-    let workload = Workload {
-        name: litmus.name,
-        category: rcc_workloads::Sharing::InterWorkgroup,
-        programs: litmus.programs.clone(),
-        warps_per_workgroup: 1,
-    };
+    obs: Option<&ObsConfig>,
+) -> (LitmusOutcome, Option<ObsReport>) {
+    let workload = litmus_workload(litmus);
     let mut sys = System::new(protocol, cfg, &workload, false);
     if let Some(spec) = chaos {
         sys.set_chaos(spec);
+    }
+    if let Some(cfg) = obs {
+        sys.set_observer(cfg.clone());
     }
     sys.enable_sanitizer();
     sys_run(&mut sys);
@@ -65,11 +77,15 @@ fn run_one<P: rcc_core::protocol::Protocol>(
         .sanitizer_report()
         .map(|r| r.sc)
         .expect("sanitizer was enabled");
-    LitmusOutcome {
-        values,
-        forbidden,
-        sanitizer_sc,
-    }
+    let report = sys.take_observation();
+    (
+        LitmusOutcome {
+            values,
+            forbidden,
+            sanitizer_sc,
+        },
+        report,
+    )
 }
 
 fn sys_run<P: rcc_core::protocol::Protocol>(sys: &mut System<P>) -> u64 {
@@ -112,14 +128,29 @@ pub fn run_litmus_chaos(
     litmus: &Litmus,
     chaos: Option<&ChaosSpec>,
 ) -> LitmusOutcome {
+    run_litmus_observed(kind, cfg, litmus, chaos, None).0
+}
+
+/// Runs one litmus test with optional chaos injection and an optional
+/// observer attached, returning the outcome together with whatever the
+/// observer recorded (`None` when no observer was requested).
+///
+/// Like [`run_litmus_chaos`], this never panics on the sanitizer verdict.
+pub fn run_litmus_observed(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    litmus: &Litmus,
+    chaos: Option<&ChaosSpec>,
+    obs: Option<&ObsConfig>,
+) -> (LitmusOutcome, Option<ObsReport>) {
     match kind {
-        ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus, chaos),
-        ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus, chaos),
-        ProtocolKind::TcStrong => run_one(&TcProtocol::strong(cfg), cfg, litmus, chaos),
-        ProtocolKind::TcWeak => run_one(&TcProtocol::weak(cfg), cfg, litmus, chaos),
-        ProtocolKind::RccSc => run_one(&RccProtocol::sequential(cfg), cfg, litmus, chaos),
-        ProtocolKind::RccWo => run_one(&RccProtocol::weakly_ordered(cfg), cfg, litmus, chaos),
-        ProtocolKind::IdealSc => run_one(&IdealProtocol::new(cfg), cfg, litmus, chaos),
+        ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus, chaos, obs),
+        ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus, chaos, obs),
+        ProtocolKind::TcStrong => run_one(&TcProtocol::strong(cfg), cfg, litmus, chaos, obs),
+        ProtocolKind::TcWeak => run_one(&TcProtocol::weak(cfg), cfg, litmus, chaos, obs),
+        ProtocolKind::RccSc => run_one(&RccProtocol::sequential(cfg), cfg, litmus, chaos, obs),
+        ProtocolKind::RccWo => run_one(&RccProtocol::weakly_ordered(cfg), cfg, litmus, chaos, obs),
+        ProtocolKind::IdealSc => run_one(&IdealProtocol::new(cfg), cfg, litmus, chaos, obs),
     }
 }
 

@@ -1,10 +1,11 @@
 //! Run measurements: everything the paper's figures are computed from.
 
-use rcc_common::stats::{Histogram, TrafficStats};
+use rcc_common::stats::{Histogram, MsgClass, TrafficStats};
 use rcc_core::protocol::{L1Stats, L2Stats};
 use rcc_core::ProtocolKind;
 use rcc_gpu::CoreStats;
 use rcc_noc::EnergyBreakdown;
+use rcc_obs::{DigestWriter, ObsReport, SimProfile};
 
 /// Aggregated measurements of one simulation run.
 #[derive(Debug, Clone)]
@@ -53,6 +54,15 @@ pub struct RunMetrics {
     pub skipped_cycles: u64,
     /// Fast-forward jumps taken (engine telemetry).
     pub ff_jumps: u64,
+    /// Simulator self-profile: wall-clock attribution per engine phase.
+    /// `None` unless profiling was armed. Host-machine measurement, not a
+    /// simulated result — excluded from
+    /// [`RunMetrics::same_simulated_results`].
+    pub profile: Option<SimProfile>,
+    /// What the attached observer recorded (time-series + trace). `None`
+    /// unless an observer was armed. Observation, not simulation —
+    /// excluded from [`RunMetrics::same_simulated_results`].
+    pub obs: Option<ObsReport>,
 }
 
 impl RunMetrics {
@@ -138,6 +148,95 @@ impl RunMetrics {
         }
     }
 
+    /// Seeded digest over every *simulated* field — exactly the set
+    /// [`RunMetrics::same_simulated_results`] compares, so two runs are
+    /// digest-equal iff they are result-equal. This is what the golden
+    /// snapshot tests pin: one stable hash instead of a wall of floats.
+    /// Engine telemetry (`skipped_cycles`, `ff_jumps`) and observation
+    /// (`profile`, `obs`) are deliberately not hashed.
+    pub fn digest(&self, seed: u64) -> u64 {
+        let mut w = DigestWriter::new(seed);
+        w.write_str(&self.kind.to_string());
+        w.write_str(&self.workload);
+        w.write_u64(self.cycles);
+        // Core stats.
+        let c = &self.core;
+        for v in [
+            c.issued,
+            c.mem_ops,
+            c.sc_stall_cycles,
+            c.sc_stall_cycles_prev_load,
+            c.sc_stall_cycles_prev_store,
+            c.sc_stall_cycles_prev_atomic,
+            c.stalled_mem_ops,
+            c.structural_stall_cycles,
+            c.fence_stall_cycles,
+            c.lock_retries,
+            c.barrier_polls,
+        ] {
+            w.write_u64(v);
+        }
+        for h in [
+            &c.stall_resolve,
+            &c.load_latency,
+            &c.store_latency,
+            &c.atomic_latency,
+        ] {
+            digest_histogram(&mut w, h);
+        }
+        // L1 stats.
+        let l1 = &self.l1;
+        for v in [
+            l1.loads,
+            l1.load_hits,
+            l1.expired_loads,
+            l1.renewed_loads,
+            l1.stores,
+            l1.atomics,
+            l1.self_invalidations,
+            l1.rejects,
+            l1.invs_received,
+        ] {
+            w.write_u64(v);
+        }
+        // L2 stats.
+        let l2 = &self.l2;
+        for v in [
+            l2.gets,
+            l2.renews_granted,
+            l2.writes,
+            l2.atomics,
+            l2.dram_fetches,
+            l2.writebacks,
+            l2.invs_sent,
+            l2.stalled_stores,
+            l2.store_stall_cycles,
+        ] {
+            w.write_u64(v);
+        }
+        // Traffic by class.
+        for class in MsgClass::ALL {
+            w.write_u64(self.traffic.msgs(class));
+            w.write_u64(self.traffic.flits(class));
+        }
+        // Energy (floats by bit pattern — bit-identical runs only).
+        w.write_f64(self.energy.router_pj);
+        w.write_f64(self.energy.link_pj);
+        w.write_f64(self.energy.static_pj);
+        w.write_u64(self.dram_reads);
+        w.write_u64(self.dram_writes);
+        w.write_f64(self.dram_read_latency);
+        w.write_u64(self.sc_violations as u64);
+        w.write_u64(match self.sanitizer_sc {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        w.write_u64(self.rollovers);
+        w.write_u64(self.chaos_events);
+        w.finish()
+    }
+
     /// Mean load latency (Fig. 1c).
     pub fn load_latency(&self) -> &Histogram {
         &self.core.load_latency
@@ -147,6 +246,15 @@ impl RunMetrics {
     pub fn store_latency(&self) -> &Histogram {
         &self.core.store_latency
     }
+}
+
+/// Folds a histogram's full state (moments + log2 buckets) into a digest.
+fn digest_histogram(w: &mut DigestWriter, h: &Histogram) {
+    w.write_u64(h.count());
+    w.write_u64(h.sum());
+    w.write_u64(h.min().unwrap_or(0));
+    w.write_u64(h.max().unwrap_or(0));
+    w.write_u64s(h.buckets());
 }
 
 #[cfg(test)]
@@ -181,6 +289,8 @@ mod tests {
             chaos_events: 0,
             skipped_cycles: 0,
             ff_jumps: 0,
+            profile: None,
+            obs: None,
         }
     }
 
@@ -201,6 +311,26 @@ mod tests {
         assert_eq!(z.sc_stalls_per_mem_op(), 0.0);
         assert_eq!(z.expired_load_fraction(), 0.0);
         assert_eq!(z.renewable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn digest_tracks_simulated_fields_only() {
+        let a = metrics(1000, 500);
+        let mut b = metrics(1000, 500);
+        assert_eq!(a.digest(1), b.digest(1));
+        // Engine telemetry and observation must not move the digest —
+        // digest-equality has to mean same_simulated_results.
+        b.skipped_cycles = 999;
+        b.ff_jumps = 3;
+        b.profile = Some(rcc_obs::SimProfile::new());
+        assert_eq!(a.digest(1), b.digest(1));
+        assert!(a.same_simulated_results(&b));
+        // Any simulated field moves it.
+        b.cycles = 1001;
+        assert_ne!(a.digest(1), b.digest(1));
+        assert!(!a.same_simulated_results(&b));
+        // Seed matters.
+        assert_ne!(a.digest(1), a.digest(2));
     }
 
     #[test]

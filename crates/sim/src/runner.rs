@@ -35,6 +35,17 @@ pub struct SimOptions {
     /// nothing and leaves the run bit-identical to a build without the
     /// chaos subsystem.
     pub chaos: Option<rcc_chaos::ChaosSpec>,
+    /// Record a time-series sample every this many cycles (0 — the
+    /// default — disables sampling). The sampled series lands in
+    /// [`RunMetrics::obs`]. Observation is passive: simulated results
+    /// are bit-identical with sampling on or off.
+    pub sample_every: u64,
+    /// Record structured trace events (Chrome-trace/Perfetto export; see
+    /// `rcc-obs`). The trace lands in [`RunMetrics::obs`].
+    pub trace: bool,
+    /// Profile the simulator itself: per-phase wall-clock attribution in
+    /// [`RunMetrics::profile`]. Host-machine measurement only.
+    pub profile: bool,
 }
 
 impl SimOptions {
@@ -46,6 +57,20 @@ impl SimOptions {
             max_cycles: 200_000_000,
             fast_forward: true,
             chaos: None,
+            sample_every: 0,
+            trace: false,
+            profile: false,
+        }
+    }
+
+    /// Fast options plus full observation (sampling at `every` cycles,
+    /// trace recording, self-profiling).
+    pub fn observed(every: u64) -> Self {
+        SimOptions {
+            sample_every: every,
+            trace: true,
+            profile: true,
+            ..SimOptions::fast()
         }
     }
 
@@ -79,7 +104,17 @@ fn run_system<P: Protocol>(
     if opts.sanitize {
         system.enable_sanitizer();
     }
-    system.run(opts.max_cycles)
+    if opts.sample_every > 0 || opts.trace {
+        system.set_observer(rcc_obs::ObsConfig {
+            sample_every: opts.sample_every,
+            trace: opts.trace,
+            max_trace_events: 1_000_000,
+        });
+    }
+    system.set_profiling(opts.profile);
+    let mut metrics = system.run(opts.max_cycles);
+    metrics.obs = system.take_observation();
+    metrics
 }
 
 /// Runs `workload` on the machine `cfg` under `kind`, returning the run's

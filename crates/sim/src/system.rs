@@ -1,6 +1,7 @@
 //! The cycle-driven full system.
 
 use crate::metrics::RunMetrics;
+use crate::observe::Observer;
 use rcc_chaos::{stream, ChaosSpec, PerturbPoint, Perturber, Site};
 use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::GpuConfig;
@@ -18,6 +19,7 @@ use rcc_dram::DramChannel;
 use rcc_gpu::{Core, CoreParams, CoreStats, FencePolicy};
 use rcc_mem::LineData;
 use rcc_noc::{Network, NocEnergyModel};
+use rcc_obs::{track, ArgValue, ObsConfig, ObsReport, SimPhase, SimProfile};
 use rcc_verify::sanitizer::{SanReport, Sanitizer};
 use rcc_workloads::Workload;
 use std::collections::VecDeque;
@@ -173,6 +175,11 @@ pub struct System<P: Protocol> {
     chaos_access: Option<Perturber>,
     /// Total perturbations fired across every hook (shared counter).
     chaos_fired: Arc<AtomicU64>,
+    /// Attached observer (sampler + trace); `None` — the default — keeps
+    /// the hot path at one branch per site, like chaos.
+    obs: Option<Observer>,
+    /// Self-profiling wall-clock attribution; `None` disables timing.
+    profile: Option<SimProfile>,
 }
 
 impl<P: Protocol> System<P> {
@@ -248,6 +255,8 @@ impl<P: Protocol> System<P> {
             chaos_pipe: None,
             chaos_access: None,
             chaos_fired: Arc::new(AtomicU64::new(0)),
+            obs: None,
+            profile: None,
         }
     }
 
@@ -278,6 +287,97 @@ impl<P: Protocol> System<P> {
     /// Perturbations fired so far (0 unless [`System::set_chaos`] armed).
     pub fn chaos_events(&self) -> u64 {
         self.chaos_fired.load(Ordering::Relaxed)
+    }
+
+    /// Attaches an observer (time-series sampler and/or trace recorder;
+    /// see `rcc-obs`). Call before the run starts; off by default.
+    /// Observation is passive — simulated results are bit-identical with
+    /// or without it (the determinism tests enforce this).
+    pub fn set_observer(&mut self, cfg: ObsConfig) {
+        if cfg.is_armed() {
+            self.obs = Some(Observer::new(cfg, &self.cfg));
+        }
+    }
+
+    /// Enables self-profiling: per-phase wall-clock attribution of the
+    /// simulator itself, surfaced as [`RunMetrics::profile`]. Purely
+    /// diagnostic; never feeds back into simulation.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profile = enabled.then(SimProfile::new);
+    }
+
+    /// Detaches the observer and returns what it recorded, pushing a
+    /// final tail sample for the partial interval at the current cycle.
+    /// `None` if no observer was armed.
+    pub fn take_observation(&mut self) -> Option<ObsReport> {
+        let now = self.cycle.raw();
+        let obs = self.obs.as_ref()?;
+        if obs.next_sample_cycle().is_some() && !obs.sampled_at(now) {
+            self.take_sample();
+        }
+        self.obs.take().map(Observer::into_report)
+    }
+
+    /// Records one time-series row (and the logical-time counter tracks)
+    /// at the current cycle.
+    fn take_sample(&mut self) {
+        let Some(mut obs) = self.obs.take() else {
+            return;
+        };
+        let now = self.cycle.raw();
+        let row = obs.row_mut();
+        row.push(self.cores.iter().map(|c| c.stats().issued).sum());
+        row.push(self.cores.iter().map(|c| c.stats().mem_ops).sum());
+        row.push(self.l1s.iter().map(|c| c.stats().loads).sum());
+        row.push(self.l1s.iter().map(|c| c.stats().load_hits).sum());
+        row.push(self.l1s.iter().map(|c| c.stats().expired_loads).sum());
+        row.push(self.l1s.iter().map(|c| c.stats().renewed_loads).sum());
+        row.push(self.l2s.iter().map(|b| b.stats().gets).sum());
+        row.push(self.l2s.iter().map(|b| b.stats().dram_fetches).sum());
+        row.push(self.l2s.iter().map(|b| b.stats().renews_granted).sum());
+        row.push(self.drams.iter().map(DramChannel::row_hits).sum());
+        row.push(self.drams.iter().map(DramChannel::row_misses).sum());
+        row.push(self.rollovers);
+        row.push(self.l1s.iter().map(L1Cache::pending).sum::<usize>() as u64);
+        row.push(self.l2s.iter().map(L2Bank::pending).sum::<usize>() as u64);
+        row.push(self.req_net.in_flight() as u64);
+        row.push(self.resp_net.in_flight() as u64);
+        row.push(self.req_net.peak_in_flight() as u64);
+        row.push(self.resp_net.peak_in_flight() as u64);
+        for core in &self.cores {
+            row.push(core.active_warps() as u64);
+        }
+        for class in rcc_common::stats::MsgClass::ALL {
+            row.push(self.traffic.flits(class));
+        }
+        obs.commit_sample(now);
+        if obs.tracing() {
+            // RCC tracks: each bank's logical clock as a counter track.
+            for (p, l2) in self.l2s.iter().enumerate() {
+                if let Some(ts) = l2.logical_time() {
+                    obs.trace_mut().counter(
+                        now,
+                        track::L2_BASE + p as u64,
+                        "logical-time",
+                        ts.raw(),
+                    );
+                }
+            }
+        }
+        self.obs = Some(obs);
+    }
+
+    /// Charges the wall-clock since `*mark` to `phase` and re-arms the
+    /// mark (no-op when profiling is off).
+    #[inline]
+    fn charge(&mut self, mark: &mut Option<std::time::Instant>, phase: SimPhase) {
+        if let Some(m) = mark {
+            let now = std::time::Instant::now();
+            if let Some(p) = &mut self.profile {
+                p.charge(phase, now.duration_since(*m));
+            }
+            *m = now;
+        }
     }
 
     /// Enables or disables idle-cycle fast-forwarding (on by default).
@@ -382,6 +482,24 @@ impl<P: Protocol> System<P> {
             self.req_net.inject(self.cycle, core, part, 0, flits, req);
         }
         for c in out.completions.drain(..) {
+            if let Some(obs) = &mut self.obs {
+                if obs.tracing() {
+                    let name = match c.kind {
+                        CompletionKind::LoadDone { .. } => "load-done",
+                        CompletionKind::StoreDone => "store-done",
+                        CompletionKind::AtomicDone { .. } => "atomic-done",
+                    };
+                    obs.trace_mut().instant(
+                        self.cycle.raw(),
+                        track::CORE_BASE + core as u64,
+                        name,
+                        vec![
+                            ("warp", ArgValue::U(c.warp.index() as u64)),
+                            ("addr", ArgValue::U(c.addr.0)),
+                        ],
+                    );
+                }
+            }
             self.recorder.note_completion(core, &c);
             self.cores[core].complete(self.cycle, &c);
             self.last_progress = self.cycle.raw();
@@ -395,6 +513,39 @@ impl<P: Protocol> System<P> {
         let ready = self.cycle.raw() + self.cfg.l2.partition.latency;
         self.mem_pending += out.to_l1.len() + out.dram_fetch.len() + out.dram_writeback.len();
         for resp in out.to_l1.drain(..) {
+            if let Some(obs) = &mut self.obs {
+                if obs.tracing() {
+                    let tid = track::L2_BASE + part as u64;
+                    let ts = self.cycle.raw();
+                    match &resp.payload {
+                        // A `u64::MAX` expiration is the permission-based
+                        // protocols' "no lease" sentinel — only finite
+                        // grants are lease events.
+                        RespPayload::Data { ver, exp, .. } if exp.raw() != u64::MAX => {
+                            obs.trace_mut().instant(
+                                ts,
+                                tid,
+                                "lease",
+                                vec![
+                                    ("line", ArgValue::U(resp.line.0)),
+                                    ("ver", ArgValue::U(ver.raw())),
+                                    ("exp", ArgValue::U(exp.raw())),
+                                ],
+                            );
+                        }
+                        RespPayload::Renew { exp } => obs.trace_mut().instant(
+                            ts,
+                            tid,
+                            "lease-renew",
+                            vec![
+                                ("line", ArgValue::U(resp.line.0)),
+                                ("exp", ArgValue::U(exp.raw())),
+                            ],
+                        ),
+                        _ => {}
+                    }
+                }
+            }
             let ready = match &mut self.chaos_pipe {
                 Some(chaos) => {
                     // Clamp to the partition's last queued readiness: the
@@ -409,6 +560,16 @@ impl<P: Protocol> System<P> {
             self.l2_delay[part].push_back((ready, resp));
         }
         for line in out.dram_fetch.drain(..) {
+            if let Some(obs) = &mut self.obs {
+                if obs.tracing() {
+                    obs.trace_mut().instant(
+                        self.cycle.raw(),
+                        track::DRAM_BASE + part as u64,
+                        "dram-fetch",
+                        vec![("line", ArgValue::U(line.0))],
+                    );
+                }
+            }
             self.drams[part].enqueue(self.cycle, line, false);
         }
         for (line, data) in out.dram_writeback.drain(..) {
@@ -422,6 +583,16 @@ impl<P: Protocol> System<P> {
                     self.cfg.noc.control_bytes,
                 ),
             );
+            if let Some(obs) = &mut self.obs {
+                if obs.tracing() {
+                    obs.trace_mut().instant(
+                        self.cycle.raw(),
+                        track::DRAM_BASE + part as u64,
+                        "dram-writeback",
+                        vec![("line", ArgValue::U(line.0))],
+                    );
+                }
+            }
             self.memory.insert(line, data);
             self.drams[part].enqueue(self.cycle, line, true);
         }
@@ -457,6 +628,10 @@ impl<P: Protocol> System<P> {
     pub fn step(&mut self) {
         self.cycle += 1;
         let cycle = self.cycle;
+        let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
+        if let Some(p) = &mut self.profile {
+            p.steps += 1;
+        }
 
         // 1. Response network → L1s.
         let delivered = self.resp_net.deliver(cycle);
@@ -470,6 +645,7 @@ impl<P: Protocol> System<P> {
             self.process_l1_out(dst, &mut out);
             self.scratch_l1 = out;
         }
+        self.charge(&mut mark, SimPhase::L1);
 
         // 2. Request network → bank inboxes (flush acks are intercepted
         //    by the rollover coordinator).
@@ -485,6 +661,7 @@ impl<P: Protocol> System<P> {
             self.l2_inbox[dst].push_back(req);
             self.mem_pending += 1;
         }
+        self.charge(&mut mark, SimPhase::Noc);
 
         // 3. L2 banks: tick, then serve one request per cycle.
         for p in 0..self.l2s.len() {
@@ -516,6 +693,7 @@ impl<P: Protocol> System<P> {
             }
             self.scratch_l2 = out;
         }
+        self.charge(&mut mark, SimPhase::L2);
 
         // 4. L2 delay pipes → response network (one message leaves the
         //    pipe, one enters the network: pending is unchanged).
@@ -530,6 +708,7 @@ impl<P: Protocol> System<P> {
                 self.resp_net.inject(cycle, p, dst, 1, flits, resp);
             }
         }
+        self.charge(&mut mark, SimPhase::Noc);
 
         // 5. DRAM.
         for p in 0..self.drams.len() {
@@ -548,9 +727,11 @@ impl<P: Protocol> System<P> {
                 self.scratch_l2 = out;
             }
         }
+        self.charge(&mut mark, SimPhase::Dram);
 
         // 6. Rollover coordination.
         self.advance_rollover();
+        self.charge(&mut mark, SimPhase::Rollover);
 
         // 7. Cores + L1 ticks (paused while a rollover is in progress).
         let issuing = self.rollover == RolloverState::Idle;
@@ -602,6 +783,17 @@ impl<P: Protocol> System<P> {
             self.process_l1_out(i, &mut out);
             self.scratch_l1 = out;
         }
+        self.charge(&mut mark, SimPhase::Core);
+
+        // 8. Observation (one branch when no observer is armed; sample
+        //    boundaries are always stepped because fast-forward caps its
+        //    jumps at the next boundary).
+        if let Some(obs) = &self.obs {
+            if obs.sample_due(cycle.raw()) {
+                self.take_sample();
+            }
+            self.charge(&mut mark, SimPhase::Sample);
+        }
 
         debug_assert_eq!(
             self.mem_pending,
@@ -627,13 +819,30 @@ impl<P: Protocol> System<P> {
             RolloverState::Idle => {
                 if self.l2s.iter().any(|l2| l2.needs_rollover()) {
                     self.rollover = RolloverState::Draining;
+                    if let Some(obs) = &mut self.obs {
+                        if obs.tracing() {
+                            obs.trace_mut()
+                                .begin(self.cycle.raw(), track::SYSTEM, "rollover");
+                        }
+                    }
                 }
             }
             RolloverState::Draining => {
                 let outstanding: usize = self.cores.iter().map(Core::outstanding).sum();
                 if outstanding == 0 && self.memory_system_pending() == 0 {
                     rcc_common::trace!("rollover: system drained at {}, resetting", self.cycle);
-                    for l2 in &mut self.l2s {
+                    for (p, l2) in self.l2s.iter_mut().enumerate() {
+                        if let Some(obs) = &mut self.obs {
+                            if obs.tracing() {
+                                let mnow = l2.logical_time().map_or(0, |t| t.raw());
+                                obs.trace_mut().instant(
+                                    self.cycle.raw(),
+                                    track::L2_BASE + p as u64,
+                                    "rollover-reset",
+                                    vec![("mnow", ArgValue::U(mnow))],
+                                );
+                            }
+                        }
                         l2.rollover_reset();
                     }
                     // Partition 0 flushes every L1 over the response
@@ -661,6 +870,11 @@ impl<P: Protocol> System<P> {
                     self.recorder.epoch_base = self.recorder.max_ts_seen + 1;
                     self.rollover = RolloverState::Idle;
                     self.last_progress = self.cycle.raw();
+                    if let Some(obs) = &mut self.obs {
+                        if obs.tracing() {
+                            obs.trace_mut().end(self.cycle.raw(), track::SYSTEM);
+                        }
+                    }
                 }
             }
         }
@@ -767,11 +981,19 @@ impl<P: Protocol> System<P> {
     fn maybe_fast_forward(&mut self, max_cycles: u64) {
         let now = self.cycle.raw();
         let deadline = self.last_progress + self.cfg.watchdog_cycles + 1;
-        let target = self
+        let mut target = self
             .next_event_cycle()
             .unwrap_or(deadline)
             .min(deadline)
             .min(max_cycles);
+        if let Some(obs) = &self.obs {
+            // Never jump over a sample boundary: the boundary cycle must
+            // be stepped so the sampler reads state exactly there. Only
+            // engine telemetry changes; simulated results do not.
+            if let Some(boundary) = obs.next_sample_cycle() {
+                target = target.min(boundary);
+            }
+        }
         if target <= now + 1 {
             return;
         }
@@ -799,7 +1021,9 @@ impl<P: Protocol> System<P> {
     pub fn run(&mut self, max_cycles: u64) -> RunMetrics {
         while !self.done() && self.cycle.raw() < max_cycles {
             if self.ff_enabled {
+                let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
                 self.maybe_fast_forward(max_cycles);
+                self.charge(&mut mark, SimPhase::FastForward);
             }
             self.step();
         }
@@ -899,6 +1123,8 @@ impl<P: Protocol> System<P> {
             chaos_events: self.chaos_fired.load(Ordering::Relaxed),
             skipped_cycles: self.skipped_cycles,
             ff_jumps: self.ff_jumps,
+            profile: self.profile.clone(),
+            obs: None,
         }
     }
 }

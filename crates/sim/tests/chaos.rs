@@ -132,6 +132,39 @@ fn chaos_seed_names_one_schedule() {
     );
 }
 
+/// IRIW and coRR under every sound profile: write atomicity and
+/// per-location coherence are the two SC ingredients the relativistic
+/// protocol most directly bends (per-bank logical clocks, leases served
+/// from the L1s), so these are the litmus shapes a timing perturbation
+/// would crack first. RCC-SC must never show the forbidden outcome and
+/// the runtime sanitizer's order graph must stay acyclic on every run.
+#[test]
+fn iriw_and_corr_hold_under_every_sound_profile() {
+    let cfg = cfg();
+    for profile in ChaosProfile::sound() {
+        for seed in [1, 7, 13] {
+            let spec = ChaosSpec::new(seed, profile.clone());
+            for make in [
+                litmus::iriw as fn(usize, u64) -> litmus::Litmus,
+                litmus::corr,
+            ] {
+                let lit = make(cfg.num_cores, seed);
+                let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec));
+                assert!(
+                    !out.forbidden,
+                    "RCC-SC on {} (chaos {} seed {seed}): forbidden outcome {:?}",
+                    lit.name, spec.profile.name, out.values,
+                );
+                assert!(
+                    out.sanitizer_sc,
+                    "RCC-SC on {} (chaos {} seed {seed}): no SC order explains the run",
+                    lit.name, spec.profile.name,
+                );
+            }
+        }
+    }
+}
+
 /// TC-Weak under chaos: the weakly ordered protocol may show weak
 /// outcomes on unfenced tests, but fences and per-location coherence
 /// must hold under every sound profile.

@@ -133,6 +133,61 @@ fn chaos_is_deterministic_under_fast_forward() {
 }
 
 #[test]
+fn observation_is_invisible_in_metrics() {
+    // The observability layer is passive by contract: sampling, trace
+    // recording and self-profiling together must not move a single
+    // simulated metric. Same discipline as chaos — one branch on the hot
+    // path when off, and nothing ever feeds back when on. (The sampler
+    // does cap fast-forward jumps at sample boundaries, so this also
+    // proves boundary-stepping changes engine telemetry only.)
+    let cfg = GpuConfig::small();
+    for kind in KINDS {
+        let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 7);
+        let plain = simulate(kind, &cfg, &wl, &opts(true));
+        let observed = simulate(kind, &cfg, &wl, &SimOptions::observed(64));
+        assert!(plain.obs.is_none(), "{kind}: unarmed run carries a report");
+        let report = observed.obs.as_ref().expect("observer was armed");
+        assert!(report.series.rows() > 0, "{kind}: sampler never fired");
+        assert!(
+            !report.trace.is_empty(),
+            "{kind}: tracer recorded nothing on a full benchmark"
+        );
+        assert!(
+            plain.same_simulated_results(&observed),
+            "{kind}: observation changed simulated results \
+             (plain {} cycles, observed {} cycles)",
+            plain.cycles,
+            observed.cycles,
+        );
+        assert_eq!(
+            plain.digest(3),
+            observed.digest(3),
+            "{kind}: digest disagrees though results compare equal"
+        );
+    }
+}
+
+#[test]
+fn observation_is_invisible_on_every_litmus_test() {
+    // Same invariant over the full litmus suite: the short, racy runs
+    // are where an off-by-one sample boundary or a trace-driven borrow
+    // would bite timing first.
+    let cfg = GpuConfig::small();
+    for kind in [ProtocolKind::RccSc, ProtocolKind::TcWeak] {
+        for lit in rcc_workloads::litmus::all(cfg.num_cores, 11) {
+            let wl = rcc_sim::litmus::litmus_workload(&lit);
+            let plain = simulate(kind, &cfg, &wl, &opts(true));
+            let observed = simulate(kind, &cfg, &wl, &SimOptions::observed(16));
+            assert!(
+                plain.same_simulated_results(&observed),
+                "{kind} on {}: observation changed a litmus run",
+                lit.name
+            );
+        }
+    }
+}
+
+#[test]
 fn fast_forward_passes_sc_checking() {
     // The litmus matrix runs elsewhere; here, pin that the SC scoreboard
     // and sanitizer both hold under fast-forward on a real workload.

@@ -1,0 +1,209 @@
+//! Observability guard: exported traces are valid Chrome-trace JSON
+//! carrying the promised per-component events, sampled series have the
+//! documented shape and reconcile with the end-of-run aggregates, and
+//! the self-profiler attributes the whole run.
+
+use rcc_common::stats::MsgClass;
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_obs::json::{self, JsonValue};
+use rcc_obs::{schema, track, ObsConfig, SimPhase};
+use rcc_sim::litmus::run_litmus_observed;
+use rcc_sim::runner::{simulate, SimOptions};
+use rcc_workloads::{litmus, Benchmark, Scale};
+
+const TRACE_SCHEMA: &str = include_str!("../../../schemas/trace.schema.json");
+const SERIES_SCHEMA: &str = include_str!("../../../schemas/timeseries.schema.json");
+
+fn trace_events(dump: &str) -> Vec<JsonValue> {
+    let v = json::parse(dump).expect("trace JSON must parse");
+    v.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array")
+        .to_vec()
+}
+
+fn named(evs: &[JsonValue], ph: &str, name: &str) -> usize {
+    evs.iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some(ph)
+                && e.get("name").and_then(JsonValue::as_str) == Some(name)
+        })
+        .count()
+}
+
+#[test]
+fn rcc_litmus_trace_is_valid_chrome_json_with_lease_events() {
+    let cfg = GpuConfig::small();
+    let lit = litmus::message_passing(cfg.num_cores, 5);
+    let (out, report) = run_litmus_observed(
+        ProtocolKind::RccSc,
+        &cfg,
+        &lit,
+        None,
+        Some(&ObsConfig::full(64)),
+    );
+    assert!(!out.forbidden);
+    let report = report.expect("observer was armed");
+    let dump = report.trace.to_chrome_json();
+    let errs = schema::validate_text(TRACE_SCHEMA, &dump).expect("schema and trace must parse");
+    assert!(
+        errs.is_empty(),
+        "trace schema violations:\n{}",
+        errs.join("\n")
+    );
+
+    // Leases are granted per L2 bank, so "lease" instants must sit on L2
+    // bank tracks and nowhere else.
+    let lease_tids = report.trace.instant_tids("lease");
+    assert!(!lease_tids.is_empty(), "RCC run granted no leases");
+    let banks = track::L2_BASE..track::L2_BASE + cfg.l2.num_partitions as u64;
+    for tid in &lease_tids {
+        assert!(banks.contains(tid), "lease event on non-L2 track {tid}");
+    }
+
+    // The per-bank logical clocks show up as counter tracks.
+    let evs = trace_events(&dump);
+    assert!(
+        named(&evs, "C", "logical-time") > 0,
+        "no logical-time counter samples in an RCC trace"
+    );
+    // Core-side completions land on core tracks.
+    let done = report.trace.instant_tids("load-done");
+    assert!(!done.is_empty(), "no load completions traced");
+    for tid in &done {
+        assert!(
+            (track::CORE_BASE..track::CORE_BASE + cfg.num_cores as u64).contains(tid),
+            "load-done on non-core track {tid}"
+        );
+    }
+}
+
+#[test]
+fn rollover_emits_system_span_and_per_bank_resets() {
+    // Tiny rollover threshold: several rollovers over one workload (the
+    // same configuration rcc_rollover_fires_and_execution_stays_sc pins).
+    let mut cfg = GpuConfig::small();
+    cfg.rcc.rollover_threshold = 300;
+    cfg.rcc.fixed_lease = Some(64);
+    let wl = Benchmark::Vpr.generate(&cfg, &Scale::quick(), 23);
+    let m = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::observed(64));
+    assert!(m.rollovers > 0, "rollover never triggered");
+    let report = m.obs.as_ref().expect("observer was armed");
+
+    // Every rollover resets every bank's logical clock, each visible as
+    // a per-bank instant.
+    let reset_tids = report.trace.instant_tids("rollover-reset");
+    let banks: Vec<u64> = (0..cfg.l2.num_partitions as u64)
+        .map(|p| track::L2_BASE + p)
+        .collect();
+    assert_eq!(reset_tids, banks, "resets must cover every L2 bank track");
+    assert_eq!(
+        report.trace.count_instants("rollover-reset") as u64,
+        m.rollovers * cfg.l2.num_partitions as u64,
+    );
+
+    // The drain..flush window is one span per rollover on the system
+    // track, properly closed.
+    let evs = trace_events(&report.trace.to_chrome_json());
+    assert_eq!(named(&evs, "B", "rollover") as u64, m.rollovers);
+    let ends = evs
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(JsonValue::as_str) == Some("E")
+                && e.get("tid").and_then(JsonValue::as_u64) == Some(track::SYSTEM)
+        })
+        .count() as u64;
+    assert_eq!(ends, m.rollovers, "every rollover span must close");
+}
+
+#[test]
+fn sampled_series_reconciles_with_run_totals() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 5);
+    let m = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::observed(64));
+    let s = &m.obs.as_ref().expect("observer was armed").series;
+    assert!(s.rows() >= 2, "too few samples to test anything");
+
+    // Interior samples land exactly on interval boundaries; the final
+    // row is the end-of-run flush and may not.
+    let cycles = s.cycles();
+    for (i, c) in cycles.iter().enumerate() {
+        if i + 1 < cycles.len() {
+            assert_eq!(c % 64, 0, "sample {i} off the interval grid");
+        }
+        if i > 0 {
+            assert!(cycles[i - 1] < *c, "sample cycles must be increasing");
+        }
+    }
+    assert_eq!(*cycles.last().unwrap(), m.cycles, "final flush at run end");
+
+    // Delta columns sum back to the end-of-run cumulative aggregates.
+    let sum = |name: &str| s.col(name).unwrap_or_else(|| panic!("column {name}"));
+    assert_eq!(sum("issued").iter().sum::<u64>(), m.core.issued);
+    assert_eq!(sum("l1.loads").iter().sum::<u64>(), m.l1.loads);
+    assert_eq!(sum("l2.gets").iter().sum::<u64>(), m.l2.gets);
+    assert_eq!(sum("rollovers").iter().sum::<u64>(), m.rollovers);
+    let flits: u64 = MsgClass::ALL
+        .iter()
+        .map(|c| sum(&format!("flits.{}", c.label())).iter().sum::<u64>())
+        .sum();
+    assert_eq!(flits, m.traffic.total_flits());
+
+    // Per-core occupancy gauges exist and end at zero (all warps retired).
+    for i in 0..cfg.num_cores {
+        let col = sum(&format!("warps.core{i}"));
+        assert_eq!(*col.last().unwrap(), 0, "core {i} retired everything");
+    }
+
+    // Both exports hold their shape: the JSON validates against the
+    // committed schema, the CSV has one line per row plus the header.
+    let errs =
+        schema::validate_text(SERIES_SCHEMA, &s.to_json()).expect("schema and dump must parse");
+    assert!(
+        errs.is_empty(),
+        "series schema violations:\n{}",
+        errs.join("\n")
+    );
+    assert_eq!(s.to_csv().lines().count(), s.rows() + 1);
+}
+
+#[test]
+fn self_profile_attributes_the_run() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Hsp.generate(&cfg, &Scale::quick(), 5);
+    let mut opts = SimOptions::fast();
+    opts.profile = true;
+    let m = simulate(ProtocolKind::RccSc, &cfg, &wl, &opts);
+    let p = m.profile.as_ref().expect("profiling was armed");
+    assert!(p.steps > 0);
+    assert!(p.total_nanos() > 0, "no wall-clock attributed at all");
+    let shares: f64 = SimPhase::ALL.iter().map(|ph| p.share(*ph)).sum();
+    assert!((shares - 1.0).abs() < 1e-9, "phase shares sum to {shares}");
+
+    let plain = simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast());
+    assert!(plain.profile.is_none(), "unarmed run carries a profile");
+}
+
+#[test]
+fn trace_cap_drops_loudly_and_stays_valid() {
+    let cfg = GpuConfig::small();
+    let lit = litmus::message_passing(cfg.num_cores, 5);
+    let obs = ObsConfig {
+        sample_every: 0,
+        trace: true,
+        max_trace_events: 4,
+    };
+    let (_, report) = run_litmus_observed(ProtocolKind::RccSc, &cfg, &lit, None, Some(&obs));
+    let report = report.expect("observer was armed");
+    assert!(report.trace.dropped() > 0, "cap of 4 never overflowed");
+    let dump = report.trace.to_chrome_json();
+    let errs = schema::validate_text(TRACE_SCHEMA, &dump).expect("must parse");
+    assert!(
+        errs.is_empty(),
+        "capped trace violations:\n{}",
+        errs.join("\n")
+    );
+    let evs = trace_events(&dump);
+    assert_eq!(named(&evs, "i", "trace-events-dropped"), 1);
+}

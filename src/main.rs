@@ -17,6 +17,12 @@
 //!   --all       run every protocol on the chosen benchmark
 //!   --jobs N    run --all protocols on N worker threads (0 = one per
 //!               core); output is identical to a sequential run
+//!   --sample-every N    record a metrics time-series sample every N
+//!               cycles (defaults to 256 when --series-out is given)
+//!   --trace-out PATH    write a Chrome/Perfetto trace of the run
+//!   --series-out PATH   write the sampled series (.csv, or .json by
+//!               extension); under --all, exports cover --protocol's run
+//!   --profile   attach the self-profiler; print per-phase wall-clock
 //! ```
 
 use rcc_repro::coherence::ProtocolKind;
@@ -98,7 +104,25 @@ fn report(m: &RunMetrics) {
     if m.rollovers > 0 {
         println!("timestamp rollovers{:>12}", m.rollovers);
     }
+    // The histogram's nearest-rank percentiles: the paper's latency
+    // argument (Fig. 1c) is about the tail, not the mean.
+    if let (Some(p50), Some(p99)) = (
+        m.load_latency().percentile(50.0),
+        m.load_latency().percentile(99.0),
+    ) {
+        println!(
+            "load latency       {:>12.1} mean, p50 {p50}, p99 {p99}",
+            m.load_latency().mean()
+        );
+    }
     println!("SC violations      {:>12}", m.sc_violations);
+    if let Some(p) = &m.profile {
+        print!("self-profile       {:>9} steps:", p.steps);
+        for ph in rcc_repro::obs::SimPhase::ALL {
+            print!(" {} {:.1}%", ph.label(), 100.0 * p.share(ph));
+        }
+        println!();
+    }
 }
 
 fn main() -> ExitCode {
@@ -115,7 +139,7 @@ fn main() -> ExitCode {
             include_str!("main.rs")
                 .lines()
                 .skip(3)
-                .take(16)
+                .take(22)
                 .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
@@ -163,6 +187,13 @@ fn main() -> ExitCode {
     if has("--no-ff") {
         opts.fast_forward = false;
     }
+    opts.profile = has("--profile");
+    let trace_out = get("--trace-out");
+    let series_out = get("--series-out");
+    opts.trace = trace_out.is_some();
+    opts.sample_every = get("--sample-every")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(if series_out.is_some() { 256 } else { 0 });
 
     let wl = if let Some(path) = get("--trace-file") {
         let text = match std::fs::read_to_string(&path) {
@@ -203,6 +234,45 @@ fn main() -> ExitCode {
                 println!();
             }
             report(m);
+        }
+    }
+    // Under --all every run carries an observation, but the export slots
+    // hold one run each — the --protocol selection picks whose.
+    if trace_out.is_some() || series_out.is_some() {
+        let chosen = results
+            .iter()
+            .find(|m| m.kind == kind)
+            .expect("selected protocol was run");
+        let Some(obs) = &chosen.obs else {
+            eprintln!("internal error: observed run carried no observation");
+            return ExitCode::FAILURE;
+        };
+        for (path, body, what) in [
+            (
+                &trace_out,
+                trace_out.as_ref().map(|_| obs.trace.to_chrome_json()),
+                format!("{} trace events", obs.trace.len()),
+            ),
+            (
+                &series_out,
+                series_out.as_ref().map(|p| {
+                    if p.ends_with(".json") {
+                        obs.series.to_json()
+                    } else {
+                        obs.series.to_csv()
+                    }
+                }),
+                format!("{} sampled rows", obs.series.rows()),
+            ),
+        ] {
+            let (Some(path), Some(body)) = (path, body) else {
+                continue;
+            };
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path} ({what})");
         }
     }
     ExitCode::SUCCESS
