@@ -23,14 +23,14 @@
 //! `--out PATH` (default `BENCH_chaos.json`).
 
 use rcc_bench::report::{
-    check_schema, schemas, BenchRow, CanarySummary, ChaosReport, ViolationRow,
+    check_schema, schemas, BenchRow, CanarySummary, ChaosReport, FailedJobRow, ViolationRow,
 };
 use rcc_bench::{parse_jobs, pool};
 use rcc_chaos::{ChaosProfile, ChaosSpec};
 use rcc_common::GpuConfig;
 use rcc_core::ProtocolKind;
 use rcc_sim::litmus::{run_litmus_chaos, LitmusOutcome};
-use rcc_sim::runner::{simulate, SimOptions};
+use rcc_sim::runner::{try_simulate, SimOptions};
 use rcc_workloads::{litmus, Benchmark, Scale};
 
 const KINDS: [ProtocolKind; 3] = [
@@ -99,26 +99,41 @@ fn main() -> std::process::ExitCode {
     );
 
     // Pass 1: litmus sweep over the sound profiles. One job = one
-    // (profile, seed, protocol) triple running the whole suite.
+    // (profile, seed, protocol) triple running the whole suite. Jobs run
+    // guarded: a deadlocked or panicking (profile, seed, protocol) cell
+    // becomes a failed-job row in the report, and the rest of the sweep
+    // still completes.
+    let policy = pool::GuardPolicy::default();
+    let mut failed_jobs: Vec<FailedJobRow> = Vec::new();
     let grid: Vec<(&'static str, u64, ProtocolKind)> = profiles
         .iter()
         .flat_map(|p| (0..seeds).flat_map(move |s| KINDS.into_iter().map(move |k| (p.name, s, k))))
         .collect();
-    let results = pool::run_indexed(grid, jobs, |(profile, seed, kind)| {
-        let spec = ChaosSpec::new(seed, ChaosProfile::by_name(profile).expect("preset name"));
-        let mut violations = Vec::new();
-        let mut runs = 0u64;
-        for lit in litmus::all(cfg.num_cores, seed) {
-            let out = run_litmus_chaos(kind, &cfg, &lit, Some(&spec));
-            runs += 1;
-            if is_violation(kind, lit.name, &out) {
-                violations.push(violation(profile, seed, kind, lit.name, &out));
+    let sweep_cfg = cfg.clone();
+    let (results, sweep_failures) =
+        pool::run_guarded(grid, jobs, policy, move |(profile, seed, kind)| {
+            let spec = ChaosSpec::new(seed, ChaosProfile::by_name(profile).expect("preset name"));
+            let mut violations = Vec::new();
+            let mut runs = 0u64;
+            for lit in litmus::all(sweep_cfg.num_cores, seed) {
+                let out = run_litmus_chaos(kind, &sweep_cfg, &lit, Some(&spec))
+                    .unwrap_or_else(|e| panic!("{e}"));
+                runs += 1;
+                if is_violation(kind, lit.name, &out) {
+                    violations.push(violation(profile, seed, kind, lit.name, &out));
+                }
             }
-        }
-        (runs, violations)
-    });
-    let litmus_runs: u64 = results.iter().map(|(r, _)| r).sum();
-    let violations: Vec<ViolationRow> = results.into_iter().flat_map(|(_, v)| v).collect();
+            (runs, violations)
+        });
+    failed_jobs.extend(sweep_failures.iter().map(|f| FailedJobRow {
+        pass: "litmus".to_string(),
+        index: f.index as u64,
+        attempts: u64::from(f.attempts),
+        reason: f.reason.clone(),
+    }));
+    let litmus_runs: u64 = results.iter().flatten().map(|(r, _)| r).sum();
+    let violations: Vec<ViolationRow> =
+        results.into_iter().flatten().flat_map(|(_, v)| v).collect();
     for v in &violations {
         eprintln!(
             "VIOLATION: {} seed={} {} on {}: values {:?}, sanitizer_sc={}",
@@ -138,24 +153,41 @@ fn main() -> std::process::ExitCode {
     // the sanitizer must flag it, and (b) at least one seed is flagged
     // on its very first litmus run.
     let canary_seeds: Vec<u64> = (0..seeds.min(8)).collect();
-    let canary_results = pool::run_indexed(canary_seeds.clone(), jobs, |seed| {
-        let spec = ChaosSpec::new(seed, ChaosProfile::canary());
-        let mut first_caught = None;
-        let mut bitten_but_missed = 0u64;
-        for (i, lit) in litmus::all(cfg.num_cores, seed).iter().enumerate() {
-            let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, lit, Some(&spec));
-            if !out.sanitizer_sc && first_caught.is_none() {
-                first_caught = Some(i as u64 + 1);
+    let canary_cfg = cfg.clone();
+    let (canary_results, canary_failures) =
+        pool::run_guarded(canary_seeds.clone(), jobs, policy, move |seed| {
+            let spec = ChaosSpec::new(seed, ChaosProfile::canary());
+            let mut first_caught = None;
+            let mut bitten_but_missed = 0u64;
+            for (i, lit) in litmus::all(canary_cfg.num_cores, seed).iter().enumerate() {
+                let out = run_litmus_chaos(ProtocolKind::RccSc, &canary_cfg, lit, Some(&spec))
+                    .unwrap_or_else(|e| panic!("{e}"));
+                if !out.sanitizer_sc && first_caught.is_none() {
+                    first_caught = Some(i as u64 + 1);
+                }
+                if out.forbidden && out.sanitizer_sc {
+                    bitten_but_missed += 1;
+                }
             }
-            if out.forbidden && out.sanitizer_sc {
-                bitten_but_missed += 1;
-            }
-        }
-        (first_caught, bitten_but_missed)
-    });
-    let canary_caught = canary_results.iter().filter(|(c, _)| c.is_some()).count();
-    let min_runs = canary_results.iter().filter_map(|(c, _)| *c).min();
-    let missed: u64 = canary_results.iter().map(|(_, m)| m).sum();
+            (first_caught, bitten_but_missed)
+        });
+    failed_jobs.extend(canary_failures.iter().map(|f| FailedJobRow {
+        pass: "canary".to_string(),
+        index: f.index as u64,
+        attempts: u64::from(f.attempts),
+        reason: f.reason.clone(),
+    }));
+    let canary_caught = canary_results
+        .iter()
+        .flatten()
+        .filter(|(c, _)| c.is_some())
+        .count();
+    let min_runs = canary_results
+        .iter()
+        .flatten()
+        .filter_map(|(c, _)| *c)
+        .min();
+    let missed: u64 = canary_results.iter().flatten().map(|(_, m)| m).sum();
     let canary_ok = canary_caught >= 1 && min_runs == Some(1) && missed == 0;
     println!(
         "canary: {}/{} seeds caught, earliest after {:?} run(s), {} forbidden outcomes unflagged",
@@ -166,8 +198,9 @@ fn main() -> std::process::ExitCode {
     );
 
     // Pass 3: quick benchmarks under chaos with the sanitizer attached.
-    // `simulate` panics if an SC-capable protocol fails the sanitizer
-    // under a sound profile, so completing the grid is the check.
+    // `try_simulate` fails if an SC-capable protocol fails the sanitizer
+    // under a sound profile, so a clean grid *is* the check; a failed
+    // cell is reported and the grid still completes.
     let benches = if quick {
         vec![Benchmark::Hsp, Benchmark::Dlb]
     } else {
@@ -181,24 +214,33 @@ fn main() -> std::process::ExitCode {
             }
         }
     }
-    let bench_rows = pool::run_indexed(bench_grid, jobs, |(profile, kind, bench)| {
-        let mut opts = SimOptions::fast();
-        opts.sanitize = true;
-        opts.chaos = Some(ChaosSpec::new(
-            1,
-            ChaosProfile::by_name(profile).expect("preset name"),
-        ));
-        let wl = bench.generate(&cfg, &Scale::quick(), rcc_bench::SEED);
-        let m = simulate(kind, &cfg, &wl, &opts);
-        BenchRow {
-            profile: profile.to_string(),
-            protocol: kind.label().to_string(),
-            benchmark: format!("{bench:?}"),
-            cycles: m.cycles,
-            chaos_events: m.chaos_events,
-            sanitizer_sc: m.sanitizer_sc.unwrap_or(false),
-        }
-    });
+    let bench_cfg = cfg.clone();
+    let (bench_results, bench_failures) =
+        pool::run_guarded(bench_grid, jobs, policy, move |(profile, kind, bench)| {
+            let mut opts = SimOptions::fast();
+            opts.sanitize = true;
+            opts.chaos = Some(ChaosSpec::new(
+                1,
+                ChaosProfile::by_name(profile).expect("preset name"),
+            ));
+            let wl = bench.generate(&bench_cfg, &Scale::quick(), rcc_bench::SEED);
+            let m = try_simulate(kind, &bench_cfg, &wl, &opts).unwrap_or_else(|e| panic!("{e}"));
+            BenchRow {
+                profile: profile.to_string(),
+                protocol: kind.label().to_string(),
+                benchmark: format!("{bench:?}"),
+                cycles: m.cycles,
+                chaos_events: m.chaos_events,
+                sanitizer_sc: m.sanitizer_sc.unwrap_or(false),
+            }
+        });
+    failed_jobs.extend(bench_failures.iter().map(|f| FailedJobRow {
+        pass: "bench".to_string(),
+        index: f.index as u64,
+        attempts: u64::from(f.attempts),
+        reason: f.reason.clone(),
+    }));
+    let bench_rows: Vec<BenchRow> = bench_results.into_iter().flatten().collect();
     println!("benchmark smoke: {} runs, all sanitized", bench_rows.len());
 
     let report = ChaosReport {
@@ -214,6 +256,7 @@ fn main() -> std::process::ExitCode {
             forbidden_unflagged: missed,
         },
         benchmarks: bench_rows,
+        failed_jobs,
     };
     let json = report.to_json();
     if let Err(e) = check_schema(&out_path, schemas::BENCH_CHAOS, &json) {
@@ -226,10 +269,17 @@ fn main() -> std::process::ExitCode {
     }
     println!("wrote {out_path}");
 
-    if !report.violations.is_empty() || !canary_ok {
+    if !report.violations.is_empty() || !canary_ok || !report.failed_jobs.is_empty() {
+        for f in &report.failed_jobs {
+            eprintln!(
+                "FAILED JOB: pass={} index={} attempts={}: {}",
+                f.pass, f.index, f.attempts, f.reason
+            );
+        }
         eprintln!(
-            "chaos sweep FAILED: {} violations, canary ok: {canary_ok}",
-            report.violations.len()
+            "chaos sweep FAILED: {} violations, {} failed jobs, canary ok: {canary_ok}",
+            report.violations.len(),
+            report.failed_jobs.len(),
         );
         return std::process::ExitCode::FAILURE;
     }

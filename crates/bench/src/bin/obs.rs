@@ -59,7 +59,8 @@ fn main() -> std::process::ExitCode {
     let mut mp_trace: Option<String> = None;
     for kind in KINDS {
         for lit in litmus::all(cfg.num_cores, rcc_bench::SEED) {
-            let (out, report) = run_litmus_observed(kind, &cfg, &lit, None, Some(&obs));
+            let (out, report) = run_litmus_observed(kind, &cfg, &lit, None, Some(&obs))
+                .unwrap_or_else(|e| panic!("{e}"));
             let report = report.expect("observer was armed");
             runs += 1;
             trace_events += report.trace.len();

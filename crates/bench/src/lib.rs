@@ -29,6 +29,15 @@
 //!   `.json` by extension; defaults sampling to every 256 cycles if
 //!   `--sample-every` is absent)
 //! * `--profile` — attach the simulator self-profiler to every run
+//! * `--checkpoint PATH` — periodic snapshots for every run; each run
+//!   writes `PATH-<protocol>-<workload>` (plus a `.manifest.json`
+//!   sidecar), and a deadlocked run leaves a replayable auto-checkpoint
+//!   at `...hang`
+//! * `--checkpoint-every N` — snapshot period in cycles (default
+//!   1000000 when `--checkpoint` is given)
+//! * `--resume PATH` — replay one snapshot and print its metrics
+//!   instead of running the experiment (exit 1 on a typed failure,
+//!   e.g. when a `.hang` snapshot faithfully reproduces its deadlock)
 
 pub mod pool;
 pub mod report;
@@ -58,6 +67,11 @@ pub struct Harness {
     pub trace_out: Option<String>,
     /// Where `--series-out` asked for a time-series export (`None` = off).
     pub series_out: Option<String>,
+    /// Checkpoint path stem from `--checkpoint`; each run snapshots to
+    /// `<stem>-<protocol>-<workload>` so grid runs don't collide.
+    pub checkpoint: Option<String>,
+    /// Snapshot period from `--checkpoint-every`.
+    pub checkpoint_every: u64,
 }
 
 impl Harness {
@@ -84,6 +98,31 @@ impl Harness {
             .and_then(|n| n.parse::<u64>().ok())
             .unwrap_or(if series_out.is_some() { 256 } else { 0 });
         let jobs = parse_jobs(&args);
+        // `--resume` short-circuits the whole experiment: replay the one
+        // snapshot, print its metrics, and exit with the run's verdict.
+        if let Some(path) = flag_value("--resume") {
+            match rcc_sim::runner::resume(&path) {
+                Ok(m) => {
+                    println!(
+                        "resumed {} on {}: {} cycles, IPC {:.4}, digest {:016x}",
+                        m.kind.label(),
+                        m.workload,
+                        m.cycles,
+                        m.ipc(),
+                        m.digest(1)
+                    );
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let checkpoint = flag_value("--checkpoint");
+        let checkpoint_every = flag_value("--checkpoint-every")
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap_or(if checkpoint.is_some() { 1_000_000 } else { 0 });
         let (cfg, scale) = if quick {
             (GpuConfig::small(), Scale::quick())
         } else if full {
@@ -98,7 +137,20 @@ impl Harness {
             jobs,
             trace_out,
             series_out,
+            checkpoint,
+            checkpoint_every,
         }
+    }
+
+    /// Per-run options: the shared options plus, when `--checkpoint` was
+    /// given, a snapshot path unique to this (protocol, workload) pair.
+    fn opts_for(&self, kind: ProtocolKind, workload: &str) -> SimOptions {
+        let mut opts = self.opts.clone();
+        if let Some(stem) = &self.checkpoint {
+            opts.checkpoint = Some(format!("{stem}-{}-{workload}", kind.label()));
+            opts.checkpoint_every = self.checkpoint_every;
+        }
+        opts
     }
 
     /// Writes one run's recorded observation to the `--trace-out` /
@@ -131,12 +183,12 @@ impl Harness {
     /// Runs one (protocol, benchmark) pair.
     pub fn run(&self, kind: ProtocolKind, bench: Benchmark) -> RunMetrics {
         let wl = self.workload(bench);
-        simulate(kind, &self.cfg, &wl, &self.opts)
+        self.run_workload(kind, &wl)
     }
 
     /// Runs one protocol over a prepared workload.
     pub fn run_workload(&self, kind: ProtocolKind, wl: &Workload) -> RunMetrics {
-        simulate(kind, &self.cfg, wl, &self.opts)
+        simulate(kind, &self.cfg, wl, &self.opts_for(kind, wl.name))
     }
 
     /// Runs a whole experiment grid over the job pool, returning metrics

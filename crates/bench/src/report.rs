@@ -33,6 +33,17 @@ pub mod schemas {
         env!("CARGO_MANIFEST_DIR"),
         "/../../schemas/timeseries.schema.json"
     ));
+    /// Shape of a forensic hang-dump (`HangDump::to_json`, written by the
+    /// driver when the watchdog fires).
+    pub const HANGDUMP: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/hangdump.schema.json"
+    ));
+    /// Shape of the checkpoint manifest sidecar (`<path>.manifest.json`).
+    pub const CHECKPOINT_MANIFEST: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/checkpoint_manifest.schema.json"
+    ));
 }
 
 /// Validates `doc` against `schema_text`; `Err` carries every violation,
@@ -190,6 +201,21 @@ pub struct BenchRow {
     pub sanitizer_sc: bool,
 }
 
+/// One job that exhausted its retry budget during a sweep (see
+/// `pool::run_guarded`): reported in the JSON instead of aborting the
+/// harness, so a single bad seed is a row, not a lost sweep.
+#[derive(Debug, Clone)]
+pub struct FailedJobRow {
+    /// Sweep pass the job belonged to (`"litmus"`, `"canary"`, `"bench"`).
+    pub pass: String,
+    /// Submission index of the job within its pass.
+    pub index: u64,
+    /// Attempts made before giving up.
+    pub attempts: u64,
+    /// Last failure reason (panic message or timeout).
+    pub reason: String,
+}
+
 /// `BENCH_chaos.json`: the chaos-sweep report.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -207,6 +233,27 @@ pub struct ChaosReport {
     pub canary: CanarySummary,
     /// Benchmark-smoke rows.
     pub benchmarks: Vec<BenchRow>,
+    /// Jobs that exhausted their retry budget (empty on a clean sweep).
+    pub failed_jobs: Vec<FailedJobRow>,
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl ChaosReport {
@@ -256,6 +303,23 @@ impl ChaosReport {
                 b.profile, b.protocol, b.benchmark, b.cycles, b.chaos_events, b.sanitizer_sc
             );
             out.push_str(if i + 1 < self.benchmarks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"failed_jobs\": [\n");
+        for (i, j) in self.failed_jobs.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"pass\": \"{}\", \"index\": {}, \"attempts\": {}, \"reason\": \"{}\"}}",
+                esc(&j.pass),
+                j.index,
+                j.attempts,
+                esc(&j.reason)
+            );
+            out.push_str(if i + 1 < self.failed_jobs.len() {
                 ",\n"
             } else {
                 "\n"
@@ -328,6 +392,12 @@ mod tests {
                 cycles: 20000,
                 chaos_events: 12,
                 sanitizer_sc: true,
+            }],
+            failed_jobs: vec![FailedJobRow {
+                pass: "litmus".into(),
+                index: 17,
+                attempts: 2,
+                reason: "deadlock: no progress for 2000000 cycles (\"mp\")".into(),
             }],
         };
         check_schema("BENCH_chaos.json", schemas::BENCH_CHAOS, &report.to_json()).unwrap();

@@ -7,13 +7,16 @@
 //! in either the producers or `schemas/*.json` fails here first.
 
 use rcc_bench::report::{check_schema, schemas, ProtocolRow, SimReport};
+use rcc_common::ids::WorkgroupId;
 use rcc_common::GpuConfig;
 use rcc_core::ProtocolKind;
+use rcc_gpu::{MemOp, WarpProgram};
 use rcc_obs::ObsConfig;
 use rcc_obs::SimProfile;
+use rcc_sim::error::SimError;
 use rcc_sim::litmus::run_litmus_observed;
-use rcc_sim::runner::{simulate, SimOptions};
-use rcc_workloads::{litmus, Benchmark, Scale};
+use rcc_sim::runner::{simulate, try_simulate, SimOptions};
+use rcc_workloads::{litmus, Benchmark, Scale, Sharing, Workload};
 
 /// One observed litmus run: its exported Chrome trace and sampled
 /// series validate against the schemas shipped in `schemas/`.
@@ -28,7 +31,8 @@ fn observed_litmus_artifacts_match_their_schemas() {
         lit,
         None,
         Some(&ObsConfig::full(32)),
-    );
+    )
+    .expect("litmus run succeeds");
     assert!(!out.forbidden);
     let report = report.expect("observer was armed");
     check_schema(
@@ -94,4 +98,53 @@ fn schemas_reject_malformed_documents() {
     assert!(check_schema("sim", schemas::BENCH_SIM, &good).is_ok());
     let drifted = good.replace("\"deterministic\": true", "\"deterministic\": \"yes\"");
     assert!(check_schema("sim", schemas::BENCH_SIM, &drifted).is_err());
+}
+
+/// A real watchdog-produced hang-dump and a real checkpoint manifest
+/// validate against their schemas, exactly as the driver writes them.
+#[test]
+fn crash_artifacts_match_their_schemas() {
+    let mut cfg = GpuConfig::small();
+    cfg.watchdog_cycles = 10_000;
+    // One warp waits for a barrier epoch nobody ever reaches.
+    let wl = Workload {
+        name: "schema-deadlock",
+        category: Sharing::IntraWorkgroup,
+        programs: vec![vec![WarpProgram::new(
+            WorkgroupId(0),
+            vec![MemOp::LocalWait { epoch: 1 }],
+        )]],
+        warps_per_workgroup: 2,
+    };
+    let ck_path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("schema-hang.ck")
+        .to_str()
+        .expect("utf-8 tmp path")
+        .to_string();
+    let mut opts = SimOptions::fast();
+    opts.checkpoint = Some(ck_path.clone());
+    let err = try_simulate(ProtocolKind::RccSc, &cfg, &wl, &opts).expect_err("deadlock");
+    let SimError::Deadlock(dump) = err else {
+        panic!("expected Deadlock, got: {err}");
+    };
+    check_schema("hang-dump", schemas::HANGDUMP, &dump.to_json()).expect("hang-dump validates");
+    let manifest = std::fs::read_to_string(format!("{ck_path}.hang.manifest.json"))
+        .expect("auto-checkpoint manifest written");
+    check_schema("manifest", schemas::CHECKPOINT_MANIFEST, &manifest).expect("manifest validates");
+}
+
+/// The crash-artifact schemas reject malformed documents too.
+#[test]
+fn crash_schemas_reject_malformed_documents() {
+    // Hang-dump with no components (a hung machine always has some) and
+    // missing the suspects list.
+    let bad_dump = r#"{"protocol": "RCC-SC", "workload": "x", "cycle": 5, "last_progress": 1,
+        "watchdog_cycles": 4, "mem_pending": 0, "rollover": "Idle",
+        "state_digest": "00", "checkpoint": null, "components": [], "blocked_warps": []}"#;
+    assert!(check_schema("hang-dump", schemas::HANGDUMP, bad_dump).is_err());
+    // Manifest whose state digest is a bare integer instead of hex text.
+    let bad_manifest = r#"{"version": 1, "protocol": "RCC-SC", "workload": "x", "cycle": 5,
+        "state_digest": 7, "fast_forward": true, "sanitize": false, "max_cycles": 10,
+        "chaos_profile": null, "chaos_seed": null, "cores": 4, "l2_partitions": 2}"#;
+    assert!(check_schema("manifest", schemas::CHECKPOINT_MANIFEST, bad_manifest).is_err());
 }

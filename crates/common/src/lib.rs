@@ -23,6 +23,7 @@ pub mod config;
 pub mod hash;
 pub mod ids;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -32,4 +33,5 @@ pub use config::GpuConfig;
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{CoreId, PartitionId, WarpId, WorkgroupId};
 pub use rng::Pcg32;
+pub use snap::{SnapError, SnapReader, SnapWriter, StateDigest};
 pub use time::{Cycle, Timestamp};

@@ -168,7 +168,12 @@ pub trait Protocol {
 }
 
 /// Core-side coherence controller for one L1 cache.
-pub trait L1Cache {
+///
+/// `Debug` is a supertrait so every controller's full state — tag
+/// arrays, MSHR files, leases, chaos streams — can be folded into a
+/// cross-component digest ([`L1Cache::digest_state`]) for checkpoint
+/// attestation and hang forensics.
+pub trait L1Cache: std::fmt::Debug {
     /// Presents one warp memory access. On `Pending`, a [`Completion`]
     /// with the access's `ReqId`-matched result will eventually appear in
     /// an outbox.
@@ -212,12 +217,24 @@ pub trait L1Cache {
         Some(now + 1)
     }
 
+    /// Folds the controller's full state into a cross-component state
+    /// digest. The default streams the `Debug` rendering, which is
+    /// deterministic per binary and — because the in-repo hash maps
+    /// iterate in insertion order under deterministic replay — equal for
+    /// equal histories.
+    fn digest_state(&self, d: &mut rcc_common::snap::StateDigest) {
+        d.write_debug(self);
+    }
+
     /// Statistics.
     fn stats(&self) -> &L1Stats;
 }
 
 /// One bank/partition of the shared L2 cache.
-pub trait L2Bank {
+///
+/// `Debug` is a supertrait for the same reason as on [`L1Cache`]: state
+/// digests for checkpoint attestation and hang forensics.
+pub trait L2Bank: std::fmt::Debug {
     /// Delivers one request from an L1.
     ///
     /// # Errors
@@ -270,6 +287,12 @@ pub trait L2Bank {
     /// fast-forwarding.
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(now + 1)
+    }
+
+    /// Folds the bank's full state into a cross-component state digest
+    /// (see [`L1Cache::digest_state`]).
+    fn digest_state(&self, d: &mut rcc_common::snap::StateDigest) {
+        d.write_debug(self);
     }
 
     /// Statistics.

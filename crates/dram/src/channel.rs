@@ -273,6 +273,13 @@ impl DramChannel {
         }
     }
 
+    /// Folds the channel's full state — command queue, bank timing
+    /// state, chaos stream, and statistics — into a cross-component
+    /// state digest.
+    pub fn digest_state(&self, d: &mut rcc_common::snap::StateDigest) {
+        d.write_debug(self);
+    }
+
     /// Peak queue occupancy.
     pub fn peak_queue(&self) -> usize {
         self.peak_queue

@@ -160,6 +160,37 @@ impl Warp {
     }
 }
 
+/// Forensic view of one non-retired warp (see [`Core::blocked_warps`]):
+/// enough context for a hang-dump to say what the warp is stuck on.
+#[derive(Debug, Clone)]
+pub struct WarpState {
+    /// Warp index within the core.
+    pub warp: usize,
+    /// Program counter — the index of the op the warp is stuck on.
+    pub pc: usize,
+    /// Synchronization micro-state (`Fresh`, `SyncWait`, ...).
+    pub micro: String,
+    /// Whether the warp is waiting at a fence.
+    pub at_fence: bool,
+    /// Pending `LocalWait` epoch, if any.
+    pub waiting_local: Option<u64>,
+    /// The op at `pc`, if the program has not run out.
+    pub stalled_op: Option<String>,
+    /// The warp's in-flight global accesses.
+    pub outstanding: Vec<OutstandingAccess>,
+}
+
+/// One in-flight access of a blocked warp.
+#[derive(Debug, Clone)]
+pub struct OutstandingAccess {
+    /// Word address of the access.
+    pub addr: u64,
+    /// Access class (`Load`/`Store`/`Atomic`).
+    pub class: String,
+    /// Cycle the access was issued.
+    pub issued: u64,
+}
+
 /// What a core produced in one cycle.
 #[derive(Debug, Default)]
 pub struct CoreOutput {
@@ -253,6 +284,42 @@ impl Core {
     /// Statistics.
     pub fn stats(&self) -> &CoreStats {
         &self.stats
+    }
+
+    /// Folds this core's full architectural state — every warp context
+    /// (pc, micro-state, timers, in-flight accesses), the scheduler
+    /// pointer, workgroup epochs, and statistics — into a
+    /// cross-component state digest.
+    pub fn digest_state(&self, d: &mut rcc_common::snap::StateDigest) {
+        d.write_debug(self);
+    }
+
+    /// Forensic snapshot of every non-retired warp: what it is stuck on
+    /// and which accesses it still has in flight. The watchdog's
+    /// hang-dump names blocked warps through this.
+    pub fn blocked_warps(&self) -> Vec<WarpState> {
+        self.warps
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.done)
+            .map(|(i, w)| WarpState {
+                warp: i,
+                pc: w.pc,
+                micro: format!("{:?}", w.micro),
+                at_fence: w.at_fence,
+                waiting_local: w.waiting_local,
+                stalled_op: w.current_op().map(|op| format!("{op:?}")),
+                outstanding: w
+                    .outstanding
+                    .iter()
+                    .map(|o| OutstandingAccess {
+                        addr: o.addr.0,
+                        class: format!("{:?}", o.class),
+                        issued: o.issued.raw(),
+                    })
+                    .collect(),
+            })
+            .collect()
     }
 
     /// Whether ordering rules allow `warp` to issue a new access to

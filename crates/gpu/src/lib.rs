@@ -26,6 +26,8 @@ pub mod core;
 pub mod op;
 pub mod stats;
 
-pub use self::core::{Core, CoreOutput, CoreParams, FencePolicy, SchedPolicy};
+pub use self::core::{
+    Core, CoreOutput, CoreParams, FencePolicy, OutstandingAccess, SchedPolicy, WarpState,
+};
 pub use op::{MemOp, WarpProgram};
 pub use stats::{CoreStats, PrevOpKind};

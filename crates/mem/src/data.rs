@@ -64,6 +64,14 @@ impl LineData {
             .filter(|(_, &v)| v != 0)
             .map(|(i, &v)| (i, v))
     }
+
+    /// Folds every word of the line into a cross-component state digest
+    /// (raw values, not the sparse `Debug` rendering).
+    pub fn digest_state(&self, d: &mut rcc_common::snap::StateDigest) {
+        for &w in &self.words {
+            d.write_u64(w);
+        }
+    }
 }
 
 impl Default for LineData {

@@ -10,6 +10,7 @@
 
 use rcc_chaos::{PerturbPoint, Site};
 use rcc_common::config::{NocParams, NocTopology};
+use rcc_common::snap::StateDigest;
 use rcc_common::time::Cycle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -251,6 +252,42 @@ impl<T> Network<T> {
         } else {
             self.total_packet_latency as f64 / self.packets_injected as f64
         }
+    }
+
+    /// Folds the network's full state — port serialization horizons, the
+    /// set of in-flight packets (payloads included), the chaos stream,
+    /// and statistics — into a cross-component state digest.
+    pub fn digest_state(&self, d: &mut StateDigest)
+    where
+        T: std::fmt::Debug,
+    {
+        d.write_u64(self.cycles_per_flit);
+        d.write_u64(self.traversal);
+        d.write_u64(self.num_vcs as u64);
+        d.write_debug(&self.src_free_at);
+        d.write_debug(&self.dst_free_at);
+        d.write_u64(self.next_order);
+        // The heap's internal layout depends on its push/pop history, so
+        // fold the packets order-independently: the digest reflects the
+        // *set* of in-flight packets, not the heap's array order.
+        let mut acc: u64 = 0;
+        for Reverse(p) in &self.in_flight {
+            let mut e = StateDigest::new();
+            e.write_u64(p.deliver_at);
+            e.write_u64(p.order);
+            e.write_u64(p.dst as u64);
+            e.write_debug(&p.payload);
+            acc ^= e.finish();
+        }
+        d.write_u64(acc);
+        if let Some(c) = &self.chaos {
+            d.write_debug(c);
+        }
+        d.write_u64(self.flits_injected);
+        d.write_u64(self.packets_injected);
+        d.write_u64(self.flit_hops);
+        d.write_u64(self.total_packet_latency);
+        d.write_u64(self.peak_in_flight as u64);
     }
 }
 

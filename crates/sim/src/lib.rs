@@ -25,13 +25,17 @@
 //! assert_eq!(m.sc_violations, 0);
 //! ```
 
+pub mod checkpoint;
+pub mod error;
 pub mod litmus;
 pub mod metrics;
 pub mod observe;
 pub mod runner;
 pub mod system;
 
+pub use checkpoint::Checkpoint;
+pub use error::{HangDump, RunOutcome, SimError};
 pub use metrics::RunMetrics;
 pub use observe::Observer;
-pub use runner::{simulate, SimOptions};
+pub use runner::{resume, simulate, try_simulate, SimOptions};
 pub use system::System;

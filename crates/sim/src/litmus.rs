@@ -3,12 +3,15 @@
 //!
 //! Every litmus run executes with the `rcc-verify` runtime SC sanitizer
 //! attached: each access is recorded and, after the run, the sanitizer
-//! checks whether an SC total order explains the observed values. For
-//! SC-capable protocols a non-SC verdict is a harness panic; for weakly
-//! ordered protocols (TC-Weak, RCC-WO) the verdict is surfaced in
-//! [`LitmusOutcome::sanitizer_sc`] so tests can assert that a forbidden
-//! outcome really is non-SC rather than merely unusual.
+//! checks whether an SC total order explains the observed values. All
+//! entry points return `Result` and share one non-panicking core
+//! ([`run_litmus_observed`]): for SC-capable protocols a non-SC verdict
+//! is a [`SimError::SanitizerViolation`] from [`run_litmus`]; the chaos
+//! and observer variants surface the verdict in
+//! [`LitmusOutcome::sanitizer_sc`] so sweeps can decide what a violation
+//! means for the (protocol, profile) pair at hand.
 
+use crate::error::SimError;
 use crate::system::System;
 use rcc_chaos::ChaosSpec;
 use rcc_common::config::GpuConfig;
@@ -20,6 +23,10 @@ use rcc_core::ProtocolKind;
 use rcc_obs::{ObsConfig, ObsReport};
 use rcc_workloads::litmus::Litmus;
 use rcc_workloads::Workload;
+
+/// Cycle budget for a litmus run — they finish in thousands of cycles,
+/// so ten million means something is wedged.
+const LITMUS_MAX_CYCLES: u64 = 10_000_000;
 
 /// One observed litmus outcome.
 #[derive(Debug, Clone)]
@@ -51,7 +58,7 @@ fn run_one<P: rcc_core::protocol::Protocol>(
     litmus: &Litmus,
     chaos: Option<&ChaosSpec>,
     obs: Option<&ObsConfig>,
-) -> (LitmusOutcome, Option<ObsReport>) {
+) -> Result<(LitmusOutcome, Option<ObsReport>), SimError> {
     let workload = litmus_workload(litmus);
     let mut sys = System::new(protocol, cfg, &workload, false);
     if let Some(spec) = chaos {
@@ -61,88 +68,102 @@ fn run_one<P: rcc_core::protocol::Protocol>(
         sys.set_observer(cfg.clone());
     }
     sys.enable_sanitizer();
-    sys_run(&mut sys);
-    let values: Vec<u64> = litmus
-        .probes
-        .iter()
-        .map(|p| {
-            let loads = sys.loads_of(p.core.index(), p.warp.index(), p.addr);
-            *loads
-                .get(p.nth)
-                .unwrap_or_else(|| panic!("{}: probe {p:?} did not execute", litmus.name))
-        })
-        .collect();
+    sys.run_until(LITMUS_MAX_CYCLES)?;
+    if !sys.done() {
+        return Err(SimError::CyclesExceeded {
+            kind: protocol.kind(),
+            workload: litmus.name.to_string(),
+            max_cycles: LITMUS_MAX_CYCLES,
+        });
+    }
+    let mut values = Vec::with_capacity(litmus.probes.len());
+    for p in &litmus.probes {
+        let loads = sys.loads_of(p.core.index(), p.warp.index(), p.addr);
+        match loads.get(p.nth) {
+            Some(&v) => values.push(v),
+            None => {
+                return Err(SimError::ProbeMissing {
+                    litmus: litmus.name.to_string(),
+                    probe: format!("{p:?}"),
+                })
+            }
+        }
+    }
     let forbidden = (litmus.forbidden)(&values);
     let sanitizer_sc = sys
         .sanitizer_report()
         .map(|r| r.sc)
         .expect("sanitizer was enabled");
     let report = sys.take_observation();
-    (
+    Ok((
         LitmusOutcome {
             values,
             forbidden,
             sanitizer_sc,
         },
         report,
-    )
-}
-
-fn sys_run<P: rcc_core::protocol::Protocol>(sys: &mut System<P>) -> u64 {
-    while !sys.done() {
-        sys.step();
-        assert!(sys.cycle().raw() < 10_000_000, "litmus run too long");
-    }
-    sys.cycle().raw()
+    ))
 }
 
 /// Runs one litmus test under `kind`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for an SC-capable protocol whose execution the sanitizer
-/// cannot explain with any SC total order — that is a protocol bug, not
-/// an interesting outcome.
-pub fn run_litmus(kind: ProtocolKind, cfg: &GpuConfig, litmus: &Litmus) -> LitmusOutcome {
-    let out = run_litmus_chaos(kind, cfg, litmus, None);
-    if kind.supports_sc() {
-        assert!(
-            out.sanitizer_sc,
-            "{kind} on {}: sanitizer found no SC order for the execution",
-            litmus.name
-        );
+/// [`SimError::SanitizerViolation`] for an SC-capable protocol whose
+/// execution the sanitizer cannot explain with any SC total order — that
+/// is a protocol bug, not an interesting outcome — plus anything the
+/// underlying run can produce (deadlock, cycle budget, missing probe).
+pub fn run_litmus(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    litmus: &Litmus,
+) -> Result<LitmusOutcome, SimError> {
+    let out = run_litmus_chaos(kind, cfg, litmus, None)?;
+    if kind.supports_sc() && !out.sanitizer_sc {
+        return Err(SimError::SanitizerViolation {
+            kind,
+            workload: litmus.name.to_string(),
+        });
     }
-    out
+    Ok(out)
 }
 
 /// Runs one litmus test under `kind` with optional chaos injection.
 ///
-/// Unlike [`run_litmus`] this never panics on the sanitizer verdict: the
+/// Unlike [`run_litmus`] this never fails on the sanitizer verdict: the
 /// chaos sweep *wants* to observe failed verdicts (that is how the canary
 /// profile proves the sanitizer catches unsound protocols), so the caller
 /// inspects [`LitmusOutcome::sanitizer_sc`] and decides what a violation
 /// means for the (protocol, profile) pair at hand.
+///
+/// # Errors
+///
+/// Run failures only: deadlock, cycle budget, missing probe.
 pub fn run_litmus_chaos(
     kind: ProtocolKind,
     cfg: &GpuConfig,
     litmus: &Litmus,
     chaos: Option<&ChaosSpec>,
-) -> LitmusOutcome {
-    run_litmus_observed(kind, cfg, litmus, chaos, None).0
+) -> Result<LitmusOutcome, SimError> {
+    Ok(run_litmus_observed(kind, cfg, litmus, chaos, None)?.0)
 }
 
 /// Runs one litmus test with optional chaos injection and an optional
 /// observer attached, returning the outcome together with whatever the
 /// observer recorded (`None` when no observer was requested).
 ///
-/// Like [`run_litmus_chaos`], this never panics on the sanitizer verdict.
+/// Like [`run_litmus_chaos`], this never fails on the sanitizer verdict.
+///
+/// # Errors
+///
+/// Run failures only: deadlock, cycle budget, missing probe.
 pub fn run_litmus_observed(
     kind: ProtocolKind,
     cfg: &GpuConfig,
     litmus: &Litmus,
     chaos: Option<&ChaosSpec>,
     obs: Option<&ObsConfig>,
-) -> (LitmusOutcome, Option<ObsReport>) {
+) -> Result<(LitmusOutcome, Option<ObsReport>), SimError> {
     match kind {
         ProtocolKind::Mesi => run_one(&MesiProtocol::new(cfg), cfg, litmus, chaos, obs),
         ProtocolKind::MesiWb => run_one(&MesiWbProtocol::new(cfg), cfg, litmus, chaos, obs),
@@ -156,6 +177,11 @@ pub fn run_litmus_observed(
 
 /// Runs `make_litmus(seed)` for every seed in `0..runs`, counting how
 /// often the forbidden outcome appeared.
+///
+/// # Panics
+///
+/// Panics if any run fails — the callers are matrix tests where a failed
+/// run is a harness bug, not a countable outcome.
 pub fn count_forbidden(
     kind: ProtocolKind,
     cfg: &GpuConfig,
@@ -163,6 +189,11 @@ pub fn count_forbidden(
     make_litmus: impl Fn(u64) -> Litmus,
 ) -> u64 {
     (0..runs)
-        .filter(|&seed| run_litmus(kind, cfg, &make_litmus(seed)).forbidden)
+        .filter(|&seed| {
+            let litmus = make_litmus(seed);
+            run_litmus(kind, cfg, &litmus)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .forbidden
+        })
         .count() as u64
 }

@@ -1,5 +1,7 @@
-//! Protocol dispatch and run options.
+//! Protocol dispatch, run options, and checkpoint/resume orchestration.
 
+use crate::checkpoint::Checkpoint;
+use crate::error::SimError;
 use crate::metrics::RunMetrics;
 use crate::system::System;
 use rcc_common::config::GpuConfig;
@@ -22,9 +24,10 @@ pub struct SimOptions {
     /// access and, at the end of the run, check that an SC total order
     /// explains the observed values (po ∪ rf ∪ co ∪ fr acyclicity). The
     /// verdict lands in [`RunMetrics::sanitizer_sc`]; for SC-capable
-    /// protocols a non-SC verdict is a panic.
+    /// protocols a non-SC verdict is a [`SimError::SanitizerViolation`].
     pub sanitize: bool,
-    /// Abort if the run exceeds this many cycles.
+    /// Abort with [`SimError::CyclesExceeded`] if the run exceeds this
+    /// many cycles.
     pub max_cycles: u64,
     /// Fast-forward over provably idle cycles (on by default; results
     /// are bit-identical either way — see DESIGN.md, "Simulation
@@ -46,6 +49,18 @@ pub struct SimOptions {
     /// Profile the simulator itself: per-phase wall-clock attribution in
     /// [`RunMetrics::profile`]. Host-machine measurement only.
     pub profile: bool,
+    /// Write a checkpoint every this many cycles (0 — the default —
+    /// disables periodic checkpointing). Requires [`SimOptions::checkpoint`]
+    /// to name the file; each boundary overwrites the previous snapshot,
+    /// so the file always holds the latest one. Checkpointing is passive:
+    /// results are bit-identical with it on or off.
+    pub checkpoint_every: u64,
+    /// Checkpoint file path. Periodic snapshots (see
+    /// [`SimOptions::checkpoint_every`]) land here, and if the watchdog
+    /// fires an auto-checkpoint of the hung state is written next to it
+    /// (`<path>.hang`) for forensic replay. A JSON manifest sidecar
+    /// (`<path>.manifest.json`) accompanies every snapshot.
+    pub checkpoint: Option<String>,
 }
 
 impl SimOptions {
@@ -60,6 +75,8 @@ impl SimOptions {
             sample_every: 0,
             trace: false,
             profile: false,
+            checkpoint_every: 0,
+            checkpoint: None,
         }
     }
 
@@ -89,13 +106,23 @@ impl Default for SimOptions {
     }
 }
 
+/// Replay target for a resumed run: the checkpointed cycle and the state
+/// digest the replayed machine must match bit-for-bit.
+#[derive(Debug, Clone, Copy)]
+struct ReplayTo {
+    cycle: u64,
+    state_digest: u64,
+}
+
 fn run_system<P: Protocol>(
     protocol: &P,
     cfg: &GpuConfig,
     workload: &Workload,
-    check: bool,
     opts: &SimOptions,
-) -> RunMetrics {
+    replay: Option<ReplayTo>,
+) -> Result<RunMetrics, SimError> {
+    let kind = protocol.kind();
+    let check = opts.check_sc && kind.supports_sc();
     let mut system = System::new(protocol, cfg, workload, check);
     system.set_fast_forward(opts.fast_forward);
     if let Some(spec) = &opts.chaos {
@@ -112,73 +139,202 @@ fn run_system<P: Protocol>(
         });
     }
     system.set_profiling(opts.profile);
-    let mut metrics = system.run(opts.max_cycles);
-    metrics.obs = system.take_observation();
-    metrics
+
+    let outcome = (|| {
+        if let Some(target) = replay {
+            // Resume: replay to the checkpointed cycle, then prove the
+            // rebuilt machine is the checkpointed machine before running
+            // on. A mismatch means the binary, config, or workload no
+            // longer reproduces the original history — continuing would
+            // silently diverge, so it is a typed error instead.
+            system.run_until(target.cycle)?;
+            let digest = system.state_digest();
+            if digest != target.state_digest {
+                return Err(SimError::Checkpoint(format!(
+                    "state digest mismatch after replay to cycle {}: \
+                     checkpoint has {:016x}, replay produced {digest:016x}",
+                    target.cycle, target.state_digest
+                )));
+            }
+        }
+        if opts.checkpoint_every > 0 {
+            if let Some(path) = &opts.checkpoint {
+                let mut boundary = opts.checkpoint_every.max(system.cycle().raw() + 1);
+                while !system.done() && boundary < opts.max_cycles {
+                    system.run_until(boundary)?;
+                    if system.done() {
+                        break;
+                    }
+                    checkpoint_now(&system, kind, cfg, workload, opts).save(path)?;
+                    boundary += opts.checkpoint_every;
+                }
+            }
+        }
+        system.run(opts.max_cycles)
+    })();
+
+    match outcome {
+        Ok(mut metrics) => {
+            metrics.obs = system.take_observation();
+            Ok(metrics)
+        }
+        Err(SimError::Deadlock(mut dump)) => {
+            // Watchdog fired: attach an auto-checkpoint of the hung
+            // state so the hang can be replayed offline. Replaying it
+            // deterministically re-reaches the deadlock.
+            if let Some(path) = &opts.checkpoint {
+                let hang_path = format!("{path}.hang");
+                if checkpoint_now(&system, kind, cfg, workload, opts)
+                    .save(&hang_path)
+                    .is_ok()
+                {
+                    dump.checkpoint = Some(hang_path);
+                }
+            }
+            Err(SimError::Deadlock(dump))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn checkpoint_now<P: Protocol>(
+    system: &System<P>,
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+) -> Checkpoint {
+    Checkpoint {
+        kind,
+        cfg: cfg.clone(),
+        workload: workload.clone(),
+        opts: opts.clone(),
+        cycle: system.cycle().raw(),
+        state_digest: system.state_digest(),
+    }
+}
+
+fn dispatch(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+    replay: Option<ReplayTo>,
+) -> Result<RunMetrics, SimError> {
+    match kind {
+        ProtocolKind::Mesi => run_system(&MesiProtocol::new(cfg), cfg, workload, opts, replay),
+        ProtocolKind::MesiWb => run_system(&MesiWbProtocol::new(cfg), cfg, workload, opts, replay),
+        ProtocolKind::TcStrong => run_system(&TcProtocol::strong(cfg), cfg, workload, opts, replay),
+        ProtocolKind::TcWeak => run_system(&TcProtocol::weak(cfg), cfg, workload, opts, replay),
+        ProtocolKind::RccSc => {
+            run_system(&RccProtocol::sequential(cfg), cfg, workload, opts, replay)
+        }
+        ProtocolKind::RccWo => run_system(
+            &RccProtocol::weakly_ordered(cfg),
+            cfg,
+            workload,
+            opts,
+            replay,
+        ),
+        ProtocolKind::IdealSc => run_system(&IdealProtocol::new(cfg), cfg, workload, opts, replay),
+    }
+}
+
+fn verify_metrics(
+    kind: ProtocolKind,
+    workload: &str,
+    opts: &SimOptions,
+    metrics: &RunMetrics,
+) -> Result<(), SimError> {
+    // An unsound chaos profile (the canary) is *expected* to break SC;
+    // the caller inspects the verdicts instead of the run failing.
+    let chaos_sound = opts.chaos.as_ref().is_none_or(|c| c.profile.is_sound());
+    let check = opts.check_sc && kind.supports_sc();
+    if check && chaos_sound && metrics.sc_violations > 0 {
+        return Err(SimError::ScViolation {
+            kind,
+            workload: workload.to_string(),
+            violations: metrics.sc_violations as u64,
+        });
+    }
+    if opts.sanitize && kind.supports_sc() && chaos_sound && metrics.sanitizer_sc != Some(true) {
+        return Err(SimError::SanitizerViolation {
+            kind,
+            workload: workload.to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// Runs `workload` on the machine `cfg` under `kind`, returning the run's
 /// metrics.
 ///
+/// # Errors
+///
+/// [`SimError::Deadlock`] (with a forensic hang-dump) if the watchdog
+/// fires, [`SimError::CyclesExceeded`] past `max_cycles`,
+/// [`SimError::ProtocolInvariant`] on completion-bookkeeping corruption,
+/// [`SimError::ScViolation`] / [`SimError::SanitizerViolation`] when the
+/// requested checks fail on an SC-capable protocol, and
+/// [`SimError::Checkpoint`] when a requested snapshot cannot be written.
+pub fn try_simulate(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+) -> Result<RunMetrics, SimError> {
+    let metrics = dispatch(kind, cfg, workload, opts, None)?;
+    verify_metrics(kind, workload.name, opts, &metrics)?;
+    Ok(metrics)
+}
+
+/// Runs `workload` on the machine `cfg` under `kind`, returning the run's
+/// metrics. Convenience wrapper over [`try_simulate`] for tests and
+/// callers that treat any failure as fatal.
+///
 /// # Panics
 ///
-/// Panics if the run deadlocks, exceeds `max_cycles`, or — with
-/// `check_sc` or `sanitize` and an SC-capable protocol — violates
-/// sequential consistency.
+/// Panics on any [`SimError`] — deadlock, cycle-budget exhaustion,
+/// protocol-invariant breakage, or SC/sanitizer violations.
 pub fn simulate(
     kind: ProtocolKind,
     cfg: &GpuConfig,
     workload: &Workload,
     opts: &SimOptions,
 ) -> RunMetrics {
-    let check = opts.check_sc && kind.supports_sc();
-    let metrics = match kind {
-        ProtocolKind::Mesi => {
-            let p = MesiProtocol::new(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
-        ProtocolKind::MesiWb => {
-            let p = MesiWbProtocol::new(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
-        ProtocolKind::TcStrong => {
-            let p = TcProtocol::strong(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
-        ProtocolKind::TcWeak => {
-            let p = TcProtocol::weak(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
-        ProtocolKind::RccSc => {
-            let p = RccProtocol::sequential(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
-        ProtocolKind::RccWo => {
-            let p = RccProtocol::weakly_ordered(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
-        ProtocolKind::IdealSc => {
-            let p = IdealProtocol::new(cfg);
-            run_system(&p, cfg, workload, check, opts)
-        }
+    match try_simulate(kind, cfg, workload, opts) {
+        Ok(metrics) => metrics,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Resumes the run recorded in the checkpoint at `path`: rebuilds the
+/// system from the checkpointed input closure, replays to the
+/// checkpointed cycle, verifies the state digest bit-for-bit, and runs to
+/// completion. The returned metrics (and observation digests) are
+/// bit-identical to an uninterrupted run of the same inputs.
+///
+/// # Errors
+///
+/// [`SimError::Checkpoint`] if the file is unreadable or corrupt, or if
+/// the replayed state digest does not match the checkpointed one; plus
+/// anything [`try_simulate`] can return for the continued run.
+pub fn resume(path: &str) -> Result<RunMetrics, SimError> {
+    let ck = Checkpoint::load(path)?;
+    resume_checkpoint(&ck)
+}
+
+/// [`resume`] for an already-decoded checkpoint.
+///
+/// # Errors
+///
+/// See [`resume`].
+pub fn resume_checkpoint(ck: &Checkpoint) -> Result<RunMetrics, SimError> {
+    let replay = ReplayTo {
+        cycle: ck.cycle,
+        state_digest: ck.state_digest,
     };
-    // An unsound chaos profile (the canary) is *expected* to break SC;
-    // the caller inspects the verdicts instead of the harness panicking.
-    let chaos_sound = opts.chaos.as_ref().is_none_or(|c| c.profile.is_sound());
-    if check && chaos_sound {
-        assert_eq!(
-            metrics.sc_violations, 0,
-            "{kind} violated SC on {}",
-            workload.name
-        );
-    }
-    if opts.sanitize && kind.supports_sc() && chaos_sound {
-        assert_eq!(
-            metrics.sanitizer_sc,
-            Some(true),
-            "{kind} failed the SC sanitizer on {}",
-            workload.name
-        );
-    }
-    metrics
+    let metrics = dispatch(ck.kind, &ck.cfg, &ck.workload, &ck.opts, Some(replay))?;
+    verify_metrics(ck.kind, ck.workload.name, &ck.opts, &metrics)?;
+    Ok(metrics)
 }

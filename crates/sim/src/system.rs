@@ -1,11 +1,13 @@
 //! The cycle-driven full system.
 
+use crate::error::{BlockedWarp, ComponentState, HangDump, SimError};
 use crate::metrics::RunMetrics;
 use crate::observe::Observer;
 use rcc_chaos::{stream, ChaosSpec, PerturbPoint, Perturber, Site};
 use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, WarpId};
+use rcc_common::snap::StateDigest;
 use rcc_common::stats::TrafficStats;
 use rcc_common::time::{Cycle, Timestamp};
 use rcc_common::FxHashMap;
@@ -55,9 +57,20 @@ struct Recorder {
     epoch_base: u64,
     max_ts_seen: u64,
     completions: u64,
+    /// First engine-invariant failure observed this cycle. Completion
+    /// bookkeeping runs inside `Core::tick`'s access closure, where no
+    /// `Result` can escape, so the failure is latched here and surfaced
+    /// as a typed [`SimError::ProtocolInvariant`] at the end of the step.
+    invariant_failure: Option<String>,
 }
 
 impl Recorder {
+    fn flag_invariant(&mut self, detail: String) {
+        if self.invariant_failure.is_none() {
+            self.invariant_failure = Some(detail);
+        }
+    }
+
     fn note_issue(&mut self, core: usize, access: Access) {
         let key = (core, access.warp, access.addr);
         match access.kind {
@@ -109,11 +122,21 @@ impl Recorder {
             }
             CompletionKind::StoreDone => match pop() {
                 Some(PendingValue::Store(v)) => Some(v),
-                other => panic!("store completion without value: {other:?} ({key:?}, {c:?})"),
+                other => {
+                    self.flag_invariant(format!(
+                        "store completion without value: {other:?} ({key:?}, {c:?})"
+                    ));
+                    None
+                }
             },
             CompletionKind::AtomicDone { old } => match pop() {
                 Some(PendingValue::Atomic(op)) => Some(op.apply(old)),
-                other => panic!("atomic completion without op: {other:?} ({key:?}, {c:?})"),
+                other => {
+                    self.flag_invariant(format!(
+                        "atomic completion without op: {other:?} ({key:?}, {c:?})"
+                    ));
+                    None
+                }
             },
         };
         // Offset logical timestamps by the rollover epoch so the global
@@ -238,6 +261,7 @@ impl<P: Protocol> System<P> {
                 epoch_base: 0,
                 max_ts_seen: 0,
                 completions: 0,
+                invariant_failure: None,
             },
             traffic: TrafficStats::new(),
             energy_model: NocEnergyModel::default(),
@@ -625,7 +649,15 @@ impl<P: Protocol> System<P> {
     }
 
     /// Advances the system by one cycle.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] (with a full forensic
+    /// [`HangDump`]) when the watchdog detects no forward progress, and
+    /// [`SimError::ProtocolInvariant`] when completion bookkeeping broke
+    /// an engine invariant this cycle. The system is left intact either
+    /// way, so callers can still read metrics or dump state.
+    pub fn step(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         let cycle = self.cycle;
         let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
@@ -801,17 +833,179 @@ impl<P: Protocol> System<P> {
             "incremental pending counter diverged at {cycle}"
         );
 
-        // Watchdog.
-        assert!(
-            cycle.raw() - self.last_progress <= self.cfg.watchdog_cycles,
-            "{} on {}: no progress since cycle {} (now {}; pending mem ops {}, rollover {:?})",
-            self.kind,
-            self.workload_name,
-            self.last_progress,
-            cycle,
-            self.memory_system_pending(),
-            self.rollover,
-        );
+        if let Some(detail) = self.recorder.invariant_failure.take() {
+            return Err(SimError::ProtocolInvariant {
+                kind: self.kind,
+                workload: self.workload_name.clone(),
+                cycle: cycle.raw(),
+                detail,
+            });
+        }
+
+        // Watchdog: no forward progress for a full threshold window is a
+        // deadlock. Emit the forensic dump instead of aborting.
+        if cycle.raw() - self.last_progress > self.cfg.watchdog_cycles {
+            return Err(SimError::Deadlock(Box::new(self.hang_dump())));
+        }
+        Ok(())
+    }
+
+    /// Assembles the forensic dump of the (presumed hung) machine: every
+    /// component's occupancy and `next_event` horizon, every non-retired
+    /// warp with the access it is stalled on, and the components that
+    /// hold work but schedule no event (the prime suspects).
+    pub fn hang_dump(&self) -> HangDump {
+        let now = self.cycle;
+        let mut components = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            components.push(ComponentState {
+                name: format!("core{i}"),
+                pending: core.active_warps() as u64,
+                next_event: core.next_event(now).map(Cycle::raw),
+            });
+        }
+        for (i, l1) in self.l1s.iter().enumerate() {
+            components.push(ComponentState {
+                name: format!("l1-{i}"),
+                pending: l1.pending() as u64,
+                next_event: l1.next_event(now).map(Cycle::raw),
+            });
+        }
+        components.push(ComponentState {
+            name: "noc-req".to_string(),
+            pending: self.req_net.in_flight() as u64,
+            next_event: self.req_net.next_event().map(Cycle::raw),
+        });
+        components.push(ComponentState {
+            name: "noc-resp".to_string(),
+            pending: self.resp_net.in_flight() as u64,
+            next_event: self.resp_net.next_event().map(Cycle::raw),
+        });
+        for (p, l2) in self.l2s.iter().enumerate() {
+            components.push(ComponentState {
+                name: format!("l2-bank{p}"),
+                pending: l2.pending() as u64,
+                next_event: l2.next_event(now).map(Cycle::raw),
+            });
+            components.push(ComponentState {
+                name: format!("l2-inbox{p}"),
+                pending: self.l2_inbox[p].len() as u64,
+                next_event: (!self.l2_inbox[p].is_empty()).then(|| now.raw() + 1),
+            });
+            components.push(ComponentState {
+                name: format!("l2-pipe{p}"),
+                pending: self.l2_delay[p].len() as u64,
+                next_event: self.l2_delay[p]
+                    .front()
+                    .map(|(r, _)| (*r).max(now.raw() + 1)),
+            });
+        }
+        for (p, dram) in self.drams.iter().enumerate() {
+            components.push(ComponentState {
+                name: format!("dram{p}"),
+                pending: dram.pending() as u64,
+                next_event: dram.next_event().map(Cycle::raw),
+            });
+        }
+        let suspects = components
+            .iter()
+            .filter(|c| c.pending > 0 && c.next_event.is_none())
+            .map(|c| c.name.clone())
+            .collect();
+        let blocked_warps = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.done())
+            .flat_map(|(i, c)| {
+                c.blocked_warps()
+                    .into_iter()
+                    .map(move |state| BlockedWarp { core: i, state })
+            })
+            .collect();
+        HangDump {
+            protocol: self.kind.label().to_string(),
+            workload: self.workload_name.clone(),
+            cycle: now.raw(),
+            last_progress: self.last_progress,
+            watchdog_cycles: self.cfg.watchdog_cycles,
+            mem_pending: self.memory_system_pending() as u64,
+            rollover: format!("{:?}", self.rollover),
+            state_digest: self.state_digest(),
+            components,
+            blocked_warps,
+            suspects,
+            checkpoint: None,
+        }
+    }
+
+    /// Cross-component digest of the machine's full architectural state
+    /// at the current cycle: cores (warp contexts), L1/L2 controllers
+    /// (tag arrays, MSHRs, leases), both network directions (in-flight
+    /// packets), bank inboxes and delay pipes, DRAM channels, backing
+    /// memory, the rollover FSM, and the chaos PRNG streams. Two systems
+    /// built from the same inputs and advanced to the same cycle produce
+    /// the same digest — checkpoint restore verifies this before
+    /// continuing a run.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.write_str(self.kind.label());
+        d.write_str(&self.workload_name);
+        d.write_u64(self.cycle.raw());
+        for core in &self.cores {
+            core.digest_state(&mut d);
+        }
+        for l1 in &self.l1s {
+            l1.digest_state(&mut d);
+        }
+        for l2 in &self.l2s {
+            l2.digest_state(&mut d);
+        }
+        self.req_net.digest_state(&mut d);
+        self.resp_net.digest_state(&mut d);
+        for inbox in &self.l2_inbox {
+            d.write_debug(inbox);
+        }
+        for delay in &self.l2_delay {
+            d.write_debug(delay);
+        }
+        for dram in &self.drams {
+            dram.digest_state(&mut d);
+        }
+        // Backing memory is a hash map: fold lines order-independently
+        // so the digest reflects contents, not iteration order.
+        let mut mem_acc: u64 = 0;
+        for (line, data) in &self.memory {
+            let mut e = StateDigest::new();
+            e.write_u64(line.0);
+            data.digest_state(&mut e);
+            mem_acc ^= e.finish();
+        }
+        d.write_u64(mem_acc);
+        d.write_debug(&self.rollover);
+        d.write_u64(self.rollovers);
+        d.write_u64(self.last_progress);
+        d.write_u64(self.mem_pending as u64);
+        d.write_u64(self.recorder.epoch_base);
+        d.write_u64(self.recorder.max_ts_seen);
+        d.write_u64(self.recorder.completions);
+        if let Some(p) = &self.chaos_pipe {
+            d.write_debug(p);
+        }
+        if let Some(p) = &self.chaos_access {
+            d.write_debug(p);
+        }
+        d.write_u64(self.chaos_fired.load(Ordering::Relaxed));
+        d.finish()
+    }
+
+    /// Test-only corruption hook: drops every pending store/atomic value
+    /// the recorder is tracking, so the next store or atomic completion
+    /// trips the engine's completion invariant. Exists to prove the
+    /// typed-error path (`SimError::ProtocolInvariant`) end to end.
+    #[doc(hidden)]
+    pub fn corrupt_pending_values_for_test(&mut self) {
+        self.recorder.pending_vals.clear();
     }
 
     fn advance_rollover(&mut self) {
@@ -975,17 +1169,18 @@ impl<P: Protocol> System<P> {
 
     /// Jumps `self.cycle` to just before the next event when the gap is
     /// provably idle, replaying per-cycle stall counters so the metrics
-    /// are bit-identical to a stepped run. The jump is capped so the
-    /// watchdog and the `max_cycles` abort fire at exactly the cycles
-    /// they would in a stepped run.
-    fn maybe_fast_forward(&mut self, max_cycles: u64) {
+    /// are bit-identical to a stepped run. The jump is capped at `cap`
+    /// (the `max_cycles` budget, or the next checkpoint boundary) so the
+    /// watchdog, the budget abort, and checkpoint cycles land exactly
+    /// where they would in a stepped run.
+    fn maybe_fast_forward(&mut self, cap: u64) {
         let now = self.cycle.raw();
         let deadline = self.last_progress + self.cfg.watchdog_cycles + 1;
         let mut target = self
             .next_event_cycle()
             .unwrap_or(deadline)
             .min(deadline)
-            .min(max_cycles);
+            .min(cap);
         if let Some(obs) = &self.obs {
             // Never jump over a sample boundary: the boundary cycle must
             // be stepped so the sampler reads state exactly there. Only
@@ -1012,28 +1207,44 @@ impl<P: Protocol> System<P> {
         self.cycle = Cycle(target - 1);
     }
 
-    /// Runs to completion (or `max_cycles`) and returns the metrics.
+    /// Advances the system until it finishes or reaches cycle `target`
+    /// (whichever comes first). Fast-forward jumps are capped at
+    /// `target`, so the boundary cycle is stepped exactly — the
+    /// checkpoint writer relies on that to snapshot bit-reproducible
+    /// states.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the watchdog fires, or if SC checking is enabled and the
-    /// execution violates SC for a protocol that must support it.
-    pub fn run(&mut self, max_cycles: u64) -> RunMetrics {
-        while !self.done() && self.cycle.raw() < max_cycles {
+    /// Propagates any [`SimError`] from [`System::step`].
+    pub fn run_until(&mut self, target: u64) -> Result<(), SimError> {
+        while !self.done() && self.cycle.raw() < target {
             if self.ff_enabled {
                 let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
-                self.maybe_fast_forward(max_cycles);
+                self.maybe_fast_forward(target);
                 self.charge(&mut mark, SimPhase::FastForward);
             }
-            self.step();
+            self.step()?;
         }
-        assert!(
-            self.done(),
-            "{} on {}: did not finish within {max_cycles} cycles",
-            self.kind,
-            self.workload_name
-        );
-        self.metrics()
+        Ok(())
+    }
+
+    /// Runs to completion (or `max_cycles`) and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] / [`SimError::ProtocolInvariant`]
+    /// from [`System::step`], or [`SimError::CyclesExceeded`] when the
+    /// budget runs out before every warp retires.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunMetrics, SimError> {
+        self.run_until(max_cycles)?;
+        if !self.done() {
+            return Err(SimError::CyclesExceeded {
+                kind: self.kind,
+                workload: self.workload_name.clone(),
+                max_cycles,
+            });
+        }
+        Ok(self.metrics())
     }
 
     /// Prints every scoreboard violation (diagnostic aid).

@@ -39,7 +39,7 @@ proptest! {
             litmus::corr,
         ] {
             let lit = make(cfg.num_cores, seed);
-            let out = run_litmus_chaos(kind, &cfg, &lit, Some(&spec));
+            let out = run_litmus_chaos(kind, &cfg, &lit, Some(&spec)).expect("litmus run succeeds");
             prop_assert!(
                 !out.forbidden,
                 "{kind} on {} (chaos {} seed {seed}): forbidden outcome",
@@ -67,7 +67,8 @@ fn canary_is_caught_by_sanitizer_in_one_run() {
     let cfg = cfg();
     let spec = ChaosSpec::new(1, ChaosProfile::canary());
     let lit = litmus::message_passing(cfg.num_cores, 1);
-    let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec));
+    let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec))
+        .expect("litmus run succeeds");
     assert!(
         !out.sanitizer_sc,
         "canary run produced values {:?} but the sanitizer found an SC order — \
@@ -83,7 +84,8 @@ fn canary_shows_the_forbidden_outcome() {
     let cfg = cfg();
     let spec = ChaosSpec::new(1, ChaosProfile::canary());
     let lit = litmus::message_passing(cfg.num_cores, 1);
-    let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec));
+    let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec))
+        .expect("litmus run succeeds");
     assert!(out.forbidden, "values {:?}", out.values);
 }
 
@@ -149,7 +151,8 @@ fn iriw_and_corr_hold_under_every_sound_profile() {
                 litmus::corr,
             ] {
                 let lit = make(cfg.num_cores, seed);
-                let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec));
+                let out = run_litmus_chaos(ProtocolKind::RccSc, &cfg, &lit, Some(&spec))
+                    .expect("litmus run succeeds");
                 assert!(
                     !out.forbidden,
                     "RCC-SC on {} (chaos {} seed {seed}): forbidden outcome {:?}",
@@ -178,7 +181,8 @@ fn tcw_fences_hold_under_chaos() {
             litmus::corr,
         ] {
             let lit = make(cfg.num_cores, 13);
-            let out = run_litmus_chaos(ProtocolKind::TcWeak, &cfg, &lit, Some(&spec));
+            let out = run_litmus_chaos(ProtocolKind::TcWeak, &cfg, &lit, Some(&spec))
+                .expect("litmus run succeeds");
             assert!(
                 !out.forbidden,
                 "TC-Weak on {} (chaos {}): forbidden outcome",

@@ -153,7 +153,8 @@ fn litmus_probe_values_are_plausible() {
         ProtocolKind::RccSc,
         &cfg,
         &litmus::message_passing(cfg.num_cores, 5),
-    );
+    )
+    .expect("litmus run succeeds");
     assert_eq!(out.values.len(), 2);
     for v in &out.values {
         assert!(*v == 0 || *v == 1);
@@ -175,7 +176,8 @@ fn sanitizer_flags_tcw_weak_outcomes_as_non_sc() {
             ProtocolKind::TcWeak,
             &cfg,
             &litmus::message_passing(cfg.num_cores, seed),
-        );
+        )
+        .expect("litmus run succeeds");
         if out.forbidden {
             saw_forbidden = true;
             assert!(

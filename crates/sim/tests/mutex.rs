@@ -60,7 +60,7 @@ fn check_mutex(kind: ProtocolKind) {
         ($p:expr) => {{
             let mut sys = System::new(&$p, &cfg, &wl, false);
             while !sys.done() {
-                sys.step();
+                sys.step().expect("mutex run fails");
             }
             for (core, warp, token) in &tokens {
                 let loads = sys.loads_of(*core, *warp, shared);

@@ -42,7 +42,8 @@ fn rcc_litmus_trace_is_valid_chrome_json_with_lease_events() {
         &lit,
         None,
         Some(&ObsConfig::full(64)),
-    );
+    )
+    .expect("litmus run succeeds");
     assert!(!out.forbidden);
     let report = report.expect("observer was armed");
     let dump = report.trace.to_chrome_json();
@@ -194,7 +195,8 @@ fn trace_cap_drops_loudly_and_stays_valid() {
         trace: true,
         max_trace_events: 4,
     };
-    let (_, report) = run_litmus_observed(ProtocolKind::RccSc, &cfg, &lit, None, Some(&obs));
+    let (_, report) = run_litmus_observed(ProtocolKind::RccSc, &cfg, &lit, None, Some(&obs))
+        .expect("litmus run succeeds");
     let report = report.expect("observer was armed");
     assert!(report.trace.dropped() > 0, "cap of 4 never overflowed");
     let dump = report.trace.to_chrome_json();

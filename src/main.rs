@@ -23,12 +23,22 @@
 //!   --series-out PATH   write the sampled series (.csv, or .json by
 //!               extension); under --all, exports cover --protocol's run
 //!   --profile   attach the self-profiler; print per-phase wall-clock
+//!   --checkpoint PATH   write periodic snapshots here; on a watchdog
+//!               deadlock an auto-checkpoint lands at PATH.hang
+//!   --checkpoint-every N  snapshot period in cycles (default 1000000
+//!               when --checkpoint is given)
+//!   --resume PATH       replay a snapshot (protocol, benchmark, and
+//!               options come from the snapshot; results are
+//!               bit-identical to the uninterrupted run)
+//!   --hang-dump PATH    write the forensic hang-dump JSON here if the
+//!               watchdog fires (default PATH of --checkpoint plus
+//!               .hangdump.json, when --checkpoint is given)
 //! ```
 
 use rcc_repro::coherence::ProtocolKind;
 use rcc_repro::common::GpuConfig;
-use rcc_repro::sim::runner::{simulate, SimOptions};
-use rcc_repro::sim::RunMetrics;
+use rcc_repro::sim::runner::{resume, try_simulate, SimOptions};
+use rcc_repro::sim::{RunMetrics, SimError};
 use rcc_repro::workloads::{Benchmark, Scale};
 use std::process::ExitCode;
 
@@ -125,6 +135,50 @@ fn report(m: &RunMetrics) {
     }
 }
 
+/// Prints a typed failure; for a deadlock also writes the forensic
+/// hang-dump JSON (validated against `schemas/hangdump.schema.json`) and
+/// points at the auto-checkpoint for replay.
+fn report_failure(e: &SimError, hang_dump: Option<&str>) {
+    eprintln!("error: {e}");
+    let SimError::Deadlock(dump) = e else {
+        return;
+    };
+    if let Some(ck) = &dump.checkpoint {
+        eprintln!("auto-checkpoint for deterministic replay: {ck} (use --resume)");
+    }
+    let Some(path) = hang_dump else {
+        eprintln!("(pass --checkpoint or --hang-dump to capture the forensic dump)");
+        return;
+    };
+    let json = dump.to_json();
+    let schema_ok =
+        rcc_repro::obs::schema::validate_text(rcc_bench::report::schemas::HANGDUMP, &json)
+            .map(|errs| errs.is_empty())
+            .unwrap_or(false);
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!(
+            "hang-dump written: {path}{}",
+            if schema_ok {
+                ""
+            } else {
+                " (WARNING: dump does not match schemas/hangdump.schema.json)"
+            }
+        ),
+        Err(err) => eprintln!("cannot write hang-dump {path}: {err}"),
+    }
+}
+
+fn print_result(m: &RunMetrics, csv: bool, first: bool) {
+    if csv {
+        println!("{}", csv_row(m));
+    } else {
+        if !first {
+            println!();
+        }
+        report(m);
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
@@ -139,7 +193,7 @@ fn main() -> ExitCode {
             include_str!("main.rs")
                 .lines()
                 .skip(3)
-                .take(22)
+                .take(32)
                 .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
@@ -194,6 +248,37 @@ fn main() -> ExitCode {
     opts.sample_every = get("--sample-every")
         .and_then(|n| n.parse().ok())
         .unwrap_or(if series_out.is_some() { 256 } else { 0 });
+    opts.checkpoint = get("--checkpoint");
+    opts.checkpoint_every = get("--checkpoint-every")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(if opts.checkpoint.is_some() {
+            1_000_000
+        } else {
+            0
+        });
+    let hang_dump = get("--hang-dump").or_else(|| {
+        opts.checkpoint
+            .as_ref()
+            .map(|p| format!("{p}.hangdump.json"))
+    });
+
+    // A resumed run carries its own protocol, workload, and options in
+    // the snapshot; everything above except output flags is ignored.
+    if let Some(path) = get("--resume") {
+        return match resume(&path) {
+            Ok(m) => {
+                if has("--csv") {
+                    println!("{}", csv_header());
+                }
+                print_result(&m, has("--csv"), true);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                report_failure(&e, hang_dump.as_deref());
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let wl = if let Some(path) = get("--trace-file") {
         let text = match std::fs::read_to_string(&path) {
@@ -224,23 +309,26 @@ fn main() -> ExitCode {
     // The protocol runs are independent, so --all can spread them over a
     // job pool; results come back in submission order, keeping the
     // report/CSV output byte-identical to a sequential run.
+    // A failed protocol (deadlock, budget, invariant) reports as a typed
+    // error and flips the exit code; the other jobs still complete.
     let jobs = rcc_bench::parse_jobs(&args);
-    let results = rcc_bench::pool::run_indexed(kinds, jobs, |k| simulate(k, &cfg, &wl, &opts));
-    for (i, m) in results.iter().enumerate() {
-        if has("--csv") {
-            println!("{}", csv_row(m));
-        } else {
-            if i > 0 {
-                println!();
+    let results = rcc_bench::pool::run_indexed(kinds, jobs, |k| try_simulate(k, &cfg, &wl, &opts));
+    let mut failed = false;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(m) => print_result(m, has("--csv"), i == 0),
+            Err(e) => {
+                failed = true;
+                report_failure(e, hang_dump.as_deref());
             }
-            report(m);
         }
     }
     // Under --all every run carries an observation, but the export slots
     // hold one run each — the --protocol selection picks whose.
-    if trace_out.is_some() || series_out.is_some() {
+    if (trace_out.is_some() || series_out.is_some()) && !failed {
         let chosen = results
             .iter()
+            .filter_map(|r| r.as_ref().ok())
             .find(|m| m.kind == kind)
             .expect("selected protocol was run");
         let Some(obs) = &chosen.obs else {
@@ -275,5 +363,9 @@ fn main() -> ExitCode {
             println!("wrote {path} ({what})");
         }
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -41,7 +41,8 @@ fn outcome_values_are_binary() {
         ProtocolKind::RccWo,
         &cfg,
         &litmus::store_buffering(cfg.num_cores, 3),
-    );
+    )
+    .expect("litmus run succeeds");
     for v in &out.values {
         assert!(*v <= 1);
     }
