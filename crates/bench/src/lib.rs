@@ -39,6 +39,8 @@
 //!   instead of running the experiment (exit 1 on a typed failure,
 //!   e.g. when a `.hang` snapshot faithfully reproduces its deadlock)
 
+#![forbid(unsafe_code)]
+
 pub mod pool;
 pub mod report;
 

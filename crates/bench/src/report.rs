@@ -44,6 +44,11 @@ pub mod schemas {
         env!("CARGO_MANIFEST_DIR"),
         "/../../schemas/checkpoint_manifest.schema.json"
     ));
+    /// Shape of the `rcc-lint` transition matrix (`--matrix-out`).
+    pub const LINT: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/lint.schema.json"
+    ));
 }
 
 /// Validates `doc` against `schema_text`; `Err` carries every violation,

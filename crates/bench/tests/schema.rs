@@ -148,3 +148,34 @@ fn crash_schemas_reject_malformed_documents() {
         "chaos_profile": null, "chaos_seed": null, "cores": 4, "l2_partitions": 2}"#;
     assert!(check_schema("manifest", schemas::CHECKPOINT_MANIFEST, bad_manifest).is_err());
 }
+
+/// The transition matrix `rcc-lint --matrix-out` writes, produced from
+/// the real workspace, validates against `schemas/lint.schema.json`.
+#[test]
+fn lint_matrix_matches_its_schema() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = rcc_lint::run(&rcc_lint::LintConfig {
+        root,
+        coverage: None,
+    })
+    .expect("lint runs");
+    assert_eq!(out.controllers.len(), 7, "one table per controller file");
+    check_schema("lint matrix", schemas::LINT, &out.matrix_json).expect("matrix validates");
+}
+
+/// The lint schema still has teeth: wrong version, missing controllers,
+/// and a bogus arm status are each rejected.
+#[test]
+fn lint_schema_rejects_malformed_matrices() {
+    let wrong_version = r#"{"version": 2, "generated_by": "rcc-lint", "enums": {}, "controllers": [{"protocol": "rcc", "controller": "l1", "file": "f.rs", "states": [], "tables": []}]}"#;
+    assert!(check_schema("wrong version", schemas::LINT, wrong_version).is_err());
+
+    let no_controllers = r#"{"version": 1, "generated_by": "rcc-lint", "enums": {}}"#;
+    assert!(check_schema("no controllers", schemas::LINT, no_controllers).is_err());
+
+    let bad_status = r#"{"version": 1, "generated_by": "rcc-lint", "enums": {}, "controllers": [{"protocol": "rcc", "controller": "l1", "file": "f.rs", "states": [], "tables": [{"enum": "ReqPayload", "wildcard": false, "arms": [{"variant": "Gets", "status": "shrugged", "line": 3}]}]}]}"#;
+    assert!(check_schema("bad status", schemas::LINT, bad_status).is_err());
+}

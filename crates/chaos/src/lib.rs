@@ -29,6 +29,8 @@
 //!
 //! [`canary`]: ChaosProfile::canary
 
+#![forbid(unsafe_code)]
+
 use rcc_common::rng::Pcg32;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

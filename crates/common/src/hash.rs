@@ -14,6 +14,7 @@
 //! the insertion sequence* but still arbitrary; code that needs a
 //! canonical order must sort (see `MshrFile::for_each_sorted`).
 
+// rcc-lint: allow(default-hasher, this is the Fx alias definition site; the seed is fixed below)
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -90,10 +91,10 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` using [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>; // rcc-lint: allow(default-hasher, the hasher parameter replaces the default seed)
 
 /// A `HashSet` using [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>; // rcc-lint: allow(default-hasher, the hasher parameter replaces the default seed)
 
 #[cfg(test)]
 mod tests {

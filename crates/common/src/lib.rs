@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Foundation types shared by every crate in the RCC reproduction.
 //!

@@ -212,6 +212,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// stable for a given binary, and the in-repo hash maps iterate in
 /// insertion order under deterministic replay, so equal histories imply
 /// equal digests.
+#[must_use = "a digest is only useful compared against another"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StateDigest {
     h: u64,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Coherence protocols: **RCC** (the paper's contribution) and the three
 //! baselines it is evaluated against (MESI, TC-Strong, TC-Weak), plus the

@@ -94,6 +94,16 @@ impl AccessKind {
     pub fn is_write_like(self) -> bool {
         !matches!(self, AccessKind::Load)
     }
+
+    /// Variant name, matching the identifiers in this file (used by the
+    /// transition-coverage bridge between `rcc-verify` and `rcc-lint`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            AccessKind::Load => "Load",
+            AccessKind::Store { .. } => "Store",
+            AccessKind::Atomic { .. } => "Atomic",
+        }
+    }
 }
 
 /// Outcome of presenting an [`Access`] to the L1.
@@ -239,6 +249,20 @@ impl ReqPayload {
             ReqPayload::WbData { .. } => MsgClass::Writeback,
         }
     }
+
+    /// Variant name, matching the identifiers in this file (used by the
+    /// transition-coverage bridge between `rcc-verify` and `rcc-lint`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            ReqPayload::Gets { .. } => "Gets",
+            ReqPayload::Write { .. } => "Write",
+            ReqPayload::Atomic { .. } => "Atomic",
+            ReqPayload::InvAck => "InvAck",
+            ReqPayload::FlushAck => "FlushAck",
+            ReqPayload::GetX { .. } => "GetX",
+            ReqPayload::WbData { .. } => "WbData",
+        }
+    }
 }
 
 /// A response travelling from an L2 partition to an L1.
@@ -329,6 +353,22 @@ impl RespPayload {
             RespPayload::DataEx { .. } => MsgClass::LoadData,
             RespPayload::Recall => MsgClass::Inv,
             RespPayload::WbAck => MsgClass::StoreAck,
+        }
+    }
+
+    /// Variant name, matching the identifiers in this file (used by the
+    /// transition-coverage bridge between `rcc-verify` and `rcc-lint`).
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            RespPayload::Data { .. } => "Data",
+            RespPayload::Renew { .. } => "Renew",
+            RespPayload::StoreAck { .. } => "StoreAck",
+            RespPayload::AtomicResp { .. } => "AtomicResp",
+            RespPayload::Inv => "Inv",
+            RespPayload::Flush => "Flush",
+            RespPayload::DataEx { .. } => "DataEx",
+            RespPayload::Recall => "Recall",
+            RespPayload::WbAck => "WbAck",
         }
     }
 }

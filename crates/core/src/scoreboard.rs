@@ -23,7 +23,7 @@ use crate::msg::{Completion, CompletionKind};
 use rcc_common::addr::WordAddr;
 use rcc_common::ids::{CoreId, WarpId};
 use rcc_common::time::Timestamp;
-use std::collections::HashMap;
+use rcc_common::FxHashMap;
 use std::fmt;
 
 /// A recorded write: global position and the value it left in memory.
@@ -79,10 +79,10 @@ impl fmt::Display for ScViolation {
 /// invariant.
 #[derive(Debug, Clone, Default)]
 pub struct Scoreboard {
-    writes: HashMap<WordAddr, Vec<WriteRecord>>,
-    reads: HashMap<WordAddr, Vec<ReadRecord>>,
+    writes: FxHashMap<WordAddr, Vec<WriteRecord>>,
+    reads: FxHashMap<WordAddr, Vec<ReadRecord>>,
     /// Last position seen per (core, warp), for program-order checking.
-    warp_pos: HashMap<(CoreId, WarpId), (Timestamp, u64)>,
+    warp_pos: FxHashMap<(CoreId, WarpId), (Timestamp, u64)>,
     program_order_violations: Vec<(CoreId, WarpId)>,
     /// Detail for each program-order violation: (addr, previous ts, ts).
     po_detail: Vec<(WordAddr, Timestamp, Timestamp)>,

@@ -7,6 +7,8 @@
 //! warm-up run) and reports mean/min per iteration — intentionally simple,
 //! with none of real criterion's statistics or report output.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! GDDR DRAM timing model with FR-FCFS scheduling (Table III).
 //!

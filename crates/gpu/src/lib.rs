@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! GPU core (SM) model: warp contexts, a loose round-robin scheduler,
 //! and a load-store unit that enforces the consistency model.

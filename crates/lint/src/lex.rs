@@ -1,0 +1,626 @@
+//! A minimal Rust token scanner.
+//!
+//! `rcc-lint` deliberately has no dependencies (no `syn`, no `proc-macro2`),
+//! in the same spirit as `rcc_obs::json`: the linter must build before
+//! anything it checks. This module turns a source file into a flat stream
+//! of identifier/punctuation tokens with line numbers, while
+//!
+//! * stripping comments (and capturing `// rcc-lint: allow(rule, reason)`
+//!   suppression directives),
+//! * stripping string / char literals (so `"panic!"` in a message never
+//!   fires a rule), including raw and byte strings,
+//! * disambiguating lifetimes (`'a`) from char literals (`'a'`),
+//! * dropping items gated behind `#[cfg(test)]` / `#[test]`, and
+//! * reporting *out-of-line* test modules (`#[cfg(test)] mod foo;`) so the
+//!   driver can exclude `foo.rs` / `foo/` entirely.
+//!
+//! The scanner is intentionally approximate — it does not parse Rust — but
+//! every approximation errs toward *fewer* tokens surviving (comments,
+//! strings, test code), which for our deny-lints means false negatives in
+//! pathological code, never false positives in clean code.
+
+/// One token: an identifier/keyword/number, or a single punctuation char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text. Punctuation is a single char; idents/numbers are whole.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// A parsed `// rcc-lint: allow(rule, reason)` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Rule id the directive suppresses, e.g. `default-hasher`.
+    pub rule: String,
+    /// Free-text justification (required).
+    pub reason: String,
+    /// Line the comment itself sits on.
+    pub comment_line: u32,
+    /// Line the directive applies to: its own line when trailing code,
+    /// otherwise the next line that carries code.
+    pub applies_line: u32,
+}
+
+/// A malformed `rcc-lint:` comment (wrong syntax, missing reason, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadDirective {
+    /// Line of the malformed comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub detail: String,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Source {
+    /// Token stream with test-gated items removed.
+    pub toks: Vec<Tok>,
+    /// Well-formed suppression directives.
+    pub directives: Vec<Directive>,
+    /// Malformed `rcc-lint:` comments.
+    pub bad_directives: Vec<BadDirective>,
+    /// Module names declared as `#[cfg(test)] mod name;` (out-of-line):
+    /// the driver must treat `name.rs` / `name/` as test code.
+    pub test_mods: Vec<String>,
+}
+
+/// Lexes `text` into tokens + directives, then strips test-gated items.
+pub fn lex(text: &str) -> Source {
+    let raw = scan(text);
+    strip_test_items(raw)
+}
+
+/// Raw scan: tokens (including attributes) plus comment directives.
+fn scan(text: &str) -> Source {
+    let b = text.as_bytes();
+    let mut out = Source::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Directives seen on lines with no preceding code; they bind to the
+    // next line that produces a token.
+    let mut pending: Vec<Directive> = Vec::new();
+    let mut line_had_code = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_had_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                // Directives live in plain `//` comments only; doc
+                // comments (`///`, `//!`) may *talk about* the syntax.
+                let is_doc = matches!(b.get(start), Some(b'/') | Some(b'!'));
+                if !is_doc {
+                    let comment = std::str::from_utf8(&b[start..j]).unwrap_or("");
+                    parse_directive(comment, line, line_had_code, &mut out, &mut pending);
+                }
+                i = j;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, per Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                emit_code(&mut line_had_code, line, &mut pending, &mut out);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                emit_code(&mut line_had_code, line, &mut pending, &mut out);
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal.
+                    i += 2; // skip ' and backslash
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else if is_ident_char(b.get(i + 1).copied())
+                    && b.get(i + 2) == Some(&b'\'')
+                    && !is_ident_char(b.get(i + 3).copied())
+                {
+                    // 'x' — single-char literal ('x'' would be a lifetime
+                    // followed by a stray quote; not valid Rust anyway).
+                    i += 3;
+                } else {
+                    // Lifetime: consume the quote, the ident lexes next.
+                    i += 1;
+                }
+                emit_code(&mut line_had_code, line, &mut pending, &mut out);
+            }
+            _ if is_ident_start(c) || c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() && is_ident_char(Some(b[i])) {
+                    i += 1;
+                }
+                // Float literals: keep `1.5` as one token so `.` punct
+                // never splits a number (but stop at `..` ranges).
+                if c.is_ascii_digit()
+                    && b.get(i) == Some(&b'.')
+                    && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < b.len() && is_ident_char(Some(b[i])) {
+                        i += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap_or("").to_string();
+                emit_code(&mut line_had_code, line, &mut pending, &mut out);
+                out.toks.push(Tok { text, line });
+            }
+            _ => {
+                emit_code(&mut line_had_code, line, &mut pending, &mut out);
+                out.toks.push(Tok {
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    // Directives trailing at EOF bind to their own line (will show as
+    // unused, which is the right outcome for a dangling allow).
+    out.directives.append(&mut pending);
+    out
+}
+
+/// First code on this line: flush pending standalone directives to it.
+fn emit_code(line_had_code: &mut bool, line: u32, pending: &mut Vec<Directive>, out: &mut Source) {
+    if !*line_had_code {
+        *line_had_code = true;
+        for mut d in pending.drain(..) {
+            d.applies_line = line;
+            out.directives.push(d);
+        }
+    }
+}
+
+/// Parses an `rcc-lint:` comment body, if the comment is one.
+fn parse_directive(
+    comment: &str,
+    line: u32,
+    line_had_code: bool,
+    out: &mut Source,
+    pending: &mut Vec<Directive>,
+) {
+    let Some(idx) = comment.find("rcc-lint:") else {
+        return;
+    };
+    let body = comment[idx + "rcc-lint:".len()..].trim();
+    let Some(rest) = body.strip_prefix("allow") else {
+        out.bad_directives.push(BadDirective {
+            line,
+            detail: format!("expected `allow(rule, reason)` after `rcc-lint:`, got `{body}`"),
+        });
+        return;
+    };
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')'));
+    let Some(inner) = inner else {
+        out.bad_directives.push(BadDirective {
+            line,
+            detail: "expected `allow(rule, reason)` with parentheses".to_string(),
+        });
+        return;
+    };
+    let Some((rule, reason)) = inner.split_once(',') else {
+        out.bad_directives.push(BadDirective {
+            line,
+            detail: "suppression needs a reason: `allow(rule, reason)`".to_string(),
+        });
+        return;
+    };
+    let rule = rule.trim().to_string();
+    let reason = reason.trim().to_string();
+    if rule.is_empty() || reason.is_empty() {
+        out.bad_directives.push(BadDirective {
+            line,
+            detail: "rule and reason must both be non-empty".to_string(),
+        });
+        return;
+    }
+    let d = Directive {
+        rule,
+        reason,
+        comment_line: line,
+        applies_line: line,
+    };
+    if line_had_code {
+        out.directives.push(d);
+    } else {
+        pending.push(d);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_char(c: Option<u8>) -> bool {
+    matches!(c, Some(c) if c == b'_' || c.is_ascii_alphanumeric())
+}
+
+/// Does `b[i..]` start a raw string (`r"`, `r#"`) or byte string
+/// (`b"`, `br"`, `b'`)? `i` points at the `r`/`b`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    // Must not be inside an identifier (e.g. `number` ends in `r`): the
+    // caller only reaches us when the previous token boundary was emitted,
+    // but `for r in ...` style idents are handled because the ident arm
+    // matches first only when the char *starts* an ident run. Here we are
+    // at an ident start, so check what follows.
+    match b[i] {
+        b'r' => {
+            let mut j = i + 1;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            b.get(j) == Some(&b'"') && (j > i + 1 || b.get(i + 1) == Some(&b'"'))
+        }
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut j = i + 2;
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                b.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a plain `"..."` string starting at `i` (the opening quote).
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at `i`.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+        if b.get(i) == Some(&b'\'') {
+            // byte char literal b'x' / b'\n'
+            i += 1;
+            while i < b.len() && b[i] != b'\'' {
+                if b[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            return i + 1;
+        }
+        if b.get(i) == Some(&b'"') {
+            return skip_string(b, i, line);
+        }
+    }
+    // raw (byte) string: r###"…"###
+    debug_assert_eq!(b[i], b'r');
+    i += 1;
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(b.get(i), Some(&b'"'));
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut n = 0;
+            while n < hashes && b.get(j) == Some(&b'#') {
+                n += 1;
+                j += 1;
+            }
+            if n == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Removes items gated behind test-only attributes from the token stream
+/// and records out-of-line `#[cfg(test)] mod name;` declarations.
+///
+/// An attribute is test-only when its tokens contain the ident `test` not
+/// wrapped in `not(...)` — this covers `#[cfg(test)]`, `#[test]`, and
+/// `#[cfg(any(test, feature = "x"))]`, while `#[cfg(not(test))]` survives.
+fn strip_test_items(src: Source) -> Source {
+    let toks = src.toks;
+    let mut kept: Vec<Tok> = Vec::with_capacity(toks.len());
+    let mut test_mods = src.test_mods;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is("#") && toks.get(i + 1).is_some_and(|t| t.is("[")) {
+            let (attr_end, attr_toks) = read_attr(&toks, i);
+            if attr_is_test(attr_toks) {
+                // Skip any further attributes, then the item itself.
+                let mut j = attr_end;
+                while j < toks.len()
+                    && toks[j].is("#")
+                    && toks.get(j + 1).is_some_and(|t| t.is("["))
+                {
+                    let (e, _) = read_attr(&toks, j);
+                    j = e;
+                }
+                i = skip_item(&toks, j, &mut test_mods);
+                continue;
+            }
+        }
+        kept.push(toks[i].clone());
+        i += 1;
+    }
+    Source {
+        toks: kept,
+        directives: src.directives,
+        bad_directives: src.bad_directives,
+        test_mods,
+    }
+}
+
+/// Reads an attribute `#[...]` starting at `i` (the `#`). Returns the
+/// index one past `]` and the inner token slice.
+fn read_attr(toks: &[Tok], i: usize) -> (usize, &[Tok]) {
+    let start = i + 2; // past `#` `[`
+    let mut depth = 1;
+    let mut j = start;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is("[") {
+            depth += 1;
+        } else if toks[j].is("]") {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    (j, &toks[start..j.saturating_sub(1)])
+}
+
+/// True when attribute tokens gate on `test` (outside `not(...)`).
+fn attr_is_test(attr: &[Tok]) -> bool {
+    for (k, t) in attr.iter().enumerate() {
+        if t.is("test") {
+            let negated = k >= 2 && attr[k - 2].is("not") && attr[k - 1].is("(");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Skips one item starting at `i`: up to a top-level `;` or through a
+/// brace-matched `{ ... }`. Records `mod name;` targets into `test_mods`.
+fn skip_item(toks: &[Tok], i: usize, test_mods: &mut Vec<String>) -> usize {
+    // Detect `mod name ;` / `mod name { ... }`.
+    let is_mod = toks.get(i).is_some_and(|t| t.is("mod"))
+        || (toks.get(i).is_some_and(|t| t.is("pub")) && {
+            // pub mod, pub(crate) mod, pub(in path) mod
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is("(")) {
+                let mut depth = 1;
+                j += 1;
+                while j < toks.len() && depth > 0 {
+                    if toks[j].is("(") {
+                        depth += 1;
+                    } else if toks[j].is(")") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+            }
+            toks.get(j).is_some_and(|t| t.is("mod"))
+        });
+    let mut j = i;
+    let mut depth = 0usize;
+    let mut last_ident_before_body: Option<String> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if depth == 0 {
+            if t.is(";") {
+                if is_mod {
+                    if let Some(name) = last_ident_before_body.take() {
+                        test_mods.push(name);
+                    }
+                }
+                return j + 1;
+            }
+            if t.is("{") {
+                depth = 1;
+                j += 1;
+                continue;
+            }
+            if t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                && !t.is("mod")
+                && !t.is("pub")
+                && !t.is("crate")
+                && !t.is("in")
+            {
+                last_ident_before_body = Some(t.text.clone());
+            }
+        } else {
+            if t.is("{") {
+                depth += 1;
+            } else if t.is("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &Source) -> Vec<&str> {
+        src.toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let s = lex("let x = \"HashMap\"; // HashMap in comment\n/* Instant::now */ y");
+        assert_eq!(texts(&s), vec!["let", "x", "=", ";", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let s = lex(r##"let a = r#"panic! "quoted""#; let b = b"unwrap"; let c = br#"x"#;"##);
+        assert!(!s.toks.iter().any(|t| t.is("panic") || t.is("unwrap")));
+        assert!(s.toks.iter().any(|t| t.is("a")));
+        assert!(s.toks.iter().any(|t| t.is("c")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let s = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        // 'x' and '\n' are literals (stripped); 'a is a lifetime (ident kept).
+        assert!(s.toks.iter().any(|t| t.is("a")));
+        assert!(!s
+            .toks
+            .iter()
+            .any(|t| t.is("x") && t.text.len() == 1 && t.line == 0));
+    }
+
+    #[test]
+    fn float_literal_is_one_token() {
+        let s = lex("let x = 1.5; let r = 0..10;");
+        assert!(s.toks.iter().any(|t| t.is("1.5")));
+        assert!(s.toks.iter().any(|t| t.is("0")));
+        assert!(s.toks.iter().any(|t| t.is("10")));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let s = lex("a\nb\n\nc");
+        let lines: Vec<u32> = s.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn directive_trailing() {
+        let s =
+            lex("use std::collections::HashMap; // rcc-lint: allow(default-hasher, alias site)\n");
+        assert_eq!(s.directives.len(), 1);
+        let d = &s.directives[0];
+        assert_eq!(d.rule, "default-hasher");
+        assert_eq!(d.reason, "alias site");
+        assert_eq!(d.applies_line, 1);
+    }
+
+    #[test]
+    fn directive_standalone_binds_to_next_code_line() {
+        let s = lex("// rcc-lint: allow(wall-clock, self-profiling only)\n\nlet t = now();\n");
+        assert_eq!(s.directives.len(), 1);
+        assert_eq!(s.directives[0].comment_line, 1);
+        assert_eq!(s.directives[0].applies_line, 3);
+    }
+
+    #[test]
+    fn malformed_directives() {
+        let s = lex(
+            "// rcc-lint: allow(no-reason)\n// rcc-lint: deny(x, y)\n// rcc-lint: allow(, empty)\n",
+        );
+        assert_eq!(s.directives.len(), 0);
+        assert_eq!(s.bad_directives.len(), 3);
+    }
+
+    #[test]
+    fn cfg_test_mod_block_removed() {
+        let s = lex("fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn also_live() {}\n");
+        assert!(s.toks.iter().any(|t| t.is("live")));
+        assert!(s.toks.iter().any(|t| t.is("also_live")));
+        assert!(!s.toks.iter().any(|t| t.is("unwrap")));
+    }
+
+    #[test]
+    fn cfg_test_outofline_mod_recorded() {
+        let s = lex("#[cfg(test)]\npub(crate) mod testrig;\nfn live() {}\n");
+        assert_eq!(s.test_mods, vec!["testrig".to_string()]);
+        assert!(s.toks.iter().any(|t| t.is("live")));
+        assert!(!s.toks.iter().any(|t| t.is("testrig")));
+    }
+
+    #[test]
+    fn cfg_not_test_survives() {
+        let s = lex("#[cfg(not(test))]\nfn live() { x.unwrap(); }\n");
+        assert!(s.toks.iter().any(|t| t.is("unwrap")));
+    }
+
+    #[test]
+    fn test_attr_fn_removed() {
+        let s = lex("#[test]\nfn t() { panic!(\"x\"); }\nfn live() {}\n");
+        assert!(!s.toks.iter().any(|t| t.is("panic")));
+        assert!(s.toks.iter().any(|t| t.is("live")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(texts(&s), vec!["fn", "f", "(", ")", "{", "}"]);
+    }
+}

@@ -1,0 +1,594 @@
+//! `rcc-lint`: dependency-free static analysis for the RCC workspace.
+//!
+//! Two analyzers share one token scanner ([`lex`]):
+//!
+//! 1. [`rules`] — **invariant lints**: determinism (no default-hasher
+//!    maps, no wall clock, no ambient randomness), crash-safety (no
+//!    panics in `crates/sim`), and hygiene (no stdout printing from
+//!    libraries), with `// rcc-lint: allow(rule, reason)` suppressions
+//!    and unused-suppression detection.
+//! 2. [`table`] — **protocol-table analysis**: extracts the
+//!    (state × message) transition tables from the coherence controller
+//!    `match` arms, checks completeness / dead arms / unreachable states,
+//!    emits a schema-pinned JSON matrix, and diffs the RCC tables against
+//!    the transitions `rcc-verify` actually exercised.
+//!
+//! The crate deliberately has zero dependencies (`syn` included): it must
+//! build and run even when the code it checks does not compile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod rules;
+pub mod table;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lex::Source;
+use rules::FileCtx;
+use table::{ControllerTable, CoverageGap, CoverageMap, EnumDef};
+
+/// One lint finding, rendered rustc-style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `default-hasher`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub help: String,
+}
+
+/// The rule catalog: (id, one-line description). Rendered by `--help`
+/// and mirrored in DESIGN.md.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "default-hasher",
+        "std HashMap/HashSet (random seed) — use rcc_common::FxHashMap/Set",
+    ),
+    (
+        "wall-clock",
+        "Instant::now/SystemTime/UNIX_EPOCH in result-affecting crates",
+    ),
+    (
+        "ambient-randomness",
+        "thread_rng/RandomState/OsRng/... in result-affecting crates",
+    ),
+    (
+        "sim-panic",
+        "panic!/todo!/unimplemented!/.unwrap()/.expect() in crates/sim",
+    ),
+    ("lib-print", "println!/print!/dbg! in library crates"),
+    (
+        "incomplete-match",
+        "protocol event never named in a controller's dispatch",
+    ),
+    (
+        "dead-arm",
+        "match arm shadowed by an earlier arm or a wildcard",
+    ),
+    (
+        "unknown-variant",
+        "match arm names a variant the message enum lacks",
+    ),
+    (
+        "unreachable-state",
+        "*State variant the protocol never references",
+    ),
+    (
+        "coverage-gap",
+        "statically-handled RCC transition rcc-verify never exercised",
+    ),
+    (
+        "unused-allow",
+        "rcc-lint: allow(...) that suppressed nothing",
+    ),
+    ("bad-allow", "malformed rcc-lint: comment"),
+];
+
+/// Linter configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root (directory containing the `[workspace]` Cargo.toml).
+    pub root: PathBuf,
+    /// Optional `rcc-verify --transitions` TSV to diff coverage against.
+    pub coverage: Option<PathBuf>,
+}
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct LintOutput {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by used `allow` directives.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned (test-scoped files included).
+    pub files_scanned: usize,
+    /// Extracted controller tables (all protocols).
+    pub controllers: Vec<ControllerTable>,
+    /// RCC coverage gaps (empty when no coverage file was given).
+    pub gaps: Vec<CoverageGap>,
+    /// The transition-matrix artifact, as a JSON document.
+    pub matrix_json: String,
+}
+
+/// Protocol controller files the table analyzer extracts from, as
+/// (`protocol`, `controller`, workspace-relative path).
+pub const CONTROLLER_FILES: &[(&str, &str, &str)] = &[
+    ("rcc", "l1", "crates/core/src/rcc/l1.rs"),
+    ("rcc", "l2", "crates/core/src/rcc/l2.rs"),
+    ("mesi", "l1", "crates/core/src/mesi/l1.rs"),
+    ("mesi", "l2", "crates/core/src/mesi/l2.rs"),
+    ("mesi", "wb", "crates/core/src/mesi/wb.rs"),
+    ("tc", "l1", "crates/core/src/tc/l1.rs"),
+    ("tc", "l2", "crates/core/src/tc/l2.rs"),
+];
+
+/// Runs both analyzers over the workspace at `cfg.root`.
+pub fn run(cfg: &LintConfig) -> Result<LintOutput, String> {
+    let files = collect_files(&cfg.root)?;
+    let files_scanned = files.len();
+
+    // Pass 1: lex everything, collect out-of-line test-mod declarations.
+    let mut lexed: Vec<(String, Source)> = Vec::new();
+    for rel in &files {
+        let text =
+            fs::read_to_string(cfg.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        lexed.push((rel.clone(), lex::lex(&text)));
+    }
+    let test_scoped = test_scope(&lexed);
+
+    // Pass 2: invariant rules + per-file directive bookkeeping.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    // (file, rule, applies_line) of every directive that suppressed
+    // something — inverted at the end for unused-allow detection.
+    let mut used: Vec<(String, String, u32)> = Vec::new();
+    let mut meta: Vec<Finding> = Vec::new();
+    let event_enums = event_enums(&lexed)?;
+    let mut controllers: Vec<ControllerTable> = Vec::new();
+
+    for (rel, src) in &lexed {
+        let is_test = test_scoped
+            .iter()
+            .any(|p| rel == p || rel.starts_with(&format!("{p}/")))
+            || rel.ends_with("/tests.rs");
+        for bad in &src.bad_directives {
+            meta.push(Finding {
+                rule: "bad-allow",
+                file: rel.clone(),
+                line: bad.line,
+                message: bad.detail.clone(),
+                help: "write `// rcc-lint: allow(rule-id, reason)`".to_string(),
+            });
+        }
+        if is_test {
+            continue;
+        }
+        let ctx = FileCtx {
+            crate_name: crate_of(rel),
+            rel_path: rel.clone(),
+            is_bin: rel.ends_with("/main.rs") || rel.contains("/bin/"),
+        };
+        let mut file_findings = rules::check(src, &ctx);
+
+        // Table analysis for controller files.
+        if let Some((proto, ctrl, _)) = CONTROLLER_FILES.iter().find(|(_, _, path)| rel == path) {
+            let matches = table::extract_matches(&src.toks);
+            let ct = table::aggregate(proto, ctrl, rel, &src.toks);
+            file_findings.extend(table::table_findings(&ct, &matches, &event_enums));
+            let proto_dir = format!("crates/core/src/{proto}/");
+            let proto_sources: Vec<(String, Vec<lex::Tok>)> = lexed
+                .iter()
+                .filter(|(p, _)| {
+                    p.starts_with(&proto_dir)
+                        && !test_scoped
+                            .iter()
+                            .any(|t| p == t || p.starts_with(&format!("{t}/")))
+                })
+                .map(|(p, s)| (p.clone(), s.toks.clone()))
+                .collect();
+            let enums = table::extract_enums(&src.toks);
+            file_findings.extend(table::unreachable_states(rel, &enums, &proto_sources));
+            controllers.push(ct);
+        }
+
+        suppressed += resolve(&mut file_findings, src, rel, &mut used);
+        findings.append(&mut file_findings);
+    }
+
+    // Coverage diff (RCC only).
+    let mut gaps = Vec::new();
+    let mut coverage: Option<CoverageMap> = None;
+    if let Some(cov_path) = &cfg.coverage {
+        let text = fs::read_to_string(cov_path)
+            .map_err(|e| format!("read coverage {}: {e}", cov_path.display()))?;
+        let cov = table::parse_coverage(&text)?;
+        gaps = table::coverage_gaps(&controllers, &cov);
+        let mut gap_findings: Vec<Finding> = gaps
+            .iter()
+            .map(|g| Finding {
+                rule: "coverage-gap",
+                file: g.file.clone(),
+                line: g.line,
+                message: format!(
+                    "rcc {} handles `{}::{}` but rcc-verify never exercised it",
+                    g.controller, g.enum_name, g.event
+                ),
+                help: "add a litmus spec (or targeted probe) to rcc-verify that drives this transition"
+                    .to_string(),
+            })
+            .collect();
+        // Gap findings are suppressible at the handling arm's line.
+        for (rel, src) in &lexed {
+            let mut mine: Vec<Finding> = gap_findings
+                .iter()
+                .filter(|f| &f.file == rel)
+                .cloned()
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            gap_findings.retain(|f| &f.file != rel);
+            suppressed += resolve(&mut mine, src, rel, &mut used);
+            findings.append(&mut mine);
+        }
+        findings.append(&mut gap_findings);
+        coverage = Some(cov);
+    }
+
+    // Unused allows.
+    findings.append(&mut meta);
+    findings.extend(unused_allows(&lexed, &used));
+
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    let matrix_json = matrix_json(&event_enums, &controllers, coverage.as_ref(), &gaps, cfg);
+
+    Ok(LintOutput {
+        findings,
+        suppressed,
+        files_scanned,
+        controllers,
+        gaps,
+        matrix_json,
+    })
+}
+
+/// Drops findings matched by the file's directives; returns how many were
+/// suppressed and records used directives into `used`.
+fn resolve(
+    findings: &mut Vec<Finding>,
+    src: &Source,
+    rel: &str,
+    used: &mut Vec<(String, String, u32)>,
+) -> usize {
+    let before = findings.len();
+    findings.retain(|f| {
+        let hit = src
+            .directives
+            .iter()
+            .any(|d| d.rule == f.rule && d.applies_line == f.line);
+        if hit {
+            used.push((rel.to_string(), f.rule.to_string(), f.line));
+        }
+        !hit
+    });
+    before - findings.len()
+}
+
+fn unused_allows(lexed: &[(String, Source)], used: &[(String, String, u32)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (rel, src) in lexed {
+        for d in &src.directives {
+            let was_used = used
+                .iter()
+                .any(|(f, r, l)| f == rel && *r == d.rule && *l == d.applies_line);
+            if !was_used {
+                out.push(Finding {
+                    rule: "unused-allow",
+                    file: rel.clone(),
+                    line: d.comment_line,
+                    message: format!(
+                        "`allow({}, ...)` suppressed nothing on line {}",
+                        d.rule, d.applies_line
+                    ),
+                    help: "remove the stale suppression (or fix its rule id / placement)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Collects workspace-relative `.rs` paths under `src/` directories,
+/// skipping shim crates and build output. Sorted for determinism.
+fn collect_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().to_string();
+            if name.ends_with("-shim") {
+                continue;
+            }
+            let src = e.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for r in roots {
+        walk(&r, &mut out).map_err(|e| format!("walk {}: {e}", r.display()))?;
+    }
+    let mut rel: Vec<String> = out
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|s| s.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.flatten().collect();
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path prefixes that are test-scoped because some
+/// file declared them as `#[cfg(test)] mod name;`.
+fn test_scope(lexed: &[(String, Source)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (rel, src) in lexed {
+        if src.test_mods.is_empty() {
+            continue;
+        }
+        let (dir, file) = match rel.rfind('/') {
+            Some(i) => (&rel[..i], &rel[i + 1..]),
+            None => ("", rel.as_str()),
+        };
+        let stem = file.trim_end_matches(".rs");
+        for m in &src.test_mods {
+            if matches!(file, "lib.rs" | "mod.rs" | "main.rs") {
+                out.push(format!("{dir}/{m}.rs"));
+                out.push(format!("{dir}/{m}"));
+            } else {
+                // `foo.rs` declaring `mod m;` → `foo/m.rs` (2018 layout).
+                out.push(format!("{dir}/{stem}/{m}.rs"));
+                out.push(format!("{dir}/{stem}/{m}"));
+            }
+        }
+    }
+    out
+}
+
+/// Crate directory name for a workspace-relative path.
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(i) = rest.find('/') {
+            return rest[..i].to_string();
+        }
+    }
+    "rcc-repro".to_string()
+}
+
+/// Event enum definitions from `crates/core/src/msg.rs`.
+fn event_enums(lexed: &[(String, Source)]) -> Result<Vec<EnumDef>, String> {
+    let (_, src) = lexed
+        .iter()
+        .find(|(p, _)| p == "crates/core/src/msg.rs")
+        .ok_or("crates/core/src/msg.rs not found — not an RCC workspace?")?;
+    let enums: Vec<EnumDef> = table::extract_enums(&src.toks)
+        .into_iter()
+        .filter(|e| matches!(e.name.as_str(), "ReqPayload" | "RespPayload" | "AccessKind"))
+        .collect();
+    if enums.len() != 3 {
+        return Err(format!(
+            "expected ReqPayload/RespPayload/AccessKind in msg.rs, found {}",
+            enums.len()
+        ));
+    }
+    Ok(enums)
+}
+
+// ---------------------------------------------------------------------
+// Matrix JSON emission (hand-rolled, deterministic, schema-pinned by
+// schemas/lint.schema.json).
+// ---------------------------------------------------------------------
+
+fn jesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn matrix_json(
+    enums: &[EnumDef],
+    controllers: &[ControllerTable],
+    coverage: Option<&CoverageMap>,
+    gaps: &[CoverageGap],
+    cfg: &LintConfig,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": 1,\n  \"generated_by\": \"rcc-lint\",\n");
+    // Event enums.
+    s.push_str("  \"enums\": {");
+    let mut sorted: Vec<&EnumDef> = enums.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\": [", jesc(&e.name)));
+        for (j, (v, _)) in e.variants.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\"", jesc(v)));
+        }
+        s.push(']');
+    }
+    s.push_str("\n  },\n");
+    // Controllers.
+    s.push_str("  \"controllers\": [");
+    for (i, ct) in controllers.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\n      \"protocol\": \"{}\",\n      \"controller\": \"{}\",\n      \"file\": \"{}\",\n      \"states\": [",
+            jesc(&ct.protocol),
+            jesc(&ct.controller),
+            jesc(&ct.file)
+        ));
+        for (j, st) in ct.states.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\"", jesc(st)));
+        }
+        s.push_str("],\n      \"tables\": [");
+        for (j, (ename, t)) in ct.tables.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n        {{\"enum\": \"{}\", \"wildcard\": {}, \"arms\": [",
+                jesc(ename),
+                t.wildcard
+            ));
+            for (k, (variant, (status, line))) in t.variants.iter().enumerate() {
+                if k > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"variant\": \"{}\", \"status\": \"{}\", \"line\": {}}}",
+                    jesc(variant),
+                    status.as_str(),
+                    line
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n      ]\n    }");
+    }
+    s.push_str("\n  ]");
+    // Coverage.
+    if let Some(cov) = coverage {
+        let source = cfg
+            .coverage
+            .as_ref()
+            .map(|p| p.to_string_lossy().to_string())
+            .unwrap_or_default();
+        s.push_str(&format!(
+            ",\n  \"coverage\": {{\n    \"source\": \"{}\",\n    \"visited\": [",
+            jesc(&source)
+        ));
+        for (i, ((p, c, st, ev), n)) in cov.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{\"protocol\": \"{}\", \"controller\": \"{}\", \"state\": \"{}\", \"event\": \"{}\", \"count\": {}}}",
+                jesc(p),
+                jesc(c),
+                jesc(st),
+                jesc(ev),
+                n
+            ));
+        }
+        s.push_str("\n    ],\n    \"gaps\": [");
+        for (i, g) in gaps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{\"protocol\": \"rcc\", \"controller\": \"{}\", \"event\": \"{}\", \"line\": {}}}",
+                jesc(&g.controller),
+                jesc(&g.event),
+                g.line
+            ));
+        }
+        s.push_str("\n    ]\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Renders one finding rustc-style.
+pub fn render(f: &Finding) -> String {
+    format!(
+        "error[{}]: {}\n  --> {}:{}\n  help: {}\n",
+        f.rule, f.message, f.file, f.line, f.help
+    )
+}
+
+/// Renders a whole run: findings, then a one-line summary.
+pub fn render_all(out: &LintOutput) -> String {
+    let mut s = String::new();
+    for f in &out.findings {
+        s.push_str(&render(f));
+        s.push('\n');
+    }
+    s.push_str(&format!(
+        "rcc-lint: {} finding(s), {} suppressed, {} file(s) scanned, {} controller table(s)",
+        out.findings.len(),
+        out.suppressed,
+        out.files_scanned,
+        out.controllers.len()
+    ));
+    if !out.gaps.is_empty() {
+        s.push_str(&format!(", {} coverage gap(s)", out.gaps.len()));
+    }
+    s.push('\n');
+    s
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

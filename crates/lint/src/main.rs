@@ -1,0 +1,92 @@
+//! `rcc-lint` CLI: run both analyzers over the workspace.
+//!
+//! ```text
+//! rcc-lint [--root PATH] [--deny] [--coverage FILE] [--matrix-out FILE]
+//! ```
+//!
+//! * `--root PATH`        workspace root (default: discovered by walking
+//!   up from the current directory to a `[workspace]` Cargo.toml)
+//! * `--deny`             exit non-zero when any finding survives
+//! * `--coverage FILE`    TSV from `rcc-verify --transitions`; enables the
+//!   static-vs-dynamic RCC transition diff (`coverage-gap` findings)
+//! * `--matrix-out FILE`  write the transition-matrix JSON artifact
+//! * `--rules`            print the rule catalog and exit
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut coverage: Option<PathBuf> = None;
+    let mut matrix_out: Option<PathBuf> = None;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--deny" => deny = true,
+            "--coverage" => coverage = args.next().map(PathBuf::from),
+            "--matrix-out" => matrix_out = args.next().map(PathBuf::from),
+            "--rules" => {
+                for (id, desc) in rcc_lint::RULES {
+                    println!("{id:20} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "rcc-lint [--root PATH] [--deny] [--coverage FILE] [--matrix-out FILE] [--rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rcc-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match rcc_lint::discover_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "rcc-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let cfg = rcc_lint::LintConfig { root, coverage };
+    let out = match rcc_lint::run(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rcc-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = matrix_out {
+        if let Err(e) = std::fs::write(&path, &out.matrix_json) {
+            eprintln!("rcc-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("rcc-lint: wrote transition matrix to {}", path.display());
+    }
+
+    print!("{}", rcc_lint::render_all(&out));
+
+    if deny && !out.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,285 @@
+//! Analyzer 1: invariant lints over the token stream.
+//!
+//! Each rule encodes a source-level invariant that the dynamic safety nets
+//! (model checker, SC sanitizer, chaos sweeps, checkpoint digests) silently
+//! depend on:
+//!
+//! | rule id              | invariant                                              |
+//! |----------------------|--------------------------------------------------------|
+//! | `default-hasher`     | no `HashMap`/`HashSet` with the default (randomly      |
+//! |                      | seeded) hasher — use `rcc_common::FxHashMap/Set`       |
+//! | `wall-clock`         | no `Instant::now` / `SystemTime` / `UNIX_EPOCH` in     |
+//! |                      | result-affecting crates                                |
+//! | `ambient-randomness` | no `thread_rng` / `from_entropy` / `RandomState` /     |
+//! |                      | `getrandom` / `OsRng` in result-affecting crates       |
+//! | `sim-panic`          | no `panic!` / `todo!` / `unimplemented!` / `.unwrap()` |
+//! |                      | / `.expect()` in `crates/sim` non-test code            |
+//! | `lib-print`          | no `println!` / `print!` / `dbg!` in library crates    |
+//! |                      | (`eprintln!` diagnostics are fine)                     |
+//!
+//! Scoping lives in [`crate::Finding`]'s caller: the driver hands each file
+//! a [`FileCtx`] naming its crate, and every rule declares which crates it
+//! applies to.
+
+use crate::lex::Source;
+use crate::Finding;
+
+/// Crates whose simulation results must be bit-reproducible; wall-clock
+/// and ambient randomness are banned here outright.
+pub const RESULT_AFFECTING: &[&str] = &["core", "gpu", "mem", "noc", "dram", "sim", "chaos"];
+
+/// Crates where the panic-free discipline is enforced (typed `SimError`
+/// instead of crashes).
+pub const NO_PANIC: &[&str] = &["sim"];
+
+/// Crates exempt from `lib-print`: the bench harness reports to the
+/// console by design.
+pub const PRINT_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Per-file context the driver supplies to the rules.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Crate directory name (`core`, `sim`, …) or `rcc-repro` for the
+    /// workspace root package.
+    pub crate_name: String,
+    /// Workspace-relative path, for findings.
+    pub rel_path: String,
+    /// True for binary entry points (`main.rs`), which may print.
+    pub is_bin: bool,
+}
+
+/// Runs every invariant rule over one file's token stream.
+pub fn check(src: &Source, ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    default_hasher(src, ctx, &mut out);
+    if RESULT_AFFECTING.contains(&ctx.crate_name.as_str()) {
+        wall_clock(src, ctx, &mut out);
+        ambient_randomness(src, ctx, &mut out);
+    }
+    if NO_PANIC.contains(&ctx.crate_name.as_str()) {
+        sim_panic(src, ctx, &mut out);
+    }
+    let print_exempt = PRINT_EXEMPT_CRATES.contains(&ctx.crate_name.as_str())
+        || ctx.crate_name == "rcc-repro"
+        || ctx.is_bin;
+    if !print_exempt {
+        lib_print(src, ctx, &mut out);
+    }
+    out
+}
+
+fn finding(ctx: &FileCtx, rule: &'static str, line: u32, message: String, help: &str) -> Finding {
+    Finding {
+        rule,
+        file: ctx.rel_path.clone(),
+        line,
+        message,
+        help: help.to_string(),
+    }
+}
+
+fn default_hasher(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for t in &src.toks {
+        if t.is("HashMap") || t.is("HashSet") {
+            out.push(finding(
+                ctx,
+                "default-hasher",
+                t.line,
+                format!(
+                    "`{}` uses the default randomly-seeded hasher; iteration order can leak into results",
+                    t.text
+                ),
+                "use `rcc_common::FxHashMap`/`FxHashSet` (fixed-seed) instead",
+            ));
+        }
+    }
+}
+
+fn wall_clock(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = &src.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let hit = if t.is("Instant") {
+            // Only `Instant::now` reads the clock; storing an `Instant`
+            // someone else created is someone else's finding.
+            matches!(
+                (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)),
+                (Some(a), Some(b), Some(c)) if a.is(":") && b.is(":") && c.is("now")
+            )
+            .then(|| "Instant::now".to_string())
+        } else if t.is("SystemTime") || t.is("UNIX_EPOCH") {
+            Some(t.text.clone())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(finding(
+                ctx,
+                "wall-clock",
+                t.line,
+                format!("`{what}` reads the wall clock in a result-affecting crate"),
+                "derive timing from `Cycle` counters; wall-clock belongs in rcc-obs self-profiling only",
+            ));
+        }
+    }
+}
+
+fn ambient_randomness(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "from_entropy",
+        "RandomState",
+        "getrandom",
+        "OsRng",
+    ];
+    for t in &src.toks {
+        if BANNED.iter().any(|b| t.is(b)) {
+            out.push(finding(
+                ctx,
+                "ambient-randomness",
+                t.line,
+                format!("`{}` draws OS entropy in a result-affecting crate", t.text),
+                "thread all randomness through an explicitly-seeded `rcc_common` PRNG",
+            ));
+        }
+    }
+}
+
+fn sim_panic(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = &src.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.is(s));
+        if (t.is("panic") || t.is("todo") || t.is("unimplemented")) && next_is("!") {
+            out.push(finding(
+                ctx,
+                "sim-panic",
+                t.line,
+                format!("`{}!` crashes the simulator instead of returning a typed error", t.text),
+                "return `RunOutcome::Err(SimError::...)` so callers (and checkpoint/resume) see a typed failure",
+            ));
+        }
+        if (t.is("unwrap") || t.is("expect")) && next_is("(") && i > 0 && toks[i - 1].is(".") {
+            out.push(finding(
+                ctx,
+                "sim-panic",
+                t.line,
+                format!("`.{}()` panics on the error path", t.text),
+                "propagate with `?` into `SimError`, or annotate the infallible case with `// rcc-lint: allow(sim-panic, why)`",
+            ));
+        }
+    }
+}
+
+fn lib_print(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = &src.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if (t.is("println") || t.is("print") || t.is("dbg"))
+            && toks.get(i + 1).is_some_and(|n| n.is("!"))
+        {
+            out.push(finding(
+                ctx,
+                "lib-print",
+                t.line,
+                format!("`{}!` writes to stdout from a library crate", t.text),
+                "route output through the caller (return it) or use `eprintln!` for diagnostics",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn ctx(name: &str) -> FileCtx {
+        FileCtx {
+            crate_name: name.to_string(),
+            rel_path: format!("crates/{name}/src/lib.rs"),
+            is_bin: false,
+        }
+    }
+
+    fn rules_fired(src: &str, crate_name: &str) -> Vec<&'static str> {
+        let s = lex(src);
+        check(&s, &ctx(crate_name))
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn default_hasher_fires_everywhere() {
+        assert_eq!(
+            rules_fired("use std::collections::HashMap;", "workloads"),
+            vec!["default-hasher"]
+        );
+        assert_eq!(
+            rules_fired("let s: HashSet<u32> = HashSet::new();", "obs"),
+            vec!["default-hasher", "default-hasher"]
+        );
+        assert!(rules_fired("use rcc_common::FxHashMap;", "core").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scoped_to_result_affecting() {
+        assert_eq!(
+            rules_fired("let t = Instant::now();", "sim"),
+            vec!["wall-clock"]
+        );
+        assert!(rules_fired("let t = Instant::now();", "obs").is_empty());
+        // A stored Instant (no ::now) is not a clock read.
+        assert!(rules_fired("fn f(t: Instant) {}", "sim").is_empty());
+        assert_eq!(
+            rules_fired("use std::time::SystemTime;", "core"),
+            vec!["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn randomness_scoped_to_result_affecting() {
+        assert_eq!(
+            rules_fired("let mut r = thread_rng();", "gpu"),
+            vec!["ambient-randomness"]
+        );
+        assert!(rules_fired("let mut r = thread_rng();", "bench").is_empty());
+    }
+
+    #[test]
+    fn sim_panic_only_in_sim() {
+        assert_eq!(rules_fired("panic!(\"boom\")", "sim"), vec!["sim-panic"]);
+        assert_eq!(rules_fired("x.unwrap();", "sim"), vec!["sim-panic"]);
+        assert_eq!(rules_fired("x.expect(\"y\");", "sim"), vec!["sim-panic"]);
+        assert_eq!(rules_fired("todo!()", "sim"), vec!["sim-panic"]);
+        assert!(rules_fired("x.unwrap();", "core").is_empty());
+        // unwrap_or_else is a different method and must not fire.
+        assert!(rules_fired("x.unwrap_or_else(|| 0);", "sim").is_empty());
+        assert!(rules_fired("x.unwrap_or_default();", "sim").is_empty());
+        // debug_assert! is not in the banned set.
+        assert!(rules_fired("debug_assert!(ok);", "sim").is_empty());
+    }
+
+    #[test]
+    fn lib_print_allows_eprintln_and_bench() {
+        assert_eq!(rules_fired("println!(\"x\");", "core"), vec!["lib-print"]);
+        assert_eq!(rules_fired("dbg!(x);", "mem"), vec!["lib-print"]);
+        assert!(rules_fired("eprintln!(\"x\");", "core").is_empty());
+        assert!(rules_fired("println!(\"x\");", "bench").is_empty());
+    }
+
+    #[test]
+    fn bins_may_print() {
+        let s = lex("println!(\"usage\");");
+        let c = FileCtx {
+            crate_name: "lint".to_string(),
+            rel_path: "crates/lint/src/main.rs".to_string(),
+            is_bin: true,
+        };
+        assert!(check(&s, &c).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}\n";
+        assert!(rules_fired(src, "core").is_empty());
+    }
+}

@@ -1,0 +1,864 @@
+//! Analyzer 2: protocol transition-table extraction and completeness.
+//!
+//! The coherence controllers in `crates/core/src/{rcc,mesi,tc}` are
+//! written as `match` dispatch over the message enums in
+//! `rcc_core::msg` (`ReqPayload`, `RespPayload`, `AccessKind`). This
+//! module recovers the (state × event) transition relation from those
+//! `match` arms:
+//!
+//! * every `match` whose scrutinee ends in `.payload` or `.kind` becomes
+//!   a table; arms are classified **handled** (real transition),
+//!   **rejected** (`unreachable!` / `panic!` / `debug_assert!(false)` —
+//!   the protocol asserts the event cannot arrive), or **ignored**
+//!   (empty body — the event is dropped on the floor by design);
+//! * tables for the same enum in the same controller file are aggregated
+//!   (helper predicates and the main dispatch each contribute arms);
+//! * completeness, dead arms, and unknown variants are checked against
+//!   the enum definitions parsed from `msg.rs`;
+//! * `*State` enums defined by a controller are checked for variants the
+//!   protocol never references (unreachable states);
+//! * the result is emitted as a schema-pinned JSON matrix and, for RCC,
+//!   diffed against the transitions `rcc-verify` actually visited.
+
+use crate::lex::Tok;
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// One parsed `enum` definition (name, variants with lines, body range).
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name, e.g. `ReqPayload`.
+    pub name: String,
+    /// Variant names in declaration order, with their source lines.
+    pub variants: Vec<(String, u32)>,
+    /// Token-index range of the body (for excluding the declaration from
+    /// reference scans).
+    pub body_range: (usize, usize),
+    /// Line of the `enum` keyword.
+    pub line: u32,
+}
+
+/// How a match arm treats an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ArmStatus {
+    /// Empty body: the event is silently dropped by design.
+    Ignored,
+    /// `unreachable!` / `panic!` / `debug_assert!(false)`: the protocol
+    /// asserts the event never arrives in this context.
+    Rejected,
+    /// A real transition.
+    Handled,
+}
+
+impl ArmStatus {
+    /// JSON string form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArmStatus::Handled => "handled",
+            ArmStatus::Rejected => "rejected",
+            ArmStatus::Ignored => "ignored",
+        }
+    }
+}
+
+/// One `Enum::Variant` arm occurrence inside a single `match`.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Enum the pattern is qualified with.
+    pub enum_name: String,
+    /// Variant name.
+    pub variant: String,
+    /// Arm classification.
+    pub status: ArmStatus,
+    /// Source line of the pattern.
+    pub line: u32,
+}
+
+/// One `match` over a payload/kind scrutinee.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Enum dispatched on (from the first qualified arm pattern).
+    pub enum_name: String,
+    /// Qualified arms, in source order (a `A | B` pattern yields two).
+    pub arms: Vec<Arm>,
+    /// Wildcard arm (`_` or a bare binding), if present.
+    pub wildcard: Option<(ArmStatus, u32)>,
+    /// Line of the `match` keyword.
+    pub line: u32,
+}
+
+/// Aggregated (controller × enum) transition table.
+#[derive(Debug, Clone)]
+pub struct AggTable {
+    /// Event enum name.
+    pub enum_name: String,
+    /// Per-variant best status and the line of the defining arm.
+    /// `Handled` wins over `Rejected` wins over `Ignored`.
+    pub variants: BTreeMap<String, (ArmStatus, u32)>,
+    /// True when any contributing match had a wildcard arm.
+    pub wildcard: bool,
+    /// Wildcard statuses seen (used for completeness semantics).
+    pub wildcard_statuses: Vec<ArmStatus>,
+    /// Line of the first contributing match.
+    pub line: u32,
+}
+
+/// A controller's full extracted table set.
+#[derive(Debug, Clone)]
+pub struct ControllerTable {
+    /// Protocol directory name: `rcc`, `mesi`, `tc`.
+    pub protocol: String,
+    /// Controller file stem: `l1`, `l2`, `wb`.
+    pub controller: String,
+    /// Workspace-relative source path.
+    pub file: String,
+    /// States declared by `*State` enums in this file.
+    pub states: Vec<String>,
+    /// Aggregated tables, keyed by event enum name.
+    pub tables: BTreeMap<String, AggTable>,
+}
+
+/// Extracts every `enum` definition from a token stream.
+pub fn extract_enums(toks: &[Tok]) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is("enum") && toks.get(i + 1).is_some_and(is_ident) {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i].line;
+            // Find the opening brace (skipping generics like `<T>`).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is("{") && !toks[j].is(";") {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].is(";") {
+                i = j + 1;
+                continue;
+            }
+            let body_start = j + 1;
+            let mut variants = Vec::new();
+            let mut depth = 0usize; // nesting inside variant payloads
+            let mut k = body_start;
+            let mut at_variant_start = true;
+            while k < toks.len() {
+                let t = &toks[k];
+                if depth == 0 {
+                    if t.is("}") {
+                        break;
+                    }
+                    if t.is(",") {
+                        at_variant_start = true;
+                        k += 1;
+                        continue;
+                    }
+                    if t.is("#") && toks.get(k + 1).is_some_and(|n| n.is("[")) {
+                        // Skip attribute on a variant.
+                        let mut d = 1;
+                        k += 2;
+                        while k < toks.len() && d > 0 {
+                            if toks[k].is("[") {
+                                d += 1;
+                            } else if toks[k].is("]") {
+                                d -= 1;
+                            }
+                            k += 1;
+                        }
+                        continue;
+                    }
+                    if at_variant_start && is_ident(t) {
+                        variants.push((t.text.clone(), t.line));
+                        at_variant_start = false;
+                        k += 1;
+                        continue;
+                    }
+                }
+                if t.is("{") || t.is("(") || t.is("[") {
+                    depth += 1;
+                } else if t.is("}") || t.is(")") || t.is("]") {
+                    depth = depth.saturating_sub(1);
+                }
+                k += 1;
+            }
+            out.push(EnumDef {
+                name,
+                variants,
+                body_range: (body_start, k),
+                line,
+            });
+            i = k + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident(t: &Tok) -> bool {
+    t.text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Extracts every `match` whose scrutinee ends in `.payload` or `.kind`.
+pub fn extract_matches(toks: &[Tok]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is("match") {
+            continue;
+        }
+        // Scrutinee: tokens up to the body `{` at bracket depth 0.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            let t = &toks[j];
+            if depth == 0 && t.is("{") {
+                break;
+            }
+            if t.is("(") || t.is("[") {
+                depth += 1;
+            } else if t.is(")") || t.is("]") {
+                depth = depth.saturating_sub(1);
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        let scrutinee = &toks[i + 1..j];
+        let ends_in_field = scrutinee.len() >= 2
+            && scrutinee[scrutinee.len() - 2].is(".")
+            && (scrutinee[scrutinee.len() - 1].is("payload")
+                || scrutinee[scrutinee.len() - 1].is("kind"));
+        if !ends_in_field {
+            continue;
+        }
+        if let Some(m) = parse_match_body(toks, j, toks[i].line) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Parses the arm list of a match whose body opens at `toks[open]`.
+fn parse_match_body(toks: &[Tok], open: usize, match_line: u32) -> Option<Match> {
+    let mut arms: Vec<Arm> = Vec::new();
+    let mut wildcard: Option<(ArmStatus, u32)> = None;
+    let mut enum_name: Option<String> = None;
+    let mut k = open + 1;
+    loop {
+        // End of match?
+        if k >= toks.len() || toks[k].is("}") {
+            break;
+        }
+        // Pattern: tokens until `=>` at depth 0.
+        let pat_start = k;
+        let mut depth = 0usize;
+        while k < toks.len() {
+            let t = &toks[k];
+            if depth == 0 && t.is("=") && toks.get(k + 1).is_some_and(|n| n.is(">")) {
+                break;
+            }
+            if t.is("(") || t.is("[") || t.is("{") {
+                depth += 1;
+            } else if t.is(")") || t.is("]") || t.is("}") {
+                if depth == 0 {
+                    // Malformed / end of match body.
+                    return finish(arms, wildcard, enum_name, match_line);
+                }
+                depth -= 1;
+            }
+            k += 1;
+        }
+        if k >= toks.len() {
+            break;
+        }
+        let pattern = &toks[pat_start..k];
+        k += 2; // past `=>`
+
+        // Body: a `{ ... }` block, or an expression up to `,` at depth 0.
+        let body_start = k;
+        let body_toks: &[Tok];
+        if toks.get(k).is_some_and(|t| t.is("{")) {
+            let mut d = 1;
+            k += 1;
+            let inner_start = k;
+            while k < toks.len() && d > 0 {
+                if toks[k].is("{") {
+                    d += 1;
+                } else if toks[k].is("}") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+            body_toks = &toks[inner_start..k.saturating_sub(1)];
+            if toks.get(k).is_some_and(|t| t.is(",")) {
+                k += 1;
+            }
+        } else {
+            let mut d = 0usize;
+            while k < toks.len() {
+                let t = &toks[k];
+                if d == 0 && t.is(",") {
+                    break;
+                }
+                if d == 0 && t.is("}") {
+                    break;
+                }
+                if t.is("(") || t.is("[") || t.is("{") {
+                    d += 1;
+                } else if t.is(")") || t.is("]") || t.is("}") {
+                    d = d.saturating_sub(1);
+                }
+                k += 1;
+            }
+            body_toks = &toks[body_start..k];
+            if toks.get(k).is_some_and(|t| t.is(",")) {
+                k += 1;
+            }
+        }
+        let status = classify_body(body_toks);
+
+        // Split the pattern on top-level `|`, drop any `if` guard.
+        let segments = split_pattern(pattern);
+        for seg in segments {
+            if seg.is_empty() {
+                continue;
+            }
+            if seg.len() == 1 && (seg[0].is("_") || is_ident(&seg[0])) {
+                // `_` or a bare binding like `other`: wildcard.
+                if wildcard.is_none() {
+                    wildcard = Some((status, seg[0].line));
+                }
+                continue;
+            }
+            // Qualified `Enum::Variant` (payload tokens at depth > 0 are
+            // not part of the qualification).
+            if let Some((e, v, line)) = qualified_variant(seg) {
+                if enum_name.is_none() {
+                    enum_name = Some(e.clone());
+                }
+                arms.push(Arm {
+                    enum_name: e,
+                    variant: v,
+                    status,
+                    line,
+                });
+            }
+        }
+    }
+    finish(arms, wildcard, enum_name, match_line)
+}
+
+fn finish(
+    arms: Vec<Arm>,
+    wildcard: Option<(ArmStatus, u32)>,
+    enum_name: Option<String>,
+    line: u32,
+) -> Option<Match> {
+    let enum_name = enum_name?;
+    Some(Match {
+        enum_name,
+        arms,
+        wildcard,
+        line,
+    })
+}
+
+/// Splits a pattern on top-level `|`, truncating at a top-level `if` guard.
+fn split_pattern(pattern: &[Tok]) -> Vec<&[Tok]> {
+    let mut segs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut end = pattern.len();
+    for (idx, t) in pattern.iter().enumerate() {
+        if depth == 0 && t.is("if") {
+            end = idx;
+            break;
+        }
+        if t.is("(") || t.is("[") || t.is("{") {
+            depth += 1;
+        } else if t.is(")") || t.is("]") || t.is("}") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is("|") && idx > start {
+            segs.push(&pattern[start..idx]);
+            start = idx + 1;
+        }
+    }
+    if start < end {
+        segs.push(&pattern[start..end]);
+    }
+    segs
+}
+
+/// Reads `Enum :: Variant` (optionally `&`-prefixed, optionally followed
+/// by a payload pattern) from a pattern segment.
+fn qualified_variant(seg: &[Tok]) -> Option<(String, String, u32)> {
+    let mut i = 0;
+    while i < seg.len() && (seg[i].is("&") || seg[i].is("ref")) {
+        i += 1;
+    }
+    if i + 3 < seg.len()
+        && is_ident(&seg[i])
+        && seg[i + 1].is(":")
+        && seg[i + 2].is(":")
+        && is_ident(&seg[i + 3])
+    {
+        Some((seg[i].text.clone(), seg[i + 3].text.clone(), seg[i].line))
+    } else {
+        None
+    }
+}
+
+/// Classifies an arm body from its tokens.
+fn classify_body(body: &[Tok]) -> ArmStatus {
+    if body.is_empty() {
+        return ArmStatus::Ignored;
+    }
+    for (i, t) in body.iter().enumerate() {
+        let bang = body.get(i + 1).is_some_and(|n| n.is("!"));
+        if (t.is("unreachable") || t.is("panic") || t.is("todo") || t.is("unimplemented")) && bang {
+            return ArmStatus::Rejected;
+        }
+        if t.is("debug_assert")
+            && bang
+            && body.get(i + 2).is_some_and(|n| n.is("("))
+            && body.get(i + 3).is_some_and(|n| n.is("false"))
+        {
+            return ArmStatus::Rejected;
+        }
+    }
+    ArmStatus::Handled
+}
+
+/// Aggregates a controller file's matches into per-enum tables.
+pub fn aggregate(protocol: &str, controller: &str, file: &str, toks: &[Tok]) -> ControllerTable {
+    let matches = extract_matches(toks);
+    let enums = extract_enums(toks);
+    let states: Vec<String> = enums
+        .iter()
+        .filter(|e| e.name.ends_with("State"))
+        .flat_map(|e| e.variants.iter().map(|(v, _)| v.clone()))
+        .collect();
+    let mut tables: BTreeMap<String, AggTable> = BTreeMap::new();
+    for m in &matches {
+        let t = tables
+            .entry(m.enum_name.clone())
+            .or_insert_with(|| AggTable {
+                enum_name: m.enum_name.clone(),
+                variants: BTreeMap::new(),
+                wildcard: false,
+                wildcard_statuses: Vec::new(),
+                line: m.line,
+            });
+        for arm in &m.arms {
+            let entry = t
+                .variants
+                .entry(arm.variant.clone())
+                .or_insert((arm.status, arm.line));
+            if arm.status > entry.0 {
+                *entry = (arm.status, arm.line);
+            }
+        }
+        if let Some((ws, _)) = m.wildcard {
+            t.wildcard = true;
+            t.wildcard_statuses.push(ws);
+        }
+    }
+    ControllerTable {
+        protocol: protocol.to_string(),
+        controller: controller.to_string(),
+        file: file.to_string(),
+        states,
+        tables,
+    }
+}
+
+/// Completeness / dead-arm / unknown-variant findings for one controller.
+///
+/// `event_enums` are the definitions from `msg.rs`.
+pub fn table_findings(
+    ct: &ControllerTable,
+    matches: &[Match],
+    event_enums: &[EnumDef],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // unknown-variant: an arm names a variant the enum does not define.
+    for m in matches {
+        if let Some(def) = event_enums.iter().find(|e| e.name == m.enum_name) {
+            for arm in &m.arms {
+                if arm.enum_name == def.name && !def.variants.iter().any(|(v, _)| *v == arm.variant)
+                {
+                    out.push(Finding {
+                        rule: "unknown-variant",
+                        file: ct.file.clone(),
+                        line: arm.line,
+                        message: format!(
+                            "pattern names `{}::{}`, but the enum defines no such variant",
+                            arm.enum_name, arm.variant
+                        ),
+                        help: "the table extractor is out of sync with msg.rs — fix the pattern or the enum".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // dead-arm: duplicate variant within one match, or a qualified arm
+    // after the wildcard.
+    for m in matches {
+        let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+        for arm in &m.arms {
+            if let Some(first) = seen.get(arm.variant.as_str()) {
+                out.push(Finding {
+                    rule: "dead-arm",
+                    file: ct.file.clone(),
+                    line: arm.line,
+                    message: format!(
+                        "`{}::{}` already matched by the arm on line {first}; this arm never runs",
+                        arm.enum_name, arm.variant
+                    ),
+                    help: "remove the unreachable arm".to_string(),
+                });
+            } else {
+                seen.insert(arm.variant.as_str(), arm.line);
+            }
+            if let Some((_, wline)) = m.wildcard {
+                if arm.line > wline {
+                    out.push(Finding {
+                        rule: "dead-arm",
+                        file: ct.file.clone(),
+                        line: arm.line,
+                        message: format!(
+                            "`{}::{}` follows the wildcard arm on line {wline}; this arm never runs",
+                            arm.enum_name, arm.variant
+                        ),
+                        help: "move the arm above the wildcard".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // incomplete-match: a variant never named anywhere in the controller,
+    // swallowed only by ignoring/rejecting wildcards. A *handled* wildcard
+    // (predicate matches like `Gets => .., _ => serve_write(..)`) is a
+    // default transition, so unnamed variants are fine there.
+    for (enum_name, table) in &ct.tables {
+        let Some(def) = event_enums.iter().find(|e| e.name == *enum_name) else {
+            continue;
+        };
+        let has_default = table.wildcard_statuses.contains(&ArmStatus::Handled);
+        if has_default {
+            continue;
+        }
+        for (v, _) in &def.variants {
+            if !table.variants.contains_key(v) {
+                out.push(Finding {
+                    rule: "incomplete-match",
+                    file: ct.file.clone(),
+                    line: table.line,
+                    message: format!(
+                        "`{}::{}` is never named in this controller's `{}` dispatch — it is silently dropped or crashes",
+                        enum_name, v, enum_name
+                    ),
+                    help: "add an explicit arm: handle it, or reject it with `unreachable!`/`debug_assert!(false, ..)`".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Unreachable-state findings: `*State` variants defined in `def_file`
+/// that no non-test token stream in the protocol directory references
+/// (outside the declaration itself).
+pub fn unreachable_states(
+    def_file: &str,
+    enums: &[EnumDef],
+    protocol_sources: &[(String, Vec<Tok>)],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for def in enums.iter().filter(|e| e.name.ends_with("State")) {
+        for (variant, vline) in &def.variants {
+            let mut referenced = false;
+            'files: for (path, toks) in protocol_sources {
+                for i in 0..toks.len() {
+                    if toks[i].is(&def.name)
+                        && toks.get(i + 1).is_some_and(|t| t.is(":"))
+                        && toks.get(i + 2).is_some_and(|t| t.is(":"))
+                        && toks.get(i + 3).is_some_and(|t| t.is(variant))
+                    {
+                        // Skip references inside the declaration body of
+                        // the defining file.
+                        if path == def_file && i >= def.body_range.0 && i < def.body_range.1 {
+                            continue;
+                        }
+                        referenced = true;
+                        break 'files;
+                    }
+                }
+            }
+            if !referenced {
+                out.push(Finding {
+                    rule: "unreachable-state",
+                    file: def_file.to_string(),
+                    line: *vline,
+                    message: format!(
+                        "state `{}::{}` is declared but never constructed or matched in the protocol",
+                        def.name, variant
+                    ),
+                    help: "remove the dead state or wire it into the controller".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One (protocol, controller, state, event) → count row from the
+/// `rcc-verify` coverage TSV.
+pub type CoverageMap = BTreeMap<(String, String, String, String), u64>;
+
+/// Parses the coverage TSV `rcc-verify --transitions` writes:
+/// tab-separated `protocol controller state event count`, `#` comments.
+pub fn parse_coverage(text: &str) -> Result<CoverageMap, String> {
+    let mut out = CoverageMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 5 {
+            return Err(format!(
+                "coverage line {}: expected 5 tab-separated columns, got {}",
+                lineno + 1,
+                cols.len()
+            ));
+        }
+        let count: u64 = cols[4]
+            .parse()
+            .map_err(|_| format!("coverage line {}: bad count `{}`", lineno + 1, cols[4]))?;
+        *out.entry((
+            cols[0].to_string(),
+            cols[1].to_string(),
+            cols[2].to_string(),
+            cols[3].to_string(),
+        ))
+        .or_insert(0) += count;
+    }
+    Ok(out)
+}
+
+/// A statically-handled RCC transition the model checker never exercised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageGap {
+    /// Controller (`l1` / `l2`).
+    pub controller: String,
+    /// Event enum name.
+    pub enum_name: String,
+    /// Event (variant) name.
+    pub event: String,
+    /// File and line of the handling arm.
+    pub file: String,
+    /// Line of the handling arm.
+    pub line: u32,
+}
+
+/// Diffs the static RCC tables against visited transitions: every
+/// *handled* event of the `rcc` controllers must have been exercised at
+/// least once (ignored/rejected arms are exempt — the checker proves they
+/// never fire by exploring everything else).
+pub fn coverage_gaps(controllers: &[ControllerTable], cov: &CoverageMap) -> Vec<CoverageGap> {
+    let mut gaps = Vec::new();
+    for ct in controllers.iter().filter(|c| c.protocol == "rcc") {
+        for (enum_name, table) in &ct.tables {
+            for (variant, (status, line)) in &table.variants {
+                if *status != ArmStatus::Handled {
+                    continue;
+                }
+                let visited = cov.iter().any(|((p, c, _s, e), n)| {
+                    p == "rcc" && c == &ct.controller && e == variant && *n > 0
+                });
+                if !visited {
+                    gaps.push(CoverageGap {
+                        controller: ct.controller.clone(),
+                        enum_name: enum_name.clone(),
+                        event: variant.clone(),
+                        file: ct.file.clone(),
+                        line: *line,
+                    });
+                }
+            }
+        }
+    }
+    gaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    const MSG: &str =
+        "pub enum ReqPayload { Gets { flags: u8 }, Write { w: u8, v: u32 }, Atomic, InvAck }";
+
+    fn msg_enums() -> Vec<EnumDef> {
+        extract_enums(&lex(MSG).toks)
+    }
+
+    #[test]
+    fn enum_extraction() {
+        let enums = msg_enums();
+        assert_eq!(enums.len(), 1);
+        assert_eq!(enums[0].name, "ReqPayload");
+        let names: Vec<&str> = enums[0].variants.iter().map(|(v, _)| v.as_str()).collect();
+        assert_eq!(names, vec!["Gets", "Write", "Atomic", "InvAck"]);
+    }
+
+    #[test]
+    fn match_extraction_and_classification() {
+        let src = r#"
+            fn f(req: Req) {
+                match req.payload {
+                    ReqPayload::Gets { .. } => serve(),
+                    ReqPayload::Write { .. } | ReqPayload::Atomic => { write(); }
+                    ReqPayload::InvAck => {}
+                    other => unreachable!("no {other:?}"),
+                }
+            }
+        "#;
+        let ms = extract_matches(&lex(src).toks);
+        assert_eq!(ms.len(), 1);
+        let m = &ms[0];
+        assert_eq!(m.enum_name, "ReqPayload");
+        assert_eq!(m.arms.len(), 4);
+        assert_eq!(m.arms[0].status, ArmStatus::Handled);
+        assert_eq!(m.arms[1].status, ArmStatus::Handled);
+        assert_eq!(m.arms[2].variant, "Atomic");
+        assert_eq!(m.arms[3].status, ArmStatus::Ignored);
+        assert_eq!(m.wildcard.map(|(s, _)| s), Some(ArmStatus::Rejected));
+    }
+
+    #[test]
+    fn non_payload_matches_skipped() {
+        let src = "fn f(x: u8) { match x { 0 => a(), _ => b() } }";
+        assert!(extract_matches(&lex(src).toks).is_empty());
+    }
+
+    #[test]
+    fn incomplete_match_fires_for_rejecting_wildcard() {
+        let src = r#"
+            fn f(req: Req) {
+                match req.payload {
+                    ReqPayload::Gets { .. } => serve(),
+                    _ => unreachable!(),
+                }
+            }
+        "#;
+        let toks = lex(src).toks;
+        let ms = extract_matches(&toks);
+        let ct = aggregate("rcc", "l2", "x.rs", &toks);
+        let fs = table_findings(&ct, &ms, &msg_enums());
+        let missing: Vec<&str> = fs
+            .iter()
+            .filter(|f| f.rule == "incomplete-match")
+            .map(|f| f.message.as_str())
+            .collect();
+        assert_eq!(missing.len(), 3, "{missing:?}"); // Write, Atomic, InvAck
+    }
+
+    #[test]
+    fn handled_wildcard_is_a_default_transition() {
+        let src = r#"
+            fn f(req: Req) {
+                match req.payload {
+                    ReqPayload::Gets { .. } => serve(),
+                    _ => serve_write(),
+                }
+            }
+        "#;
+        let toks = lex(src).toks;
+        let ms = extract_matches(&toks);
+        let ct = aggregate("rcc", "l2", "x.rs", &toks);
+        let fs = table_findings(&ct, &ms, &msg_enums());
+        assert!(fs.iter().all(|f| f.rule != "incomplete-match"), "{fs:?}");
+    }
+
+    #[test]
+    fn dead_arm_duplicate_variant() {
+        let src = r#"
+            fn f(req: Req) {
+                match req.payload {
+                    ReqPayload::Gets { .. } => a(),
+                    ReqPayload::Gets { .. } => b(),
+                    _ => c(),
+                }
+            }
+        "#;
+        let toks = lex(src).toks;
+        let ms = extract_matches(&toks);
+        let ct = aggregate("rcc", "l2", "x.rs", &toks);
+        let fs = table_findings(&ct, &ms, &msg_enums());
+        assert_eq!(fs.iter().filter(|f| f.rule == "dead-arm").count(), 1);
+    }
+
+    #[test]
+    fn unknown_variant_detected() {
+        let src = r#"
+            fn f(req: Req) {
+                match req.payload {
+                    ReqPayload::Getz { .. } => a(),
+                    _ => b(),
+                }
+            }
+        "#;
+        let toks = lex(src).toks;
+        let ms = extract_matches(&toks);
+        let ct = aggregate("rcc", "l2", "x.rs", &toks);
+        let fs = table_findings(&ct, &ms, &msg_enums());
+        assert_eq!(fs.iter().filter(|f| f.rule == "unknown-variant").count(), 1);
+    }
+
+    #[test]
+    fn unreachable_state_detected_and_cleared() {
+        let src = "pub enum L1State { I, V, Ghost }\nfn f() -> L1State { L1State::I }\nfn g(s: L1State) -> bool { matches!(s, L1State::V) }";
+        let s = lex(src);
+        let enums = extract_enums(&s.toks);
+        let sources = vec![("l1.rs".to_string(), s.toks.clone())];
+        let fs = unreachable_states("l1.rs", &enums, &sources);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("Ghost"));
+    }
+
+    #[test]
+    fn coverage_parse_and_diff() {
+        let cov = parse_coverage("# comment\nrcc\tl1\tI\tLoad\t4\nrcc\tl2\tI\tGets\t2\n").unwrap();
+        assert_eq!(cov.len(), 2);
+
+        let src = r#"
+            fn f(req: Req) {
+                match req.payload {
+                    ReqPayload::Gets { .. } => serve(),
+                    ReqPayload::Write { .. } => write(),
+                    ReqPayload::Atomic => atomic(),
+                    ReqPayload::InvAck => {}
+                }
+            }
+        "#;
+        let toks = lex(src).toks;
+        let ct = aggregate("rcc", "l2", "l2.rs", &toks);
+        let gaps = coverage_gaps(&[ct], &cov);
+        // Gets visited; Write/Atomic handled but unvisited; InvAck ignored.
+        let events: Vec<&str> = gaps.iter().map(|g| g.event.as_str()).collect();
+        assert_eq!(events, vec!["Atomic", "Write"]);
+    }
+
+    #[test]
+    fn coverage_rejects_malformed() {
+        assert!(parse_coverage("rcc\tl1\tI\tLoad").is_err());
+        assert!(parse_coverage("rcc\tl1\tI\tLoad\tnope").is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a violation suppressed by a well-formed directive.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // rcc-lint: allow(wall-clock, fixture probe; never feeds simulated state)
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: ambient randomness in a result-affecting crate.
+
+pub fn seed() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a malformed directive (missing reason).
+
+// rcc-lint: allow(default-hasher)
+pub fn clean() -> u64 {
+    7
+}

@@ -1,0 +1,19 @@
+//! Fixture: nothing to report; test code may use std maps freely.
+
+use rcc_common::FxHashMap;
+
+pub fn build() -> FxHashMap<u64, u64> {
+    FxHashMap::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn std_maps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

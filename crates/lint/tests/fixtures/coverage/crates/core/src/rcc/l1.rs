@@ -1,0 +1,9 @@
+//! Fixture controller: statically complete dispatch over `AccessKind`.
+
+pub fn access(a: Access) {
+    match a.kind {
+        AccessKind::Load => on_load(),
+        AccessKind::Store { value } => on_store(value),
+        AccessKind::Atomic => on_atomic(),
+    }
+}

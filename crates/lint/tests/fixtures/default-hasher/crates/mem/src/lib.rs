@@ -1,0 +1,7 @@
+//! Fixture: std HashMap in a non-test file.
+
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}

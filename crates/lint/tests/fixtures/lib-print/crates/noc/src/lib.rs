@@ -1,0 +1,6 @@
+//! Fixture: stdout printing from a library crate.
+
+pub fn report(x: u64) {
+    println!("{x}");
+    eprintln!("stderr is fine: {x}");
+}

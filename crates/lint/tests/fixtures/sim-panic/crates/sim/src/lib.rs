@@ -1,0 +1,13 @@
+//! Fixture: panicking constructs inside `crates/sim`.
+
+pub fn boom(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn bail() {
+    panic!("fixture");
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,26 @@
+//! Fixture controller: one of everything the table analyzer flags.
+
+/// Fixture L1 states; `Ghost` is never referenced.
+pub enum L1State {
+    I,
+    V,
+    Ghost,
+}
+
+pub fn handle_resp(msg: RespMsg) {
+    match msg.payload {
+        RespPayload::Data => on_data(),
+        RespPayload::Renew => {}
+        RespPayload::Data => on_data_again(),
+        RespPayload::Phantom => on_phantom(),
+        _ => {}
+    }
+}
+
+pub fn reset() -> L1State {
+    L1State::I
+}
+
+pub fn fill() -> L1State {
+    L1State::V
+}

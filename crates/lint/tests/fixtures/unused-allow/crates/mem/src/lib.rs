@@ -1,0 +1,6 @@
+//! Fixture: a directive that suppresses nothing.
+
+// rcc-lint: allow(default-hasher, nothing on the next line needs this)
+pub fn clean() -> u64 {
+    7
+}

@@ -1,0 +1,12 @@
+//! Fixture: wall-clock reads in a result-affecting crate.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}

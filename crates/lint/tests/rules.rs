@@ -1,0 +1,106 @@
+//! Every invariant rule pinned by a firing fixture, plus the suppression
+//! machinery (used, unused, malformed) and a clean tree.
+//!
+//! Each fixture under `tests/fixtures/` is a miniature workspace root
+//! (`src/` + `crates/*/src/` + the `msg.rs` the table analyzer expects),
+//! so these tests drive the same [`rcc_lint::run`] entry point the CLI
+//! uses.
+
+use rcc_lint::{run, LintConfig, LintOutput};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> LintOutput {
+    run(&LintConfig {
+        root: fixture(name),
+        coverage: None,
+    })
+    .expect("fixture lints")
+}
+
+fn rules_of(out: &LintOutput) -> Vec<&str> {
+    out.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn default_hasher_fires() {
+    let out = lint("default-hasher");
+    assert!(!out.findings.is_empty());
+    assert!(rules_of(&out).iter().all(|r| *r == "default-hasher"));
+    assert!(out
+        .findings
+        .iter()
+        .all(|f| f.file == "crates/mem/src/lib.rs"));
+}
+
+#[test]
+fn wall_clock_fires() {
+    let out = lint("wall-clock");
+    // Instant::now and the SystemTime uses each fire.
+    assert!(out.findings.len() >= 2, "{:?}", out.findings);
+    assert!(rules_of(&out).iter().all(|r| *r == "wall-clock"));
+}
+
+#[test]
+fn ambient_randomness_fires() {
+    let out = lint("ambient-randomness");
+    assert_eq!(rules_of(&out), ["ambient-randomness"]);
+}
+
+#[test]
+fn sim_panic_fires() {
+    let out = lint("sim-panic");
+    // .unwrap(), panic!, and todo! each fire.
+    assert_eq!(rules_of(&out), ["sim-panic", "sim-panic", "sim-panic"]);
+}
+
+#[test]
+fn lib_print_fires_but_eprintln_is_fine() {
+    let out = lint("lib-print");
+    assert_eq!(rules_of(&out), ["lib-print"]);
+    assert!(out.findings[0].message.contains("println"));
+}
+
+#[test]
+fn allow_directive_suppresses_and_counts() {
+    let out = lint("allowed");
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 1);
+}
+
+#[test]
+fn unused_allow_fires() {
+    let out = lint("unused-allow");
+    assert_eq!(rules_of(&out), ["unused-allow"]);
+    assert!(out.findings[0].message.contains("default-hasher"));
+}
+
+#[test]
+fn malformed_allow_fires() {
+    let out = lint("bad-allow");
+    assert_eq!(rules_of(&out), ["bad-allow"]);
+    assert!(out.findings[0].message.contains("reason"));
+}
+
+#[test]
+fn clean_tree_is_clean_and_test_code_is_exempt() {
+    // The fixture's `#[cfg(test)]` module uses a std HashMap; the linter
+    // must not look inside it.
+    let out = lint("clean");
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.suppressed, 0);
+}
+
+#[test]
+fn deny_rendering_mentions_rule_and_location() {
+    let out = lint("lib-print");
+    let rendered = rcc_lint::render_all(&out);
+    assert!(rendered.contains("error[lib-print]"));
+    assert!(rendered.contains("crates/noc/src/lib.rs:4"));
+    assert!(rendered.contains("1 finding(s)"));
+}

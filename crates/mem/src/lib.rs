@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Cache building blocks: line data, set-associative tag arrays, and MSHR
 //! files.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Interconnect model: one flit-level crossbar per direction (Table III)
 //! plus an ORION-2.0-style energy model for Fig. 9b.

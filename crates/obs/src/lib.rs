@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Observability for the RCC simulator: per-interval time-series
 //! sampling, Perfetto/Chrome-trace export, simulator self-profiling, and

@@ -20,6 +20,8 @@
 //! block with `ProptestConfig::with_cases(n)` or globally with the
 //! `PROPTEST_CASES` environment variable.
 
+#![forbid(unsafe_code)]
+
 /// Deterministic splitmix64-based generator for test case inputs.
 pub mod rng {
     /// The RNG handed to strategies.

@@ -21,6 +21,7 @@ use std::fmt;
 pub type RunOutcome<T> = Result<T, SimError>;
 
 /// A typed simulation failure.
+#[must_use = "a SimError explains why the run failed; log or propagate it"]
 #[derive(Debug, Clone)]
 pub enum SimError {
     /// The watchdog detected no forward progress. Carries the full
@@ -148,6 +149,7 @@ pub struct ComponentState {
 }
 
 /// Forensic dump of a hung machine, emitted when the watchdog fires.
+#[must_use = "the dump is the only record of the hang; render or attach it"]
 #[derive(Debug, Clone)]
 pub struct HangDump {
     /// Protocol label.

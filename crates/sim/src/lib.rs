@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Full-system simulator: SM cores + write-through L1s + crossbar NoC +
 //! L2 partitions + GDDR DRAM, generic over the coherence protocol.

@@ -90,10 +90,13 @@ fn run_one<P: rcc_core::protocol::Protocol>(
         }
     }
     let forbidden = (litmus.forbidden)(&values);
-    let sanitizer_sc = sys
-        .sanitizer_report()
-        .map(|r| r.sc)
-        .expect("sanitizer was enabled");
+    let sanitizer_sc =
+        sys.sanitizer_report()
+            .map(|r| r.sc)
+            .ok_or_else(|| SimError::ProbeMissing {
+                litmus: litmus.name.to_string(),
+                probe: "sanitizer report".to_string(),
+            })?;
     let report = sys.take_observation();
     Ok((
         LitmusOutcome {
@@ -192,6 +195,7 @@ pub fn count_forbidden(
         .filter(|&seed| {
             let litmus = make_litmus(seed);
             run_litmus(kind, cfg, &litmus)
+                // rcc-lint: allow(sim-panic, documented panicking helper mirroring simulate(); tests want the abort)
                 .unwrap_or_else(|e| panic!("{e}"))
                 .forbidden
         })

@@ -304,7 +304,7 @@ pub fn simulate(
 ) -> RunMetrics {
     match try_simulate(kind, cfg, workload, opts) {
         Ok(metrics) => metrics,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // rcc-lint: allow(sim-panic, documented panicking wrapper; fallible callers use try_simulate)
     }
 }
 

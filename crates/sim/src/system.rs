@@ -396,6 +396,7 @@ impl<P: Protocol> System<P> {
     #[inline]
     fn charge(&mut self, mark: &mut Option<std::time::Instant>, phase: SimPhase) {
         if let Some(m) = mark {
+            // rcc-lint: allow(wall-clock, self-profiling overhead measurement; never feeds simulated state)
             let now = std::time::Instant::now();
             if let Some(p) = &mut self.profile {
                 p.charge(phase, now.duration_since(*m));
@@ -660,6 +661,7 @@ impl<P: Protocol> System<P> {
     pub fn step(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         let cycle = self.cycle;
+        // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
         let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
         if let Some(p) = &mut self.profile {
             p.steps += 1;
@@ -730,11 +732,13 @@ impl<P: Protocol> System<P> {
         // 4. L2 delay pipes → response network (one message leaves the
         //    pipe, one enters the network: pending is unchanged).
         for p in 0..self.l2_delay.len() {
-            while self.l2_delay[p]
-                .front()
-                .is_some_and(|(ready, _)| *ready <= cycle.raw())
-            {
-                let (_, resp) = self.l2_delay[p].pop_front().expect("checked");
+            while let Some((ready, _)) = self.l2_delay[p].front() {
+                if *ready > cycle.raw() {
+                    break;
+                }
+                let Some((_, resp)) = self.l2_delay[p].pop_front() else {
+                    break;
+                };
                 let dst = resp.dst.index();
                 let flits = Self::bill_resp(&mut self.traffic, &self.cfg, &resp);
                 self.resp_net.inject(cycle, p, dst, 1, flits, resp);
@@ -1219,6 +1223,7 @@ impl<P: Protocol> System<P> {
     pub fn run_until(&mut self, target: u64) -> Result<(), SimError> {
         while !self.done() && self.cycle.raw() < target {
             if self.ff_enabled {
+                // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
                 let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
                 self.maybe_fast_forward(target);
                 self.charge(&mut mark, SimPhase::FastForward);

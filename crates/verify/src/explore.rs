@@ -41,6 +41,7 @@ use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::GpuConfig;
 use rcc_common::ids::{CoreId, PartitionId, WarpId};
 use rcc_common::time::{Cycle, Timestamp};
+use rcc_common::FxHashSet;
 use rcc_core::msg::{
     Access, AccessKind, AccessOutcome, AtomicOp, Completion, CompletionKind, ReqMsg, RespMsg,
     RespPayload,
@@ -49,7 +50,7 @@ use rcc_core::protocol::{L1Cache, L1Outbox, L2Bank, L2Outbox, Protocol};
 use rcc_core::rcc::{L1State, L2State, RccL1, RccL2, RccProtocol};
 use rcc_mem::LineData;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
@@ -193,12 +194,31 @@ pub struct Report {
     pub l2_states_seen: BTreeSet<&'static str>,
     /// First violation found, with its shrunk trace.
     pub counterexample: Option<Counterexample>,
+    /// Transition-visit census: (controller, state-before, event) →
+    /// times applied. Controllers are `"l1"`/`"l2"`; states come from the
+    /// census probes (`"?"` when the protocol has no probe); events are
+    /// `msg.rs` variant names. `rcc-verify --transitions` serializes this
+    /// for the `rcc-lint` static-vs-dynamic coverage diff.
+    pub transitions: BTreeMap<(&'static str, &'static str, &'static str), u64>,
 }
 
 impl Report {
     /// True if the full bounded space was explored with no violation.
     pub fn ok(&self) -> bool {
         self.counterexample.is_none() && !self.truncated
+    }
+
+    /// Bumps the visit count for one (controller, state, event) edge.
+    fn record_transition(
+        &mut self,
+        controller: &'static str,
+        state: &'static str,
+        event: &'static str,
+    ) {
+        *self
+            .transitions
+            .entry((controller, state, event))
+            .or_insert(0) += 1;
     }
 }
 
@@ -562,16 +582,28 @@ where
     /// Applies `ev`. `Ok(true)` if the state changed, `Ok(false)` if the
     /// event was a no-op (empty queue, structural reject, L2
     /// backpressure), `Err` on an invariant violation.
-    fn apply(&mut self, ev: Event, spec: &Spec, hooks: &Hooks<P>) -> Result<bool, Violation> {
+    fn apply(
+        &mut self,
+        ev: Event,
+        spec: &Spec,
+        hooks: &Hooks<P>,
+        report: &mut Report,
+    ) -> Result<bool, Violation> {
         let changed = match ev {
-            Event::Issue(core) => self.issue(core, spec, hooks)?,
+            Event::Issue(core) => self.issue(core, spec, hooks, report)?,
             Event::DeliverReq(core) => {
                 let Some(req) = self.req_q[core].pop_front() else {
                     return Ok(false);
                 };
                 let mut out = L2Outbox::new();
+                let state = hooks
+                    .l2_state
+                    .as_ref()
+                    .map_or("?", |probe| probe(&self.l2, req.line));
+                let event = req.payload.variant_name();
                 match self.l2.handle_req(self.cycle, req.clone(), &mut out) {
                     Ok(()) => {
+                        report.record_transition("l2", state, event);
                         self.drain_l2(&mut out, spec, hooks)?;
                         true
                     }
@@ -587,6 +619,11 @@ where
                     return Ok(false);
                 };
                 let mut out = L1Outbox::new();
+                let state = hooks
+                    .l1_state
+                    .as_ref()
+                    .map_or("?", |probe| probe(&self.l1s[core], resp.line));
+                report.record_transition("l1", state, resp.payload.variant_name());
                 self.l1s[core].handle_resp(self.cycle, resp, &mut out);
                 self.drain_l1(core, &mut out, spec, hooks)?;
                 true
@@ -625,7 +662,13 @@ where
         Ok(changed)
     }
 
-    fn issue(&mut self, core: usize, spec: &Spec, hooks: &Hooks<P>) -> Result<bool, Violation> {
+    fn issue(
+        &mut self,
+        core: usize,
+        spec: &Spec,
+        hooks: &Hooks<P>,
+        report: &mut Report,
+    ) -> Result<bool, Violation> {
         if self.pending[core].is_some() {
             return Ok(false);
         }
@@ -646,14 +689,20 @@ where
             Op::Load(a) | Op::Store(a, _) | Op::Atomic(a, _) => a,
             Op::Fence => unreachable!(),
         };
+        let event = kind.variant_name();
         let access = Access {
             warp: WarpId(0),
             addr,
             kind,
         };
+        let state = hooks
+            .l1_state
+            .as_ref()
+            .map_or("?", |probe| probe(&self.l1s[core], addr.line()));
         let mut out = L1Outbox::new();
         match self.l1s[core].access(self.cycle, access, &mut out) {
             AccessOutcome::Done(c) => {
+                report.record_transition("l1", state, event);
                 self.pc[core] += 1;
                 self.pending[core] = Some(op);
                 self.drain_l1(core, &mut out, spec, hooks)?;
@@ -661,6 +710,7 @@ where
                 Ok(true)
             }
             AccessOutcome::Pending => {
+                report.record_transition("l1", state, event);
                 self.pc[core] += 1;
                 self.pending[core] = Some(op);
                 self.drain_l1(core, &mut out, spec, hooks)?;
@@ -838,7 +888,7 @@ where
 {
     let mut report = Report::default();
     let root = World::new(protocol, cfg, spec);
-    let mut visited: HashSet<u128> = HashSet::new();
+    let mut visited: FxHashSet<u128> = FxHashSet::default();
     visited.insert(root.fingerprint());
     let mut stack: Vec<(World<P>, Vec<Event>)> = vec![(root, Vec::new())];
 
@@ -855,7 +905,7 @@ where
         let mut progress = false;
         for ev in world.candidates(spec) {
             let mut child = world.clone();
-            match child.apply(ev, spec, hooks) {
+            match child.apply(ev, spec, hooks, &mut report) {
                 Ok(true) => {
                     progress = true;
                     report.events_applied += 1;
@@ -919,8 +969,9 @@ where
     P::L2: Clone + fmt::Debug,
 {
     let mut world = World::new(protocol, cfg, spec);
+    let mut scratch = Report::default();
     for (i, &ev) in events.iter().enumerate() {
-        if let Err(v) = world.apply(ev, spec, hooks) {
+        if let Err(v) = world.apply(ev, spec, hooks, &mut scratch) {
             return Some((i, v));
         }
     }
@@ -997,6 +1048,7 @@ where
     P::L2: Clone + fmt::Debug,
 {
     let mut world = World::new(protocol, cfg, spec);
+    let mut scratch = Report::default();
     let mut lines = Vec::with_capacity(events.len() + 1);
     for &ev in events {
         let desc = match ev {
@@ -1019,7 +1071,7 @@ where
             Event::Advance => "time advances".to_string(),
         };
         lines.push(desc);
-        if world.apply(ev, spec, hooks).is_err() {
+        if world.apply(ev, spec, hooks, &mut scratch).is_err() {
             break;
         }
     }

@@ -23,6 +23,8 @@
 //! The explorer's visited-state census doubles as a cross-check of the
 //! state inventories reported in `rcc_core::census` (the paper's Table V).
 
+#![forbid(unsafe_code)]
+
 pub mod explore;
 pub mod sanitizer;
 

@@ -24,8 +24,9 @@
 //! disabled sanitizer (the default) costs zero on the hot path.
 
 use rcc_common::addr::WordAddr;
+use rcc_common::FxHashMap;
 use rcc_core::msg::{Access, AccessKind, Completion, CompletionKind};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// What one recorded access turned out to be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,11 +78,11 @@ pub struct Sanitizer {
     /// FIFO of outstanding event indices per (core, warp, addr,
     /// is_load): completions match issues in order, exactly like the
     /// simulator's own pending-value tracking.
-    outstanding: HashMap<(usize, usize, WordAddr, bool), VecDeque<usize>>,
+    outstanding: FxHashMap<(usize, usize, WordAddr, bool), VecDeque<usize>>,
     /// Next program-order position per (core, warp).
-    po_next: HashMap<(usize, usize), u64>,
+    po_next: FxHashMap<(usize, usize), u64>,
     /// Seeded initial memory values (addresses not listed read as 0).
-    init: HashMap<WordAddr, u64>,
+    init: FxHashMap<WordAddr, u64>,
 }
 
 impl Sanitizer {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Synthetic workload generators reproducing the sharing patterns of the
 //! paper's twelve benchmarks (Table IV), plus consistency litmus tests.
