@@ -21,7 +21,7 @@
 //! The JSON is validated against `schemas/bench_sim.schema.json` before
 //! it is written.
 
-use rcc_bench::report::{check_schema, schemas, ProtocolRow, SimReport};
+use rcc_bench::report::{check_schema, schemas, ProtocolRow, SchedSummary, SimReport};
 use rcc_bench::{banner, pool, Harness};
 use rcc_core::ProtocolKind;
 use rcc_obs::{SimPhase, SimProfile};
@@ -126,6 +126,45 @@ fn main() -> std::process::ExitCode {
         });
     }
 
+    // Calendar-queue telemetry, merged over every run of the optimized
+    // pass: how much event traffic the scheduler carried, how deep the
+    // queue got, and how far the exact wakes sat from the conservative
+    // min-scan hints.
+    let posted: u64 = optimized.iter().map(|(m, _)| m.sched.events_posted).sum();
+    let cancelled: u64 = optimized
+        .iter()
+        .map(|(m, _)| m.sched.events_cancelled)
+        .sum();
+    let nruns = optimized.len().max(1) as f64;
+    let p50_mean = optimized
+        .iter()
+        .map(|(m, _)| m.sched.queue_depth_p50)
+        .sum::<u64>() as f64
+        / nruns;
+    let depth_max = optimized
+        .iter()
+        .map(|(m, _)| m.sched.queue_depth_max)
+        .max()
+        .unwrap_or(0);
+    let slack_mean = optimized
+        .iter()
+        .map(|(m, _)| m.sched.wake_slack_mean)
+        .sum::<f64>()
+        / nruns;
+    let scheduler = SchedSummary {
+        events_posted: posted,
+        events_cancelled: cancelled,
+        cancel_ratio: cancelled as f64 / posted.max(1) as f64,
+        queue_depth_p50_mean: p50_mean,
+        queue_depth_max: depth_max,
+        wake_slack_mean: slack_mean,
+    };
+    println!(
+        "\nscheduler: {posted} events posted, {cancelled} cancelled ({:.1}%), \
+         queue depth p50 {p50_mean:.1} / max {depth_max}, wake slack {slack_mean:.2} cyc",
+        100.0 * scheduler.cancel_ratio
+    );
+
     // Where the optimized pass's wall-clock actually went, merged over
     // every run.
     let mut profile = SimProfile::new();
@@ -156,6 +195,7 @@ fn main() -> std::process::ExitCode {
         runs: optimized.len(),
         deterministic: diverged == 0,
         protocols: rows,
+        scheduler,
         self_profile: profile,
     };
     let json = report.to_json();

@@ -79,6 +79,25 @@ pub struct ProtocolRow {
     pub skip_ratio: f64,
 }
 
+/// Calendar-queue telemetry merged over every run of the optimized
+/// pass (the `scheduler` object of `BENCH_sim.json`).
+#[derive(Debug, Clone)]
+pub struct SchedSummary {
+    /// Wake events posted into the calendar queue, summed over runs.
+    pub events_posted: u64,
+    /// Posted events superseded by a re-arm before firing, summed.
+    pub events_cancelled: u64,
+    /// `events_cancelled / events_posted` (0 when nothing was posted).
+    pub cancel_ratio: f64,
+    /// Mean over runs of each run's median queue depth at post time.
+    pub queue_depth_p50_mean: f64,
+    /// Peak queue depth over every run.
+    pub queue_depth_max: u64,
+    /// Mean over runs of each run's mean |exact wake − min-scan hint|
+    /// in cycles (0 when every component's hint is exact).
+    pub wake_slack_mean: f64,
+}
+
 /// `BENCH_sim.json`: the perf-smoke report (engine wall-clock, per-
 /// protocol rates, and the simulator's self-profile).
 #[derive(Debug, Clone)]
@@ -97,6 +116,8 @@ pub struct SimReport {
     pub deterministic: bool,
     /// Per-protocol aggregates from the optimized pass.
     pub protocols: Vec<ProtocolRow>,
+    /// Calendar-queue telemetry merged over the optimized pass.
+    pub scheduler: SchedSummary,
     /// Self-profile merged over every run of the optimized pass.
     pub self_profile: SimProfile,
 }
@@ -127,6 +148,19 @@ impl SimReport {
             });
         }
         out.push_str("  ],\n");
+        let s = &self.scheduler;
+        let _ = writeln!(
+            out,
+            "  \"scheduler\": {{\"events_posted\": {}, \"events_cancelled\": {}, \
+             \"cancel_ratio\": {:.4}, \"queue_depth_p50_mean\": {:.2}, \
+             \"queue_depth_max\": {}, \"wake_slack_mean\": {:.3}}},",
+            s.events_posted,
+            s.events_cancelled,
+            s.cancel_ratio,
+            s.queue_depth_p50_mean,
+            s.queue_depth_max,
+            s.wake_slack_mean
+        );
         out.push_str("  \"self_profile\": ");
         push_profile(&mut out, &self.self_profile, "  ");
         out.push_str("\n}\n");
@@ -359,6 +393,14 @@ mod tests {
                 skipped_cycles: 1000,
                 skip_ratio: 0.0081,
             }],
+            scheduler: SchedSummary {
+                events_posted: 54321,
+                events_cancelled: 321,
+                cancel_ratio: 0.0059,
+                queue_depth_p50_mean: 38.5,
+                queue_depth_max: 71,
+                wake_slack_mean: 1.25,
+            },
             self_profile: p,
         }
     }

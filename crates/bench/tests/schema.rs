@@ -6,7 +6,7 @@
 //! observed litmus run and an observed benchmark run — so schema drift
 //! in either the producers or `schemas/*.json` fails here first.
 
-use rcc_bench::report::{check_schema, schemas, ProtocolRow, SimReport};
+use rcc_bench::report::{check_schema, schemas, ProtocolRow, SchedSummary, SimReport};
 use rcc_common::ids::WorkgroupId;
 use rcc_common::GpuConfig;
 use rcc_core::ProtocolKind;
@@ -92,6 +92,14 @@ fn schemas_reject_malformed_documents() {
             skipped_cycles: 10,
             skip_ratio: 0.1,
         }],
+        scheduler: SchedSummary {
+            events_posted: 1000,
+            events_cancelled: 50,
+            cancel_ratio: 0.05,
+            queue_depth_p50_mean: 12.0,
+            queue_depth_max: 40,
+            wake_slack_mean: 0.5,
+        },
         self_profile: SimProfile::new(),
     };
     let good = report.to_json();

@@ -193,8 +193,9 @@ impl L1Cache for IdealL1 {
             AccessKind::Atomic { op } => {
                 self.stats.atomics += 1;
                 // Atomics still need the round trip for the old value.
+                // Peek the next id; minted only if the MSHR accepts
+                // (the `replay_rejected_access` contract).
                 let id = ReqId(self.next_req);
-                self.next_req += 1;
                 let pending = (id, access.warp, access.addr);
                 let ok = if self.mshrs.contains(line) {
                     self.mshrs
@@ -210,6 +211,7 @@ impl L1Cache for IdealL1 {
                     self.stats.atomics -= 1; // retried later
                     return AccessOutcome::Reject(RejectReason::MshrFull);
                 }
+                self.next_req += 1;
                 out.to_l2.push(ReqMsg {
                     src: self.core,
                     line,
@@ -336,6 +338,10 @@ impl L1Cache for IdealL1 {
         self.mshrs.len()
     }
 
+    fn replay_rejected_access(&mut self, delta: &L1Stats, times: u64) {
+        self.stats.add_scaled(delta, times);
+    }
+
     fn stats(&self) -> &L1Stats {
         &self.stats
     }
@@ -424,7 +430,7 @@ impl IdealL2 {
 }
 
 impl L2Bank for IdealL2 {
-    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()> {
+    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ReqMsg> {
         let line = req.line;
         match &req.payload {
             ReqPayload::Gets { .. } => {
@@ -450,14 +456,17 @@ impl L2Bank for IdealL2 {
                         },
                     });
                 } else {
+                    if self.mshrs.is_full() {
+                        self.stats.gets -= 1;
+                        return Err(req);
+                    }
                     let entry = IdealL2Entry {
                         readers: vec![(req.src, req.id)],
                         ..IdealL2Entry::default()
                     };
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.gets -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }
@@ -476,11 +485,14 @@ impl L2Bank for IdealL2 {
                     l.dirty = true;
                     self.magic_update_others(line, Some(req.src), *word, *value, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        return Err(req);
+                    }
                     let mut entry = IdealL2Entry::default();
                     entry.merged_writes.push((*word, *value));
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }
@@ -517,11 +529,14 @@ impl L2Bank for IdealL2 {
                         },
                     });
                 } else {
+                    if self.mshrs.is_full() {
+                        return Err(req);
+                    }
                     let mut entry = IdealL2Entry::default();
                     entry.pending_atomics.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }

@@ -69,12 +69,6 @@ impl MesiL1 {
         self.tags.probe(line).is_some()
     }
 
-    fn fresh_id(&mut self) -> ReqId {
-        let id = ReqId(self.next_req);
-        self.next_req += 1;
-        id
-    }
-
     fn hit_completion(&mut self, cycle: Cycle, warp: WarpId, addr: WordAddr) -> Completion {
         let line = self
             .tags
@@ -149,7 +143,10 @@ impl MesiL1 {
 
     fn start_write(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
         let line = access.addr.line();
-        let id = self.fresh_id();
+        // Peek the next id; it is minted only if the MSHR accepts the
+        // write. A rejected access must leave nothing behind but
+        // counters (the `replay_rejected_access` contract).
+        let id = ReqId(self.next_req);
         let atomic = matches!(access.kind, AccessKind::Atomic { .. });
         let pending = PendingWrite {
             id,
@@ -172,6 +169,7 @@ impl MesiL1 {
                 MshrRejection::MergeListFull => RejectReason::MergeFull,
             });
         }
+        self.next_req += 1;
         // Write-through-invalidate: drop the local copy at issue so no
         // warp on this core can read the pre-store value after the store
         // is globally ordered.
@@ -347,6 +345,10 @@ impl L1Cache for MesiL1 {
 
     fn pending(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn replay_rejected_access(&mut self, delta: &L1Stats, times: u64) {
+        self.stats.add_scaled(delta, times);
     }
 
     fn stats(&self) -> &L1Stats {

@@ -379,7 +379,7 @@ impl MesiL2 {
 }
 
 impl L2Bank for MesiL2 {
-    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()> {
+    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ReqMsg> {
         let line = req.line;
         if matches!(req.payload, ReqPayload::InvAck) {
             self.handle_inv_ack(cycle, line, out);
@@ -405,12 +405,15 @@ impl L2Bank for MesiL2 {
                 } else if self.tags.probe(line).is_some() {
                     self.serve_gets_hit(cycle, &req, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        self.stats.gets -= 1;
+                        return Err(req);
+                    }
                     let mut entry = MesiEntry::default();
                     entry.queued.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.gets -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }
@@ -430,11 +433,14 @@ impl L2Bank for MesiL2 {
                 } else if self.tags.probe(line).is_some() {
                     self.serve_write_hit(cycle, req, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        return Err(req);
+                    }
                     let mut entry = MesiEntry::default();
                     entry.queued.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }

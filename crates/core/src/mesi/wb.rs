@@ -119,12 +119,6 @@ impl MesiWbL1 {
         self.tags.probe(line).is_some()
     }
 
-    fn fresh_id(&mut self) -> ReqId {
-        let id = ReqId(self.next_req);
-        self.next_req += 1;
-        id
-    }
-
     /// Evicts for a fill, writing back a dirty victim.
     fn fill_with_wb(
         &mut self,
@@ -272,7 +266,9 @@ impl L1Cache for MesiWbL1 {
                         seq,
                     });
                 }
-                let id = self.fresh_id();
+                // Peek the next id; minted only if the MSHR accepts
+                // (the `replay_rejected_access` contract).
+                let id = ReqId(self.next_req);
                 let pending = (id, access.warp, access.addr, value);
                 let alloc = if self.mshrs.contains(line) {
                     self.mshrs.merge(line, |e| e.pending_stores.push(pending))
@@ -289,6 +285,7 @@ impl L1Cache for MesiWbL1 {
                         MshrRejection::MergeListFull => RejectReason::MergeFull,
                     });
                 }
+                self.next_req += 1;
                 self.send_getx(cycle, line, out);
                 AccessOutcome::Pending
             }
@@ -296,7 +293,7 @@ impl L1Cache for MesiWbL1 {
                 self.stats.atomics += 1;
                 // Atomics are serviced at the directory; if we own the
                 // line, the directory will recall it from us first.
-                let id = self.fresh_id();
+                let id = ReqId(self.next_req);
                 let pending = (id, access.warp, access.addr);
                 let alloc = if self.mshrs.contains(line) {
                     self.mshrs
@@ -314,6 +311,7 @@ impl L1Cache for MesiWbL1 {
                         MshrRejection::MergeListFull => RejectReason::MergeFull,
                     });
                 }
+                self.next_req += 1;
                 out.to_l2.push(ReqMsg {
                     src: self.core,
                     line,
@@ -502,6 +500,10 @@ impl L1Cache for MesiWbL1 {
 
     fn pending(&self) -> usize {
         self.mshrs.len() + self.wb_pending.len()
+    }
+
+    fn replay_rejected_access(&mut self, delta: &L1Stats, times: u64) {
+        self.stats.add_scaled(delta, times);
     }
 
     fn stats(&self) -> &L1Stats {
@@ -1018,7 +1020,7 @@ impl MesiWbL2 {
 }
 
 impl L2Bank for MesiWbL2 {
-    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()> {
+    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ReqMsg> {
         let line = req.line;
         match &req.payload {
             ReqPayload::InvAck => {
@@ -1053,12 +1055,15 @@ impl L2Bank for MesiWbL2 {
                 } else if self.tags.probe(line).is_some() {
                     self.serve_gets(cycle, &req, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        self.stats.gets -= 1;
+                        return Err(req);
+                    }
                     let mut entry = WbL2Entry::default();
                     entry.queued.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.gets -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }
@@ -1078,11 +1083,14 @@ impl L2Bank for MesiWbL2 {
                 } else if self.tags.probe(line).is_some() {
                     self.serve_excl_op(cycle, req, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        return Err(req);
+                    }
                     let mut entry = WbL2Entry::default();
                     entry.queued.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }

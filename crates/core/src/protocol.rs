@@ -126,6 +126,64 @@ pub struct L1Stats {
     pub invs_received: u64,
 }
 
+impl L1Stats {
+    /// Field-wise difference `self − earlier`. Counters are monotone, so
+    /// this is the exact delta accumulated since `earlier` was cloned.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &L1Stats) -> L1Stats {
+        // Exhaustive destructuring: adding a counter without updating
+        // the replay arithmetic must fail to compile.
+        let L1Stats {
+            loads,
+            load_hits,
+            expired_loads,
+            renewed_loads,
+            stores,
+            atomics,
+            self_invalidations,
+            rejects,
+            invs_received,
+        } = earlier;
+        L1Stats {
+            loads: self.loads - loads,
+            load_hits: self.load_hits - load_hits,
+            expired_loads: self.expired_loads - expired_loads,
+            renewed_loads: self.renewed_loads - renewed_loads,
+            stores: self.stores - stores,
+            atomics: self.atomics - atomics,
+            self_invalidations: self.self_invalidations - self_invalidations,
+            rejects: self.rejects - rejects,
+            invs_received: self.invs_received - invs_received,
+        }
+    }
+
+    /// Adds `times` copies of `delta` to every counter — the replay
+    /// primitive for skipped cycles proven to repeat one bookkeeping
+    /// pattern exactly (a core's structural reject-spin).
+    pub fn add_scaled(&mut self, delta: &L1Stats, times: u64) {
+        let L1Stats {
+            loads,
+            load_hits,
+            expired_loads,
+            renewed_loads,
+            stores,
+            atomics,
+            self_invalidations,
+            rejects,
+            invs_received,
+        } = delta;
+        self.loads += loads * times;
+        self.load_hits += load_hits * times;
+        self.expired_loads += expired_loads * times;
+        self.renewed_loads += renewed_loads * times;
+        self.stores += stores * times;
+        self.atomics += atomics * times;
+        self.self_invalidations += self_invalidations * times;
+        self.rejects += rejects * times;
+        self.invs_received += invs_received * times;
+    }
+}
+
 /// Counters maintained by every L2 bank.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct L2Stats {
@@ -190,6 +248,16 @@ pub trait L1Cache: std::fmt::Debug {
     /// other protocols need no L1 action).
     fn fence(&mut self) {}
 
+    /// Accounts for `times` skipped retry cycles during which the
+    /// simulator proved this controller would structurally reject the
+    /// same access every cycle (a core stuck in a reject-spin, see
+    /// `Core::stall_horizon` in `rcc-gpu`). `delta` is the exact
+    /// per-retry stat delta the engine observed on the executed reject.
+    /// Valid because a rejected access changes *only* counters — every
+    /// in-repo controller satisfies that (tag probes on the reject path
+    /// are read-only and failed MSHR allocations do not mutate).
+    fn replay_rejected_access(&mut self, delta: &L1Stats, times: u64);
+
     /// Installs a chaos perturbation hook. Default: ignore (no injection
     /// points). Controllers that opt in forward the hook — or forks of
     /// it — to their injection sites (MSHR files, lease grants, …).
@@ -239,11 +307,14 @@ pub trait L2Bank: std::fmt::Debug {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when the bank cannot accept the request this
-    /// cycle (MSHR full / no victim way); the simulator retries it,
-    /// preserving per-source order.
-    #[allow(clippy::result_unit_err)]
-    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()>;
+    /// Returns `Err(req)` — handing the unconsumed request back — when
+    /// the bank cannot accept it this cycle (MSHR full / no victim way);
+    /// the simulator re-queues the returned message and retries it,
+    /// preserving per-source order without ever cloning the payload.
+    /// The `Err` carries the full message by design — boxing it would
+    /// reintroduce a per-reject allocation on the hot path.
+    #[allow(clippy::result_large_err)]
+    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ReqMsg>;
 
     /// Delivers a DRAM fill for `line`.
     fn handle_dram(&mut self, cycle: Cycle, line: LineAddr, data: LineData, out: &mut L2Outbox);

@@ -207,12 +207,6 @@ impl RccL1 {
             .is_some_and(|l| self.read_now <= l.state.exp)
     }
 
-    fn fresh_id(&mut self) -> ReqId {
-        let id = ReqId(self.next_req);
-        self.next_req += 1;
-        id
-    }
-
     fn advance_read(&mut self, ver: Timestamp) {
         self.read_now = self.read_now.join(ver);
         if self.mode == ViewMode::Sc {
@@ -345,7 +339,10 @@ impl RccL1 {
 
     fn start_write(&mut self, access: Access, out: &mut L1Outbox) -> AccessOutcome {
         let line = access.addr.line();
-        let id = self.fresh_id();
+        // Peek the next id; it is minted only if the MSHR accepts the
+        // write. A rejected access must leave nothing behind but
+        // counters (the `replay_rejected_access` contract).
+        let id = ReqId(self.next_req);
         let atomic = matches!(access.kind, AccessKind::Atomic { .. });
         let pending = PendingWrite {
             id,
@@ -369,6 +366,7 @@ impl RccL1 {
                 MshrRejection::MergeListFull => RejectReason::MergeFull,
             });
         }
+        self.next_req += 1;
 
         // Write-through: the request goes straight to the L2 (Fig. 5
         // emits WRITE/ATOMIC from every state). Write permissions need no
@@ -653,6 +651,10 @@ impl L1Cache for RccL1 {
 
     fn pending(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn replay_rejected_access(&mut self, delta: &L1Stats, times: u64) {
+        self.stats.add_scaled(delta, times);
     }
 
     fn stats(&self) -> &L1Stats {

@@ -399,7 +399,7 @@ impl RccL2 {
 }
 
 impl L2Bank for RccL2 {
-    fn handle_req(&mut self, _cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()> {
+    fn handle_req(&mut self, _cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ReqMsg> {
         let line = req.line;
 
         // A line being filled for an atomic (IAV) stalls everything else.
@@ -421,16 +421,19 @@ impl L2Bank for RccL2 {
                     self.serve_gets_hit(req.src, line, now, renew_exp, out);
                 } else {
                     // I → IV: fetch from DRAM (Fig. 5, GETS in I).
+                    if self.mshrs.is_full() {
+                        self.stats.gets -= 1;
+                        return Err(req);
+                    }
                     let entry = L2Entry {
                         lastrd: now,
                         has_read: true,
                         readers: vec![(req.src, req.id)],
                         ..L2Entry::default()
                     };
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.gets -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }
@@ -462,16 +465,19 @@ impl L2Bank for RccL2 {
                     self.serve_write_hit(req.src, line, req.id, now, word, value, out);
                 } else {
                     // I → IV with an immediate ack.
+                    if self.mshrs.is_full() {
+                        self.stats.writes -= 1;
+                        return Err(req);
+                    }
                     let entry = L2Entry {
                         lastwr: now,
                         has_write: true,
                         merged_writes: vec![(word, value)],
                         ..L2Entry::default()
                     };
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.writes -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                     let ver = now.join(self.mnow.succ());
@@ -496,6 +502,10 @@ impl L2Bank for RccL2 {
                     self.serve_atomic_hit(req.src, line, req.id, now, word, op, out);
                 } else {
                     // I → IAV (Fig. 5, ATOMIC in I).
+                    if self.mshrs.is_full() {
+                        self.stats.atomics -= 1;
+                        return Err(req);
+                    }
                     let entry = L2Entry {
                         lastwr: now,
                         has_write: true,
@@ -508,10 +518,9 @@ impl L2Bank for RccL2 {
                         }),
                         ..L2Entry::default()
                     };
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.atomics -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }

@@ -74,12 +74,6 @@ impl TcL1 {
             .is_some_and(|l| Timestamp(cycle.raw()) < l.state.exp)
     }
 
-    fn fresh_id(&mut self) -> ReqId {
-        let id = ReqId(self.next_req);
-        self.next_req += 1;
-        id
-    }
-
     fn hit_completion(&mut self, cycle: Cycle, warp: WarpId, addr: WordAddr) -> Completion {
         let line = self
             .tags
@@ -165,7 +159,10 @@ impl TcL1 {
 
     fn start_write(&mut self, cycle: Cycle, access: Access, out: &mut L1Outbox) -> AccessOutcome {
         let line = access.addr.line();
-        let id = self.fresh_id();
+        // Peek the next id; it is minted only if the MSHR accepts the
+        // write. A rejected access must leave nothing behind but
+        // counters (the `replay_rejected_access` contract).
+        let id = ReqId(self.next_req);
         let atomic = matches!(access.kind, AccessKind::Atomic { .. });
         let pending = PendingWrite {
             id,
@@ -188,6 +185,7 @@ impl TcL1 {
                 MshrRejection::MergeListFull => RejectReason::MergeFull,
             });
         }
+        self.next_req += 1;
         let word = access.addr.line_word_index();
         let now = Timestamp(cycle.raw());
         let payload = match access.kind {
@@ -366,6 +364,10 @@ impl L1Cache for TcL1 {
 
     fn pending(&self) -> usize {
         self.mshrs.len()
+    }
+
+    fn replay_rejected_access(&mut self, delta: &L1Stats, times: u64) {
+        self.stats.add_scaled(delta, times);
     }
 
     fn stats(&self) -> &L1Stats {

@@ -297,7 +297,7 @@ impl TcL2 {
 }
 
 impl L2Bank for TcL2 {
-    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ()> {
+    fn handle_req(&mut self, cycle: Cycle, req: ReqMsg, out: &mut L2Outbox) -> Result<(), ReqMsg> {
         let line = req.line;
         // Order behind a parked store or earlier deferred requests.
         if self.blocked_lines.contains_key(&line) || self.deferred.contains_key(&line) {
@@ -317,12 +317,15 @@ impl L2Bank for TcL2 {
                 } else if self.tags.probe(line).is_some() {
                     self.serve_gets_hit(cycle, &req, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        self.stats.gets -= 1;
+                        return Err(req);
+                    }
                     let mut entry = TcEntry::default();
                     entry.queued.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        self.stats.gets -= 1;
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }
@@ -342,11 +345,14 @@ impl L2Bank for TcL2 {
                 } else if self.tags.probe(line).is_some() {
                     self.serve_write_hit(cycle, req, out);
                 } else {
+                    if self.mshrs.is_full() {
+                        return Err(req);
+                    }
                     let mut entry = TcEntry::default();
                     entry.queued.push_back(req);
-                    if self.mshrs.allocate(line, entry).is_err() {
-                        return Err(());
-                    }
+                    self.mshrs
+                        .allocate(line, entry)
+                        .expect("capacity checked above");
                     self.stats.dram_fetches += 1;
                     out.dram_fetch.push(line);
                 }

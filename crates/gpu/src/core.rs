@@ -541,6 +541,110 @@ impl Core {
         }
     }
 
+    /// The earliest future cycle at which this core could act
+    /// *differently* from the structural-reject retry it just executed,
+    /// assuming no external input (completion, response, workgroup-epoch
+    /// advance) arrives first. `None` means only external input can
+    /// break the spin.
+    ///
+    /// Only meaningful immediately after a [`Core::tick`] whose issue
+    /// attempt the L1 rejected. In that state the scheduler's choice is
+    /// a fixed point: the rejected warp was the first eligible warp in
+    /// the policy order and the pointer did not advance, so with the
+    /// core and L1 state unchanged every subsequent cycle re-presents
+    /// the same access and is rejected again. The fixed point holds
+    /// until a timer reported here expires (another warp becomes
+    /// eligible and can preempt, a GWCT fence retires) or external
+    /// input changes core or L1 state — so, unlike [`Core::next_event`],
+    /// warps that are merely *ready to issue* contribute no wake: ready
+    /// warps sit behind the spinning warp in the visit order (an
+    /// eligible warp ahead of it would have been chosen instead) and
+    /// are never reached while the spin repeats.
+    ///
+    /// The skipped retries are not free: the simulator replays their
+    /// bookkeeping via [`Core::fast_forward`] (other warps' stall
+    /// counters), [`Core::replay_structural_stalls`], and the L1's
+    /// matching reject-replay hook.
+    pub fn stall_horizon(&self, now: Cycle) -> Option<Cycle> {
+        if self.done() {
+            return None;
+        }
+        let nowr = now.raw();
+        let floor = nowr + 1;
+        let mut best: u64 = u64::MAX;
+        for warp in &self.warps {
+            if best == floor {
+                break; // already at the earliest possible answer
+            }
+            if warp.done {
+                continue;
+            }
+            if let Some(need) = warp.waiting_local {
+                if self.wg_epochs[warp.wg_index] >= need {
+                    // Releases in the next bookkeeping phase (should not
+                    // survive a tick, but stay conservative).
+                    best = floor;
+                }
+                continue;
+            }
+            if warp.at_fence {
+                if warp.outstanding.is_empty() {
+                    if self.params.fence_policy == FencePolicy::DrainGwct && nowr <= warp.max_gwct {
+                        // Retirement re-enables the warp: it can then
+                        // preempt the spinning warp.
+                        best = best.min(warp.max_gwct + 1);
+                    } else {
+                        best = floor;
+                    }
+                }
+                continue;
+            }
+            if warp.current_op().is_none() {
+                if warp.outstanding.is_empty() && warp.micro == Micro::Fresh {
+                    best = floor; // retirement next bookkeeping phase
+                }
+                continue;
+            }
+            let mut wake = floor;
+            let mut timer_pending = false;
+            if warp.busy_until > nowr {
+                wake = wake.max(warp.busy_until);
+                timer_pending = true;
+            }
+            match warp.micro {
+                Micro::SyncWait => continue, // woken by its completion
+                Micro::LockBackoff { until } | Micro::BarrierBackoff { until } if until > nowr => {
+                    wake = wake.max(until);
+                    timer_pending = true;
+                }
+                _ => {}
+            }
+            if wake > floor {
+                // A timer re-enables this warp mid-spin: the scheduler
+                // could then pick it over the spinning warp.
+                best = best.min(wake);
+                continue;
+            }
+            if timer_pending {
+                // Expires right at the window floor.
+                best = floor;
+            }
+            // Ready or ordering-stalled warps with no live timer are
+            // inert: the spin repeats ahead of them in the visit order,
+            // and their stall counters are replayed by `fast_forward`.
+        }
+        (best != u64::MAX).then_some(Cycle(best))
+    }
+
+    /// Accounts for `cycles` skipped retry cycles during which the
+    /// simulator proved (via [`Core::stall_horizon`]) that every tick
+    /// would re-present the same access and be structurally rejected:
+    /// replays the one counter each such [`Core::tick`] would have
+    /// bumped. The L1's reject counter is replayed by its own hook.
+    pub fn replay_structural_stalls(&mut self, cycles: u64) {
+        self.stats.structural_stall_cycles += cycles;
+    }
+
     /// Advances non-issuing warp state (fences, local waits, retirement)
     /// and counts ordering stalls, then issues at most one instruction
     /// via `try_access`.

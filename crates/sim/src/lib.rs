@@ -32,11 +32,13 @@ pub mod litmus;
 pub mod metrics;
 pub mod observe;
 pub mod runner;
+pub mod sched;
 pub mod system;
 
 pub use checkpoint::Checkpoint;
 pub use error::{HangDump, RunOutcome, SimError};
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, SchedStats};
 pub use observe::Observer;
 pub use runner::{resume, simulate, try_simulate, SimOptions};
+pub use sched::EventQueue;
 pub use system::System;

@@ -7,6 +7,27 @@ use rcc_gpu::CoreStats;
 use rcc_noc::EnergyBreakdown;
 use rcc_obs::{DigestWriter, ObsReport, SimProfile};
 
+/// Telemetry of the event-driven engine's calendar queue: how many wake
+/// events were posted and superseded, how deep the queue ran, and how
+/// far its exact wakes sat from the conservative min-scan hint. Pure
+/// engine measurement — two runs with identical simulated results may
+/// differ here (e.g. scheduled vs. stepped).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedStats {
+    /// Wake events posted into the calendar queue.
+    pub events_posted: u64,
+    /// Posted events superseded by a re-arm before firing.
+    pub events_cancelled: u64,
+    /// Median queue depth sampled at every post.
+    pub queue_depth_p50: u64,
+    /// Peak queue depth.
+    pub queue_depth_max: u64,
+    /// Mean |exact wake − min-scan hint| over sampled jumps (0 when the
+    /// queue and the conservative scan agree, as they do when every
+    /// component's hint is exact).
+    pub wake_slack_mean: f64,
+}
+
 /// Aggregated measurements of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
@@ -54,6 +75,10 @@ pub struct RunMetrics {
     pub skipped_cycles: u64,
     /// Fast-forward jumps taken (engine telemetry).
     pub ff_jumps: u64,
+    /// Calendar-queue scheduler telemetry (engine telemetry, excluded
+    /// from [`RunMetrics::same_simulated_results`] like the other
+    /// engine counters).
+    pub sched: SchedStats,
     /// Simulator self-profile: wall-clock attribution per engine phase.
     /// `None` unless profiling was armed. Host-machine measurement, not a
     /// simulated result — excluded from
@@ -152,8 +177,8 @@ impl RunMetrics {
     /// [`RunMetrics::same_simulated_results`] compares, so two runs are
     /// digest-equal iff they are result-equal. This is what the golden
     /// snapshot tests pin: one stable hash instead of a wall of floats.
-    /// Engine telemetry (`skipped_cycles`, `ff_jumps`) and observation
-    /// (`profile`, `obs`) are deliberately not hashed.
+    /// Engine telemetry (`skipped_cycles`, `ff_jumps`, `sched`) and
+    /// observation (`profile`, `obs`) are deliberately not hashed.
     pub fn digest(&self, seed: u64) -> u64 {
         let mut w = DigestWriter::new(seed);
         w.write_str(&self.kind.to_string());
@@ -289,6 +314,7 @@ mod tests {
             chaos_events: 0,
             skipped_cycles: 0,
             ff_jumps: 0,
+            sched: SchedStats::default(),
             profile: None,
             obs: None,
         }
@@ -322,6 +348,13 @@ mod tests {
         // digest-equality has to mean same_simulated_results.
         b.skipped_cycles = 999;
         b.ff_jumps = 3;
+        b.sched = SchedStats {
+            events_posted: 12,
+            events_cancelled: 4,
+            queue_depth_p50: 3,
+            queue_depth_max: 9,
+            wake_slack_mean: 0.5,
+        };
         b.profile = Some(rcc_obs::SimProfile::new());
         assert_eq!(a.digest(1), b.digest(1));
         assert!(a.same_simulated_results(&b));

@@ -1,8 +1,9 @@
 //! The cycle-driven full system.
 
 use crate::error::{BlockedWarp, ComponentState, HangDump, SimError};
-use crate::metrics::RunMetrics;
+use crate::metrics::{RunMetrics, SchedStats};
 use crate::observe::Observer;
+use crate::sched::EventQueue;
 use rcc_chaos::{stream, ChaosSpec, PerturbPoint, Perturber, Site};
 use rcc_common::addr::{LineAddr, WordAddr};
 use rcc_common::config::GpuConfig;
@@ -38,6 +39,12 @@ enum PendingValue {
 type PendingVals = FxHashMap<(usize, WarpId, WordAddr), VecDeque<PendingValue>>;
 type LoadLog = FxHashMap<(usize, usize, WordAddr), Vec<u64>>;
 
+/// Self-profiling sampling stride: wall-clock phase marks are taken on
+/// every N-th executed step and each charge is scaled by N (see
+/// `System::charge`). Sampling is keyed off the deterministic step
+/// counter, so it is reproducible and never touches simulated state.
+const PROFILE_STRIDE: u64 = 16;
+
 /// Rollover coordination (Section III-D), simulator-orchestrated: on
 /// threshold crossing the cores pause, the system drains, the L2s reset
 /// their timestamps, and every L1 is flushed over the network.
@@ -46,6 +53,26 @@ enum RolloverState {
     Idle,
     Draining,
     Flushing { acks_outstanding: usize },
+}
+
+/// Reject-spin tracking for one core (see `Core::stall_horizon`): the
+/// engine's license to sleep through cycles that provably repeat the
+/// same structurally rejected issue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpinState {
+    /// The core's last tick did not end in a replayable reject.
+    Idle,
+    /// The last tick ended in a structural reject (chaos disarmed, no
+    /// same-cycle completion). A controller's reject path may carry a
+    /// one-time side effect — TC self-invalidates the expired line it
+    /// probes — so the spin engages only if the next retry repeats the
+    /// exact same stat delta, by which point the path is pure.
+    Candidate,
+    /// Two consecutive retries produced identical stat deltas: the
+    /// reject path is in its pure steady state, every further cycle
+    /// repeats it bit-exactly, and gap cycles replay as `spin_delta`
+    /// copies.
+    Active,
 }
 
 /// Shared bookkeeping the per-cycle closures need mutable access to.
@@ -181,13 +208,43 @@ pub struct System<P: Protocol> {
     /// updated with before/after deltas at every controller call site so
     /// the per-cycle drain checks are O(1).
     mem_pending: usize,
-    /// Whether `run` may jump over provably idle cycles.
+    /// Whether `run` uses the event-driven engine (calendar queue with
+    /// exact wake events) instead of stepping every cycle.
     ff_enabled: bool,
-    /// Cycles skipped by fast-forwarding (simulated results are
+    /// Cycles skipped by the event-driven engine (simulated results are
     /// unaffected; this only measures how much stepping was avoided).
     skipped_cycles: u64,
-    /// Number of fast-forward jumps taken.
+    /// Number of scheduler jumps that skipped at least one cycle.
     ff_jumps: u64,
+    /// Calendar queue of exact per-component wake cycles (the
+    /// event-driven engine's core; see [`crate::sched`]).
+    sched: EventQueue,
+    /// True while `run_until` is driving the event-driven engine. Gates
+    /// queue arming and lazy core replay inside helpers shared with the
+    /// legacy stepped engine.
+    scheduled_mode: bool,
+    /// Per-core cycle through which per-cycle stall bookkeeping has been
+    /// accounted (by a real tick or a `Core::fast_forward` replay). The
+    /// event-driven engine leaves un-woken cores untouched and replays
+    /// the gap lazily right before the next tick, completion delivery,
+    /// or digest/metrics read.
+    synced_to: Vec<u64>,
+    /// Per-core reject-spin tracker: once `Active`, every cycle until
+    /// the core's next wake repeats the same structurally rejected
+    /// retry (the fixed point of [`Core::stall_horizon`]), and gap
+    /// cycles replayed for it additionally charge one structural stall
+    /// (core) and one copy of [`System::spin_delta`] (L1) each.
+    spin_state: Vec<SpinState>,
+    /// The exact per-retry L1 stat delta observed on each core's last
+    /// executed reject (e.g. RCC bumps `expired_loads` alongside
+    /// `rejects` when the spinning load keeps probing a stale resident
+    /// line). Only meaningful while the matching `spin_state` is not
+    /// `Idle`.
+    spin_delta: Vec<L1Stats>,
+    /// Wake-slack telemetry: accumulated |queue wake − conservative
+    /// min-scan bound| and sample count (sampled every 64th jump).
+    wake_slack_sum: u64,
+    wake_slack_samples: u64,
     /// Reusable outbox buffers (capacity persists across cycles).
     scratch_l1: L1Outbox,
     scratch_l2: L2Outbox,
@@ -274,6 +331,15 @@ impl<P: Protocol> System<P> {
             ff_enabled: true,
             skipped_cycles: 0,
             ff_jumps: 0,
+            // cores | l1s | req net | resp net | banks | inboxes |
+            // pipes | drams | rollover coordinator.
+            sched: EventQueue::new(2 * cfg.num_cores + 2 + 4 * nparts + 1),
+            scheduled_mode: false,
+            synced_to: vec![0; cfg.num_cores],
+            spin_state: vec![SpinState::Idle; cfg.num_cores],
+            spin_delta: vec![L1Stats::default(); cfg.num_cores],
+            wake_slack_sum: 0,
+            wake_slack_samples: 0,
             scratch_l1: L1Outbox::new(),
             scratch_l2: L2Outbox::new(),
             chaos_pipe: None,
@@ -345,6 +411,10 @@ impl<P: Protocol> System<P> {
     /// Records one time-series row (and the logical-time counter tracks)
     /// at the current cycle.
     fn take_sample(&mut self) {
+        // Samples read counters that reject-spin gaps replay lazily
+        // (L1 `expired_loads`, core stall totals): settle them so the
+        // boundary row matches a stepped run bit-exactly.
+        self.sync_cores_to_now();
         let Some(mut obs) = self.obs.take() else {
             return;
         };
@@ -392,14 +462,22 @@ impl<P: Protocol> System<P> {
     }
 
     /// Charges the wall-clock since `*mark` to `phase` and re-arms the
-    /// mark (no-op when profiling is off).
+    /// mark (no-op when profiling is off or this step is unsampled).
+    ///
+    /// Profiling is *sampled*: only every [`PROFILE_STRIDE`]-th step
+    /// carries marks, and each charge is scaled by the stride, so the
+    /// per-phase totals stay unbiased estimates while the clock reads —
+    /// which otherwise dominate short runs at ~10 per executed cycle —
+    /// drop to a sixteenth. The stride is keyed off the deterministic
+    /// step counter, so the sampling pattern is reproducible and never
+    /// feeds simulated state.
     #[inline]
     fn charge(&mut self, mark: &mut Option<std::time::Instant>, phase: SimPhase) {
         if let Some(m) = mark {
             // rcc-lint: allow(wall-clock, self-profiling overhead measurement; never feeds simulated state)
             let now = std::time::Instant::now();
             if let Some(p) = &mut self.profile {
-                p.charge(phase, now.duration_since(*m));
+                p.charge(phase, now.duration_since(*m) * PROFILE_STRIDE as u32);
             }
             *m = now;
         }
@@ -498,13 +576,30 @@ impl<P: Protocol> System<P> {
 
     /// Routes one L1 outbox (drained in place so its buffers can be
     /// reused): requests onto the request network, completions into the
-    /// core and recorder.
-    fn process_l1_out(&mut self, core: usize, out: &mut L1Outbox) {
+    /// core and recorder. `core_wake_floor` is the earliest cycle the
+    /// core can still act on a completion delivered here — the current
+    /// cycle for callers that precede the core phase, the next cycle for
+    /// the core phase itself.
+    fn process_l1_out(&mut self, core: usize, out: &mut L1Outbox, core_wake_floor: u64) {
         self.mem_pending += out.to_l2.len();
+        let injected = !out.to_l2.is_empty();
         for req in out.to_l2.drain(..) {
             let part = req.line.partition(self.cfg.l2.num_partitions);
             let flits = Self::bill_req(&mut self.traffic, &self.cfg, &req);
             self.req_net.inject(self.cycle, core, part, 0, flits, req);
+        }
+        if injected && self.scheduled_mode {
+            self.arm_req_from_state();
+        }
+        if self.scheduled_mode
+            && !out.completions.is_empty()
+            && self.rollover == RolloverState::Idle
+        {
+            // A completion is an *input* to the core: replay the idle gap
+            // before delivering it, and make sure the core wakes for it
+            // (its own wake hint could not have foreseen this input).
+            self.sync_core_through(core, self.cycle.raw().saturating_sub(1));
+            self.sched.arm_min(self.comp_core(core), core_wake_floor);
         }
         for c in out.completions.drain(..) {
             if let Some(obs) = &mut self.obs {
@@ -533,8 +628,11 @@ impl<P: Protocol> System<P> {
 
     /// Routes one L2 outbox (drained in place): responses into the
     /// bank's delay pipe, DRAM commands into the channel, magic
-    /// coherence actions straight to L1s.
-    fn process_l2_out(&mut self, part: usize, out: &mut L2Outbox) {
+    /// coherence actions straight to L1s. `wake_floor` is the earliest
+    /// cycle the pipe/DRAM phases can still observe the new work (the
+    /// current cycle for callers that precede those phases, the next
+    /// cycle for callers that follow them).
+    fn process_l2_out(&mut self, part: usize, out: &mut L2Outbox, wake_floor: u64) {
         let ready = self.cycle.raw() + self.cfg.l2.partition.latency;
         self.mem_pending += out.to_l1.len() + out.dram_fetch.len() + out.dram_writeback.len();
         for resp in out.to_l1.drain(..) {
@@ -627,6 +725,20 @@ impl<P: Protocol> System<P> {
             self.l1s[core.index()].magic(self.cycle, line, action);
             self.mem_pending += self.l1s[core.index()].pending();
             self.mem_pending -= before;
+            if self.scheduled_mode {
+                self.sched
+                    .arm_min(self.comp_l1(core.index()), self.cycle.raw());
+                if self.spin_state[core.index()] == SpinState::Active {
+                    // The magic action mutated L1 state: the reject
+                    // fixed point may no longer hold.
+                    self.sched
+                        .arm_min(self.comp_core(core.index()), self.cycle.raw());
+                }
+            }
+        }
+        if self.scheduled_mode {
+            self.arm_pipe_from_state(part, wake_floor);
+            self.arm_dram_from_state(part, wake_floor);
         }
     }
 
@@ -649,6 +761,239 @@ impl<P: Protocol> System<P> {
             + self.resp_net.in_flight()
     }
 
+    // ------------------------------------------------------------------
+    // Event-driven engine: calendar-queue component slots.
+    //
+    // Fixed id layout (also the tie-break order inside the queue):
+    // cores | L1s | req net | resp net | L2 banks | bank inboxes |
+    // L2 delay pipes | DRAM channels | rollover coordinator. Execution
+    // order within a scheduled cycle is the fixed phase order of
+    // `step_scheduled`, so the layout only has to be *stable*, not
+    // meaningful.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn comp_core(&self, i: usize) -> usize {
+        i
+    }
+
+    #[inline]
+    fn comp_l1(&self, i: usize) -> usize {
+        self.cores.len() + i
+    }
+
+    #[inline]
+    fn comp_req(&self) -> usize {
+        2 * self.cores.len()
+    }
+
+    #[inline]
+    fn comp_resp(&self) -> usize {
+        2 * self.cores.len() + 1
+    }
+
+    #[inline]
+    fn comp_bank(&self, p: usize) -> usize {
+        2 * self.cores.len() + 2 + p
+    }
+
+    #[inline]
+    fn comp_inbox(&self, p: usize) -> usize {
+        2 * self.cores.len() + 2 + self.l2s.len() + p
+    }
+
+    #[inline]
+    fn comp_pipe(&self, p: usize) -> usize {
+        2 * self.cores.len() + 2 + 2 * self.l2s.len() + p
+    }
+
+    #[inline]
+    fn comp_dram(&self, p: usize) -> usize {
+        2 * self.cores.len() + 2 + 3 * self.l2s.len() + p
+    }
+
+    #[inline]
+    fn comp_rollover(&self) -> usize {
+        2 * self.cores.len() + 2 + 4 * self.l2s.len()
+    }
+
+    /// Re-arms core `i` from its own exact wake hint. `floor` clamps the
+    /// wake to the earliest cycle the core's phase can still run.
+    fn arm_core_from_state(&mut self, i: usize, floor: u64) {
+        let comp = self.comp_core(i);
+        if self.cores[i].done() {
+            self.sched.disarm(comp);
+            return;
+        }
+        match self.cores[i].next_event(self.cycle) {
+            Some(c) => self.sched.arm_at(comp, c.raw().max(floor)),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms L1 `i` from its spontaneous-action hint.
+    fn arm_l1_from_state(&mut self, i: usize, floor: u64) {
+        let comp = self.comp_l1(i);
+        match self.l1s[i].next_event(self.cycle) {
+            Some(c) => self.sched.arm_at(comp, c.raw().max(floor)),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms L2 bank `p` from its spontaneous-action hint.
+    fn arm_bank_from_state(&mut self, p: usize, floor: u64) {
+        let comp = self.comp_bank(p);
+        match self.l2s[p].next_event(self.cycle) {
+            Some(c) => self.sched.arm_at(comp, c.raw().max(floor)),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms bank inbox `p`: a non-empty inbox serves one request per
+    /// cycle, so it is due every cycle until drained.
+    fn arm_inbox_from_state(&mut self, p: usize, floor: u64) {
+        let comp = self.comp_inbox(p);
+        if self.l2_inbox[p].is_empty() {
+            self.sched.disarm(comp);
+        } else {
+            self.sched.arm_at(comp, floor);
+        }
+    }
+
+    /// Re-arms delay pipe `p` from its front entry (the pipe is FIFO
+    /// with monotone readiness, so the front is the earliest).
+    fn arm_pipe_from_state(&mut self, p: usize, floor: u64) {
+        let comp = self.comp_pipe(p);
+        match self.l2_delay[p].front() {
+            Some((ready, _)) => self.sched.arm_at(comp, (*ready).max(floor)),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms DRAM channel `p`. Its hint is `Cycle(0)` ("poll me every
+    /// cycle") while commands are queued, so the clamp makes that the
+    /// next serviceable cycle.
+    fn arm_dram_from_state(&mut self, p: usize, floor: u64) {
+        let comp = self.comp_dram(p);
+        match self.drams[p].next_event() {
+            Some(c) => self.sched.arm_at(comp, c.raw().max(floor)),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms the request network from its earliest in-flight delivery.
+    fn arm_req_from_state(&mut self) {
+        let comp = self.comp_req();
+        match self.req_net.next_event() {
+            Some(c) => self.sched.arm_at(comp, c.raw()),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms the response network from its earliest in-flight delivery.
+    fn arm_resp_from_state(&mut self) {
+        let comp = self.comp_resp();
+        match self.resp_net.next_event() {
+            Some(c) => self.sched.arm_at(comp, c.raw()),
+            None => self.sched.disarm(comp),
+        }
+    }
+
+    /// Re-arms the rollover coordinator when its FSM would transition at
+    /// the next cycle. Transitions normally happen in the same scheduled
+    /// cycle as the event that enables them (phases 1–5 precede phase
+    /// 6), so this only fires for the entry corner: the cycle the
+    /// threshold crossing is noticed on an already-drained machine.
+    fn arm_rollover_from_state(&mut self, floor: u64) {
+        let due = match self.rollover {
+            RolloverState::Idle => self.l2s.iter().any(L2Bank::needs_rollover),
+            RolloverState::Draining => {
+                let outstanding: usize = self.cores.iter().map(Core::outstanding).sum();
+                outstanding == 0 && self.memory_system_pending() == 0
+            }
+            RolloverState::Flushing { acks_outstanding } => acks_outstanding == 0,
+        };
+        let comp = self.comp_rollover();
+        if due {
+            self.sched.arm_min(comp, floor);
+        } else {
+            self.sched.disarm(comp);
+        }
+    }
+
+    /// Replays core `i`'s per-cycle stall bookkeeping through cycle
+    /// `through` (inclusive). Exact by [`Core::fast_forward`]'s
+    /// contract: every cycle in the gap was proven action-free (the
+    /// core's wake was not due and no completion arrived).
+    fn sync_core_through(&mut self, i: usize, through: u64) {
+        let from = self.synced_to[i];
+        if through > from {
+            let gap = through - from;
+            self.cores[i].fast_forward(Cycle(from), gap);
+            if self.spin_state[i] == SpinState::Active && !self.cores[i].done() {
+                // Every gap cycle was a skipped retry of the same
+                // structurally rejected access: charge the counters the
+                // per-cycle retry would have bumped.
+                self.cores[i].replay_structural_stalls(gap);
+                let delta = self.spin_delta[i].clone();
+                self.l1s[i].replay_rejected_access(&delta, gap);
+            }
+            self.synced_to[i] = through;
+        }
+    }
+
+    /// Brings every core's lazy stall bookkeeping up to the current
+    /// cycle. Called whenever core state escapes the engine — at
+    /// `run_until` exit (metrics / state digests / checkpoints read
+    /// `&self`) and before building a hang dump or typed error.
+    fn sync_cores_to_now(&mut self) {
+        if !self.scheduled_mode {
+            return;
+        }
+        let now = self.cycle.raw();
+        if self.rollover == RolloverState::Idle {
+            for i in 0..self.cores.len() {
+                self.sync_core_through(i, now);
+            }
+        } else {
+            // Cores are paused mid-rollover: the gap cycles carry no
+            // bookkeeping, so they are accounted as empty.
+            for s in &mut self.synced_to {
+                *s = (*s).max(now);
+            }
+        }
+    }
+
+    /// Derives every queue slot from component state, discarding any
+    /// previous arms. Called when the event-driven engine (re)gains
+    /// control of the system, making the queue exact regardless of what
+    /// ran before (construction, legacy stepping, checkpoint restore).
+    fn prime_sched(&mut self) {
+        self.scheduled_mode = true;
+        let now = self.cycle.raw();
+        let floor = now + 1;
+        self.sched.reset();
+        self.spin_state.fill(SpinState::Idle);
+        for i in 0..self.cores.len() {
+            self.synced_to[i] = now;
+            if self.rollover == RolloverState::Idle {
+                self.arm_core_from_state(i, floor);
+            }
+        }
+        for i in 0..self.l1s.len() {
+            self.arm_l1_from_state(i, floor);
+        }
+        self.arm_req_from_state();
+        self.arm_resp_from_state();
+        for p in 0..self.l2s.len() {
+            self.arm_bank_from_state(p, floor);
+            self.arm_inbox_from_state(p, floor);
+            self.arm_pipe_from_state(p, floor);
+            self.arm_dram_from_state(p, floor);
+        }
+        self.arm_rollover_from_state(floor);
+    }
+
     /// Advances the system by one cycle.
     ///
     /// # Errors
@@ -659,12 +1004,18 @@ impl<P: Protocol> System<P> {
     /// an engine invariant this cycle. The system is left intact either
     /// way, so callers can still read metrics or dump state.
     pub fn step(&mut self) -> Result<(), SimError> {
+        // Manual stepping invalidates the event queue (it does not keep
+        // arms current); the next scheduled run re-primes from state.
+        self.scheduled_mode = false;
         self.cycle += 1;
         let cycle = self.cycle;
-        // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
-        let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
+        let mut mark = None;
         if let Some(p) = &mut self.profile {
             p.steps += 1;
+            if p.steps.is_multiple_of(PROFILE_STRIDE) {
+                // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
+                mark = Some(std::time::Instant::now());
+            }
         }
 
         // 1. Response network → L1s.
@@ -676,7 +1027,7 @@ impl<P: Protocol> System<P> {
             self.l1s[dst].handle_resp(cycle, resp, &mut out);
             self.mem_pending += self.l1s[dst].pending();
             self.mem_pending -= before;
-            self.process_l1_out(dst, &mut out);
+            self.process_l1_out(dst, &mut out, cycle.raw());
             self.scratch_l1 = out;
         }
         self.charge(&mut mark, SimPhase::L1);
@@ -705,18 +1056,18 @@ impl<P: Protocol> System<P> {
             self.mem_pending += self.l2s[p].pending();
             self.mem_pending -= before;
             if !out.is_empty() {
-                self.process_l2_out(p, &mut out);
+                self.process_l2_out(p, &mut out, cycle.raw());
             }
             if let Some(req) = self.l2_inbox[p].pop_front() {
                 self.mem_pending -= 1;
                 let before = self.l2s[p].pending();
-                match self.l2s[p].handle_req(cycle, req.clone(), &mut out) {
+                match self.l2s[p].handle_req(cycle, req, &mut out) {
                     Ok(()) => {
                         self.mem_pending += self.l2s[p].pending();
                         self.mem_pending -= before;
-                        self.process_l2_out(p, &mut out);
+                        self.process_l2_out(p, &mut out, cycle.raw());
                     }
-                    Err(()) => {
+                    Err(req) => {
                         self.mem_pending += self.l2s[p].pending();
                         self.mem_pending -= before;
                         out.clear(); // discard any partial output
@@ -759,7 +1110,7 @@ impl<P: Protocol> System<P> {
                 self.l2s[p].handle_dram(cycle, line, data, &mut out);
                 self.mem_pending += self.l2s[p].pending();
                 self.mem_pending -= before;
-                self.process_l2_out(p, &mut out);
+                self.process_l2_out(p, &mut out, cycle.raw() + 1);
                 self.scratch_l2 = out;
             }
         }
@@ -816,7 +1167,7 @@ impl<P: Protocol> System<P> {
             }
             self.mem_pending += self.l1s[i].pending();
             self.mem_pending -= before;
-            self.process_l1_out(i, &mut out);
+            self.process_l1_out(i, &mut out, cycle.raw() + 1);
             self.scratch_l1 = out;
         }
         self.charge(&mut mark, SimPhase::Core);
@@ -1017,6 +1368,18 @@ impl<P: Protocol> System<P> {
             RolloverState::Idle => {
                 if self.l2s.iter().any(|l2| l2.needs_rollover()) {
                     self.rollover = RolloverState::Draining;
+                    if self.scheduled_mode {
+                        // Cores pause from this cycle on: settle their
+                        // lazy bookkeeping (through the last cycle they
+                        // ran) and park their wake slots until the
+                        // rollover completes.
+                        let now = self.cycle.raw();
+                        for i in 0..self.cores.len() {
+                            self.sync_core_through(i, now.saturating_sub(1));
+                            self.synced_to[i] = now;
+                            self.sched.disarm(self.comp_core(i));
+                        }
+                    }
                     if let Some(obs) = &mut self.obs {
                         if obs.tracing() {
                             obs.trace_mut()
@@ -1060,6 +1423,9 @@ impl<P: Protocol> System<P> {
                         acks_outstanding: self.cores.len(),
                     };
                     self.last_progress = self.cycle.raw();
+                    if self.scheduled_mode {
+                        self.arm_resp_from_state();
+                    }
                 }
             }
             RolloverState::Flushing { acks_outstanding } => {
@@ -1068,6 +1434,18 @@ impl<P: Protocol> System<P> {
                     self.recorder.epoch_base = self.recorder.max_ts_seen + 1;
                     self.rollover = RolloverState::Idle;
                     self.last_progress = self.cycle.raw();
+                    if self.scheduled_mode {
+                        // Cores resume *this* cycle (the core phase runs
+                        // after this one): their first tick covers the
+                        // current cycle's bookkeeping itself.
+                        let now = self.cycle.raw();
+                        for i in 0..self.cores.len() {
+                            self.synced_to[i] = now.saturating_sub(1);
+                            if !self.cores[i].done() {
+                                self.sched.arm_min(self.comp_core(i), now);
+                            }
+                        }
+                    }
                     if let Some(obs) = &mut self.obs {
                         if obs.tracing() {
                             obs.trace_mut().end(self.cycle.raw(), track::SYSTEM);
@@ -1171,63 +1549,437 @@ impl<P: Protocol> System<P> {
         (best != u64::MAX).then_some(best)
     }
 
-    /// Jumps `self.cycle` to just before the next event when the gap is
-    /// provably idle, replaying per-cycle stall counters so the metrics
-    /// are bit-identical to a stepped run. The jump is capped at `cap`
-    /// (the `max_cycles` budget, or the next checkpoint boundary) so the
-    /// watchdog, the budget abort, and checkpoint cycles land exactly
-    /// where they would in a stepped run.
-    fn maybe_fast_forward(&mut self, cap: u64) {
-        let now = self.cycle.raw();
-        let deadline = self.last_progress + self.cfg.watchdog_cycles + 1;
-        let mut target = self
-            .next_event_cycle()
-            .unwrap_or(deadline)
-            .min(deadline)
-            .min(cap);
+    /// One scheduled cycle of the event-driven engine. `self.cycle` has
+    /// already been set to the popped wake cycle; this executes the
+    /// *due* components in exactly the legacy phase order (and fixed
+    /// component order within each phase), consuming each due wake and
+    /// re-arming from fresh component state. A due wake is always
+    /// consumed even when its action is skipped (e.g. a core wake while
+    /// a rollover pauses issue) so the queue never reports a wake at or
+    /// before the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`System::step`].
+    fn step_scheduled(&mut self) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let n = cycle.raw();
+        let mut mark = None;
+        if let Some(p) = &mut self.profile {
+            p.steps += 1;
+            if p.steps.is_multiple_of(PROFILE_STRIDE) {
+                // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
+                mark = Some(std::time::Instant::now());
+            }
+        }
+
+        // 1. Response network → L1s.
+        if self.sched.is_due(self.comp_resp(), n) {
+            self.sched.disarm(self.comp_resp());
+            let delivered = self.resp_net.deliver(cycle);
+            self.mem_pending -= delivered.len();
+            for (dst, resp) in delivered {
+                let mut out = std::mem::take(&mut self.scratch_l1);
+                let before = self.l1s[dst].pending();
+                self.l1s[dst].handle_resp(cycle, resp, &mut out);
+                self.mem_pending += self.l1s[dst].pending();
+                self.mem_pending -= before;
+                self.process_l1_out(dst, &mut out, n);
+                if self.spin_state[dst] == SpinState::Active {
+                    // Any response can change L1 state (free an MSHR,
+                    // resolve a transient line) and break the reject
+                    // fixed point even when it completes nothing — make
+                    // sure the spinning core re-evaluates this cycle.
+                    self.sched.arm_min(self.comp_core(dst), n);
+                }
+                self.scratch_l1 = out;
+                // Min-arm, not set-arm: the L1's own tick runs later in
+                // this same cycle (phase 7), and `next_event(n)` reports
+                // the wake *after* it — a set-arm here would wipe a
+                // due-at-`n` wake (e.g. the RCC livelock bump at an
+                // interval boundary) before it executes. Responses can
+                // only move the spontaneous horizon earlier (a new lease
+                // expiry); an early wake is a wasted tick, never a skip.
+                if let Some(c) = self.l1s[dst].next_event(cycle) {
+                    self.sched.arm_min(self.comp_l1(dst), c.raw().max(n));
+                }
+            }
+            self.arm_resp_from_state();
+        }
+        self.charge(&mut mark, SimPhase::L1);
+
+        // 2. Request network → bank inboxes (flush acks are intercepted
+        //    by the rollover coordinator).
+        if self.sched.is_due(self.comp_req(), n) {
+            self.sched.disarm(self.comp_req());
+            let delivered = self.req_net.deliver(cycle);
+            self.mem_pending -= delivered.len();
+            for (dst, req) in delivered {
+                if matches!(req.payload, ReqPayload::FlushAck) {
+                    if let RolloverState::Flushing { acks_outstanding } = &mut self.rollover {
+                        *acks_outstanding -= 1;
+                    }
+                    continue;
+                }
+                self.l2_inbox[dst].push_back(req);
+                self.mem_pending += 1;
+                self.sched.arm_min(self.comp_inbox(dst), n);
+            }
+            self.arm_req_from_state();
+        }
+        self.charge(&mut mark, SimPhase::Noc);
+
+        // 3. L2 banks: tick, then serve one request per cycle.
+        for p in 0..self.l2s.len() {
+            let bank_due = self.sched.is_due(self.comp_bank(p), n);
+            let inbox_due = self.sched.is_due(self.comp_inbox(p), n);
+            if !bank_due && !inbox_due {
+                continue;
+            }
+            let mut out = std::mem::take(&mut self.scratch_l2);
+            if bank_due {
+                self.sched.disarm(self.comp_bank(p));
+                let before = self.l2s[p].pending();
+                self.l2s[p].tick(cycle, &mut out);
+                self.mem_pending += self.l2s[p].pending();
+                self.mem_pending -= before;
+                if !out.is_empty() {
+                    self.process_l2_out(p, &mut out, n);
+                }
+            }
+            if inbox_due {
+                self.sched.disarm(self.comp_inbox(p));
+                if let Some(req) = self.l2_inbox[p].pop_front() {
+                    self.mem_pending -= 1;
+                    let before = self.l2s[p].pending();
+                    match self.l2s[p].handle_req(cycle, req, &mut out) {
+                        Ok(()) => {
+                            self.mem_pending += self.l2s[p].pending();
+                            self.mem_pending -= before;
+                            self.process_l2_out(p, &mut out, n);
+                        }
+                        Err(req) => {
+                            self.mem_pending += self.l2s[p].pending();
+                            self.mem_pending -= before;
+                            out.clear(); // discard any partial output
+                            self.l2_inbox[p].push_front(req);
+                            self.mem_pending += 1;
+                        }
+                    }
+                }
+                self.arm_inbox_from_state(p, n + 1);
+            }
+            self.arm_bank_from_state(p, n + 1);
+            self.scratch_l2 = out;
+        }
+        self.charge(&mut mark, SimPhase::L2);
+
+        // 4. L2 delay pipes → response network.
+        let mut resp_injected = false;
+        for p in 0..self.l2_delay.len() {
+            if !self.sched.is_due(self.comp_pipe(p), n) {
+                continue;
+            }
+            self.sched.disarm(self.comp_pipe(p));
+            while let Some((ready, _)) = self.l2_delay[p].front() {
+                if *ready > n {
+                    break;
+                }
+                let Some((_, resp)) = self.l2_delay[p].pop_front() else {
+                    break;
+                };
+                let dst = resp.dst.index();
+                let flits = Self::bill_resp(&mut self.traffic, &self.cfg, &resp);
+                self.resp_net.inject(cycle, p, dst, 1, flits, resp);
+                resp_injected = true;
+            }
+            self.arm_pipe_from_state(p, n + 1);
+        }
+        if resp_injected {
+            self.arm_resp_from_state();
+        }
+        self.charge(&mut mark, SimPhase::Noc);
+
+        // 5. DRAM.
+        for p in 0..self.drams.len() {
+            if !self.sched.is_due(self.comp_dram(p), n) {
+                continue;
+            }
+            self.sched.disarm(self.comp_dram(p));
+            let before = self.drams[p].pending();
+            let lines = self.drams[p].tick(cycle);
+            self.mem_pending += self.drams[p].pending();
+            self.mem_pending -= before;
+            let touched = !lines.is_empty();
+            for line in lines {
+                let data = self.memory.get(&line).cloned().unwrap_or_default();
+                let mut out = std::mem::take(&mut self.scratch_l2);
+                let before = self.l2s[p].pending();
+                self.l2s[p].handle_dram(cycle, line, data, &mut out);
+                self.mem_pending += self.l2s[p].pending();
+                self.mem_pending -= before;
+                self.process_l2_out(p, &mut out, n + 1);
+                self.scratch_l2 = out;
+            }
+            if touched {
+                self.arm_bank_from_state(p, n + 1);
+            }
+            self.arm_dram_from_state(p, n + 1);
+        }
+        self.charge(&mut mark, SimPhase::Dram);
+
+        // 6. Rollover coordination (every scheduled cycle: transitions
+        //    are enabled by same-cycle events from the phases above, and
+        //    the coordinator's own queue slot covers the one case where
+        //    a transition is due with nothing else armed).
+        self.sched.disarm(self.comp_rollover());
+        self.advance_rollover();
+        self.arm_rollover_from_state(n + 1);
+        self.charge(&mut mark, SimPhase::Rollover);
+
+        // 7. Cores + L1 ticks (paused while a rollover is in progress).
+        let issuing = self.rollover == RolloverState::Idle;
+        for i in 0..self.cores.len() {
+            let l1_due = self.sched.is_due(self.comp_l1(i), n);
+            let core_due = self.sched.is_due(self.comp_core(i), n);
+            if !l1_due && !core_due {
+                continue;
+            }
+            let mut out = std::mem::take(&mut self.scratch_l1);
+            let before = self.l1s[i].pending();
+            if l1_due {
+                self.sched.disarm(self.comp_l1(i));
+                self.l1s[i].tick(cycle, &mut out);
+            }
+            let mut ticked = false;
+            if core_due {
+                self.sched.disarm(self.comp_core(i));
+                if issuing && !self.cores[i].done() {
+                    // Replay the stall bookkeeping of the skipped gap,
+                    // then run the real tick for this cycle.
+                    self.sync_core_through(i, n.saturating_sub(1));
+                    let l1 = &mut self.l1s[i];
+                    let recorder = &mut self.recorder;
+                    let chaos = &mut self.chaos_access;
+                    let mut issued_any = false;
+                    let mut reject_delta: Option<L1Stats> = None;
+                    let core_out = self.cores[i].tick(cycle, |access| {
+                        if let Some(c) = chaos.as_mut() {
+                            if c.fires(Site::L1Access) {
+                                // Bounce before the access reaches the L1
+                                // (or the recorder): the warp retries next
+                                // cycle, modelling a variable L1 service
+                                // latency.
+                                return AccessOutcome::Reject(RejectReason::ChaosStall);
+                            }
+                        }
+                        recorder.note_issue(i, access);
+                        let stats_before = l1.stats().clone();
+                        let outcome = l1.access(cycle, access, &mut out);
+                        match &outcome {
+                            AccessOutcome::Done(c) => {
+                                recorder.note_completion(i, c);
+                                issued_any = true;
+                            }
+                            AccessOutcome::Pending => issued_any = true,
+                            AccessOutcome::Reject(_) => {
+                                // The access never started; forget what
+                                // the recorder registered for it.
+                                recorder.note_reject(i, access);
+                                reject_delta = Some(l1.stats().delta_since(&stats_before));
+                            }
+                        }
+                        outcome
+                    });
+                    // A structural reject with chaos disarmed is a fixed
+                    // point (see `Core::stall_horizon`): the retry can be
+                    // slept through and replayed — unless a completion
+                    // delivered below already changed warp state. Spin
+                    // engages on the second consecutive retry with an
+                    // identical stat delta (the first may carry one-time
+                    // side effects like TC's expiry self-invalidation).
+                    self.spin_state[i] = match reject_delta {
+                        Some(delta)
+                            if self.chaos_access.is_none() && out.completions.is_empty() =>
+                        {
+                            if self.spin_state[i] != SpinState::Idle && self.spin_delta[i] == delta
+                            {
+                                SpinState::Active
+                            } else {
+                                self.spin_delta[i] = delta;
+                                SpinState::Candidate
+                            }
+                        }
+                        _ => SpinState::Idle,
+                    };
+                    if issued_any {
+                        self.last_progress = n;
+                    }
+                    for _warp in core_out.fences_retired {
+                        // RCC-WO: joining the views is a core-level action.
+                        self.l1s[i].fence();
+                        self.last_progress = n;
+                    }
+                    self.synced_to[i] = n;
+                    ticked = true;
+                }
+            }
+            self.mem_pending += self.l1s[i].pending();
+            self.mem_pending -= before;
+            self.process_l1_out(i, &mut out, n + 1);
+            if ticked {
+                // After the outbox: a synchronous completion's touch arm
+                // must be superseded by the post-tick exact hint.
+                if self.spin_state[i] == SpinState::Active {
+                    // Reject-spin: sleep to the earliest cycle the core
+                    // could act differently; the skipped retries are
+                    // replayed on the next sync. External inputs
+                    // (responses, completions, magic actions) touch-arm
+                    // the core earlier and re-evaluate.
+                    match self.cores[i].stall_horizon(cycle) {
+                        Some(c) => self.sched.arm_at(self.comp_core(i), c.raw().max(n + 1)),
+                        None => self.sched.disarm(self.comp_core(i)),
+                    }
+                } else {
+                    self.arm_core_from_state(i, n + 1);
+                }
+            }
+            self.arm_l1_from_state(i, n + 1);
+            self.scratch_l1 = out;
+        }
+        self.charge(&mut mark, SimPhase::Core);
+
+        // 8. Observation (sample boundaries are always scheduled because
+        //    the engine caps its jumps at the next boundary).
         if let Some(obs) = &self.obs {
-            // Never jump over a sample boundary: the boundary cycle must
-            // be stepped so the sampler reads state exactly there. Only
-            // engine telemetry changes; simulated results do not.
-            if let Some(boundary) = obs.next_sample_cycle() {
-                target = target.min(boundary);
+            if obs.sample_due(n) {
+                self.take_sample();
             }
+            self.charge(&mut mark, SimPhase::Sample);
         }
-        if target <= now + 1 {
-            return;
+
+        debug_assert_eq!(
+            self.mem_pending,
+            self.memory_system_pending_scan(),
+            "incremental pending counter diverged at {cycle}"
+        );
+
+        if let Some(detail) = self.recorder.invariant_failure.take() {
+            self.sync_cores_to_now();
+            return Err(SimError::ProtocolInvariant {
+                kind: self.kind,
+                workload: self.workload_name.clone(),
+                cycle: n,
+                detail,
+            });
         }
-        let skipped = target - now - 1;
-        if self.rollover == RolloverState::Idle {
-            // Paused cores do no bookkeeping, so only an idle machine
-            // accrues per-cycle stall counters.
-            let at = self.cycle;
-            for core in &mut self.cores {
-                core.fast_forward(at, skipped);
+
+        // Watchdog: no forward progress for a full threshold window is a
+        // deadlock. Emit the forensic dump instead of aborting.
+        if n - self.last_progress > self.cfg.watchdog_cycles {
+            self.sync_cores_to_now();
+            return Err(SimError::Deadlock(Box::new(self.hang_dump())));
+        }
+        Ok(())
+    }
+
+    /// The event-driven engine loop: pop the earliest armed wake, jump
+    /// straight to it, execute the due components, repeat. Gap cycles
+    /// are proven action-free by the components' exact wake events, so
+    /// results are bit-identical to the stepped loop; per-core stall
+    /// bookkeeping over gaps is replayed lazily ([`Core::fast_forward`])
+    /// the next time each core runs.
+    fn run_scheduled(&mut self, target: u64) -> Result<(), SimError> {
+        // Derive every wake from component state: cheap, and makes the
+        // engine correct regardless of what ran before (construction,
+        // manual `step` calls, checkpoint restore).
+        self.prime_sched();
+        while !self.done() && self.cycle.raw() < target {
+            // This mark covers the queue pop + jump that precede the
+            // step; it samples the same steps as `step_scheduled` (which
+            // increments the counter this predicate anticipates).
+            let mut mark = None;
+            if let Some(p) = &self.profile {
+                if (p.steps + 1).is_multiple_of(PROFILE_STRIDE) {
+                    // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
+                    mark = Some(std::time::Instant::now());
+                }
             }
+            let now = self.cycle.raw();
+            // The watchdog must observe the threshold crossing exactly
+            // where a stepped run would report it.
+            let deadline = self.last_progress + self.cfg.watchdog_cycles + 1;
+            let wake = self.sched.next_wake();
+            #[cfg(debug_assertions)]
+            if !self.spin_state.contains(&SpinState::Active) {
+                if let Some(scan) = self.next_event_cycle() {
+                    // Oracle: the legacy conservative min-scan may never
+                    // see an event the queue missed. (The queue may be
+                    // earlier: touch arms are consumed even when the
+                    // action is skipped. During a reject-spin the queue
+                    // is legitimately *later* — the scan treats the
+                    // spinning core's retry as an event — so the oracle
+                    // only runs with no spin active.)
+                    let w = wake.unwrap_or(u64::MAX);
+                    debug_assert!(
+                        w <= scan,
+                        "event queue missed a wake at {now}: queue={w} scan={scan}"
+                    );
+                }
+            }
+            let mut next = wake.unwrap_or(deadline).min(deadline).min(target);
+            if let Some(obs) = &self.obs {
+                // Never jump over a sample boundary: the boundary cycle
+                // must be executed so the sampler reads state exactly
+                // there.
+                if let Some(boundary) = obs.next_sample_cycle() {
+                    if boundary > now {
+                        next = next.min(boundary);
+                    }
+                }
+            }
+            debug_assert!(next > now, "scheduled cycle must advance past {now}");
+            let next = next.max(now + 1);
+            let skipped = next - now - 1;
+            if skipped > 0 {
+                self.skipped_cycles += skipped;
+                self.ff_jumps += 1;
+                if self.ff_jumps % 64 == 1 {
+                    // Exact-vs-hint slack telemetry: how far the queue's
+                    // wake sits from the conservative min-scan. Sampled
+                    // so the O(components) scan stays off the hot path.
+                    if let (Some(w), Some(scan)) = (wake, self.next_event_cycle()) {
+                        self.wake_slack_sum += w.abs_diff(scan);
+                        self.wake_slack_samples += 1;
+                    }
+                }
+            }
+            self.cycle = Cycle(next);
+            self.charge(&mut mark, SimPhase::FastForward);
+            self.step_scheduled()?;
         }
-        self.skipped_cycles += skipped;
-        self.ff_jumps += 1;
-        // Land one cycle short: the next `step` executes the event cycle.
-        self.cycle = Cycle(target - 1);
+        // Core state escapes here (metrics, digests, checkpoints): settle
+        // the lazy bookkeeping.
+        self.sync_cores_to_now();
+        Ok(())
     }
 
     /// Advances the system until it finishes or reaches cycle `target`
-    /// (whichever comes first). Fast-forward jumps are capped at
-    /// `target`, so the boundary cycle is stepped exactly — the
+    /// (whichever comes first). The event-driven engine caps its jumps
+    /// at `target`, so the boundary cycle is executed exactly — the
     /// checkpoint writer relies on that to snapshot bit-reproducible
     /// states.
     ///
     /// # Errors
     ///
-    /// Propagates any [`SimError`] from [`System::step`].
+    /// Propagates any [`SimError`] from [`System::step`] /
+    /// [`System::step_scheduled`].
     pub fn run_until(&mut self, target: u64) -> Result<(), SimError> {
+        if self.ff_enabled {
+            return self.run_scheduled(target);
+        }
+        self.scheduled_mode = false;
         while !self.done() && self.cycle.raw() < target {
-            if self.ff_enabled {
-                // rcc-lint: allow(wall-clock, self-profiling phase mark; never feeds simulated state)
-                let mut mark = self.profile.as_ref().map(|_| std::time::Instant::now());
-                self.maybe_fast_forward(target);
-                self.charge(&mut mark, SimPhase::FastForward);
-            }
             self.step()?;
         }
         Ok(())
@@ -1339,6 +2091,17 @@ impl<P: Protocol> System<P> {
             chaos_events: self.chaos_fired.load(Ordering::Relaxed),
             skipped_cycles: self.skipped_cycles,
             ff_jumps: self.ff_jumps,
+            sched: SchedStats {
+                events_posted: self.sched.posted(),
+                events_cancelled: self.sched.cancelled(),
+                queue_depth_p50: self.sched.depth_p50(),
+                queue_depth_max: self.sched.depth_max(),
+                wake_slack_mean: if self.wake_slack_samples == 0 {
+                    0.0
+                } else {
+                    self.wake_slack_sum as f64 / self.wake_slack_samples as f64
+                },
+            },
             profile: self.profile.clone(),
             obs: None,
         }

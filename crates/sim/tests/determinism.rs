@@ -187,6 +187,99 @@ fn observation_is_invisible_on_every_litmus_test() {
     }
 }
 
+// The event-driven engine must not merely reproduce the *metrics* of
+// the legacy stepped engine — the machine state itself must match at
+// every checkpoint boundary, or a checkpoint taken under one engine
+// would not resume bit-identically under the other. Lockstep the two
+// engines with `run_until` and compare full state digests at each
+// boundary, then the final metrics.
+fn lockstep_digests<P: rcc_core::protocol::Protocol>(
+    proto: &P,
+    cfg: &GpuConfig,
+    wl: &rcc_workloads::Workload,
+    stride: u64,
+    label: &str,
+) {
+    let mut stepped = rcc_sim::System::new(proto, cfg, wl, false);
+    stepped.set_fast_forward(false);
+    let mut sched = rcc_sim::System::new(proto, cfg, wl, false);
+    sched.set_fast_forward(true);
+    let mut boundary = 0;
+    let mut boundaries = 0u32;
+    while !(stepped.done() && sched.done()) {
+        boundary += stride;
+        assert!(boundary < 50_000_000, "{label}: lockstep run never retired");
+        stepped.run_until(boundary).unwrap();
+        sched.run_until(boundary).unwrap();
+        boundaries += 1;
+        assert_eq!(
+            stepped.state_digest(),
+            sched.state_digest(),
+            "{label}: engines diverged at checkpoint boundary {boundary}"
+        );
+    }
+    assert!(boundaries > 0, "{label}: no boundary ever compared");
+    assert!(
+        stepped.metrics().same_simulated_results(&sched.metrics()),
+        "{label}: final metrics diverged though every digest matched"
+    );
+}
+
+fn lockstep_kind(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    wl: &rcc_workloads::Workload,
+    stride: u64,
+    label: &str,
+) {
+    use rcc_core::ideal::IdealProtocol;
+    use rcc_core::mesi::{MesiProtocol, MesiWbProtocol};
+    use rcc_core::rcc::RccProtocol;
+    use rcc_core::tc::TcProtocol;
+    match kind {
+        ProtocolKind::Mesi => lockstep_digests(&MesiProtocol::new(cfg), cfg, wl, stride, label),
+        ProtocolKind::MesiWb => lockstep_digests(&MesiWbProtocol::new(cfg), cfg, wl, stride, label),
+        ProtocolKind::TcStrong => {
+            lockstep_digests(&TcProtocol::strong(cfg), cfg, wl, stride, label)
+        }
+        ProtocolKind::TcWeak => lockstep_digests(&TcProtocol::weak(cfg), cfg, wl, stride, label),
+        ProtocolKind::RccSc => {
+            lockstep_digests(&RccProtocol::sequential(cfg), cfg, wl, stride, label)
+        }
+        ProtocolKind::RccWo => {
+            lockstep_digests(&RccProtocol::weakly_ordered(cfg), cfg, wl, stride, label)
+        }
+        ProtocolKind::IdealSc => lockstep_digests(&IdealProtocol::new(cfg), cfg, wl, stride, label),
+    }
+}
+
+#[test]
+fn scheduled_engine_matches_stepped_state_on_litmus() {
+    // Short racy runs with a fine stride: where a wake posted one cycle
+    // late would move an ordering race first.
+    let cfg = GpuConfig::small();
+    for kind in KINDS {
+        for lit in rcc_workloads::litmus::all(cfg.num_cores, 11) {
+            let wl = rcc_sim::litmus::litmus_workload(&lit);
+            lockstep_kind(kind, &cfg, &wl, 64, &format!("{kind}/{}", lit.name));
+        }
+    }
+}
+
+#[test]
+fn scheduled_engine_matches_stepped_state_on_benchmarks() {
+    // Long runs with realistic checkpoint spacing: dlb (load balancing,
+    // bursty), bh (barrier phases, idle-heavy), hsp (streaming,
+    // contention-heavy).
+    let cfg = GpuConfig::small();
+    for kind in KINDS {
+        for bench in [Benchmark::Dlb, Benchmark::Bh, Benchmark::Hsp] {
+            let wl = bench.generate(&cfg, &Scale::quick(), 7);
+            lockstep_kind(kind, &cfg, &wl, 2500, &format!("{kind}/{}", bench.name()));
+        }
+    }
+}
+
 #[test]
 fn fast_forward_passes_sc_checking() {
     // The litmus matrix runs elsewhere; here, pin that the SC scoreboard

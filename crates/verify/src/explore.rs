@@ -601,13 +601,13 @@ where
                     .as_ref()
                     .map_or("?", |probe| probe(&self.l2, req.line));
                 let event = req.payload.variant_name();
-                match self.l2.handle_req(self.cycle, req.clone(), &mut out) {
+                match self.l2.handle_req(self.cycle, req, &mut out) {
                     Ok(()) => {
                         report.record_transition("l2", state, event);
                         self.drain_l2(&mut out, spec, hooks)?;
                         true
                     }
-                    Err(()) => {
+                    Err(req) => {
                         debug_assert!(out.is_empty(), "rejected request produced output");
                         self.req_q[core].push_front(req);
                         false
