@@ -38,6 +38,12 @@
 //! * `--resume PATH` — replay one snapshot and print its metrics
 //!   instead of running the experiment (exit 1 on a typed failure,
 //!   e.g. when a `.hang` snapshot faithfully reproduces its deadlock)
+//! * `--record-trace STEM` — capture every run's memory-access trace;
+//!   each run writes `STEM-<protocol>-<workload>.rcct` (plus a
+//!   `.manifest.json` sidecar; inspect with the `rcc-trace` tool)
+//! * `--replay-trace PATH` — substitute a recorded or hand-authored
+//!   trace (RCCT binary or text) for every benchmark the binary would
+//!   generate; pair with `--chaos` for trace fuzzing
 
 #![forbid(unsafe_code)]
 
@@ -74,6 +80,12 @@ pub struct Harness {
     pub checkpoint: Option<String>,
     /// Snapshot period from `--checkpoint-every`.
     pub checkpoint_every: u64,
+    /// Trace stem from `--record-trace`; each run captures its
+    /// memory-access trace to `<stem>-<protocol>-<workload>.rcct`.
+    pub record_trace: Option<String>,
+    /// Trace path from `--replay-trace`: substituted for every generated
+    /// workload (see [`Harness::workload`]).
+    pub replay_trace: Option<String>,
 }
 
 impl Harness {
@@ -141,6 +153,8 @@ impl Harness {
             series_out,
             checkpoint,
             checkpoint_every,
+            record_trace: flag_value("--record-trace"),
+            replay_trace: flag_value("--replay-trace"),
         }
     }
 
@@ -151,6 +165,9 @@ impl Harness {
         if let Some(stem) = &self.checkpoint {
             opts.checkpoint = Some(format!("{stem}-{}-{workload}", kind.label()));
             opts.checkpoint_every = self.checkpoint_every;
+        }
+        if let Some(stem) = &self.record_trace {
+            opts.record_trace = Some(format!("{stem}-{}-{workload}.rcct", kind.label()));
         }
         opts
     }
@@ -177,9 +194,22 @@ impl Harness {
         Ok(())
     }
 
-    /// Generates a benchmark's workload at this harness's scale.
+    /// Generates a benchmark's workload at this harness's scale — or,
+    /// under `--replay-trace`, the workload lowered from the trace file
+    /// (every benchmark the binary asks for replays the same trace). A
+    /// bad trace file aborts: silently falling back to the generated
+    /// workload would defeat the flag.
     pub fn workload(&self, bench: Benchmark) -> Workload {
-        bench.generate(&self.cfg, &self.scale, SEED)
+        let Some(path) = &self.replay_trace else {
+            return bench.generate(&self.cfg, &self.scale, SEED);
+        };
+        match load_trace_workload(path, self.cfg.num_cores) {
+            Ok(wl) => wl,
+            Err(e) => {
+                eprintln!("cannot replay {path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Runs one (protocol, benchmark) pair.
@@ -202,6 +232,21 @@ impl Harness {
             self.run(kind, bench)
         })
     }
+}
+
+/// Loads a trace file (RCCT binary or text dialect) and lowers it to a
+/// runnable workload spanning `num_cores` cores.
+///
+/// # Errors
+///
+/// Whatever [`rcc_trace::Trace::load_any`] reports, plus
+/// [`rcc_trace::TraceError::Mismatch`] when the trace spans more cores
+/// than the machine has.
+pub fn load_trace_workload(
+    path: &str,
+    num_cores: usize,
+) -> Result<Workload, rcc_trace::TraceError> {
+    rcc_trace::Trace::load_any(path)?.to_workload(num_cores)
 }
 
 /// Parses `--jobs N` (`0` = one per core) from an argument list;

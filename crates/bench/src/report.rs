@@ -49,6 +49,12 @@ pub mod schemas {
         env!("CARGO_MANIFEST_DIR"),
         "/../../schemas/lint.schema.json"
     ));
+    /// Shape of a memory-access trace manifest sidecar
+    /// (`Trace::manifest_json`, written next to every recorded `.rcct`).
+    pub const TRACE_MANIFEST: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/trace_manifest.schema.json"
+    ));
 }
 
 /// Validates `doc` against `schema_text`; `Err` carries every violation,

@@ -157,6 +157,55 @@ fn crash_schemas_reject_malformed_documents() {
     assert!(check_schema("manifest", schemas::CHECKPOINT_MANIFEST, bad_manifest).is_err());
 }
 
+/// A real recorded trace's manifest sidecar — written by the runner
+/// next to every `.rcct` — and the committed regression-trace manifests
+/// all validate against `schemas/trace_manifest.schema.json`.
+#[test]
+fn trace_manifests_match_their_schema() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), 5);
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("schema-trace.rcct")
+        .to_str()
+        .expect("utf-8 tmp path")
+        .to_string();
+    let mut opts = SimOptions::fast();
+    opts.record_trace = Some(path.clone());
+    simulate(ProtocolKind::RccSc, &cfg, &wl, &opts);
+    let manifest =
+        std::fs::read_to_string(format!("{path}.manifest.json")).expect("sidecar written");
+    check_schema("trace manifest", schemas::TRACE_MANIFEST, &manifest)
+        .expect("recorded manifest validates");
+    for name in ["mp", "mutex", "interval", "barrier"] {
+        let committed = format!(
+            "{}/../../tests/traces/{name}.rcct.manifest.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let text = std::fs::read_to_string(&committed).expect("committed manifest present");
+        check_schema("committed trace manifest", schemas::TRACE_MANIFEST, &text)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // The sidecar must describe the trace next to it.
+        let trace = rcc_trace::Trace::load(&committed.replace(".manifest.json", ""))
+            .expect("committed binary loads");
+        assert_eq!(text, trace.manifest_json(), "{name}: manifest drifted");
+    }
+}
+
+/// The trace-manifest schema rejects malformed documents.
+#[test]
+fn trace_manifest_schema_rejects_malformed_documents() {
+    // Missing the required op counts.
+    let missing = r#"{"format": "RCCT", "version": 1, "name": "x", "category": "inter",
+        "warps_per_workgroup": 1, "source_protocol": null, "source_cycles": null,
+        "cores": 1, "warps": 1}"#;
+    assert!(check_schema("trace manifest", schemas::TRACE_MANIFEST, missing).is_err());
+    // Version with the wrong type.
+    let bad_version = r#"{"format": "RCCT", "version": "one", "name": "x", "category": "inter",
+        "warps_per_workgroup": 1, "source_protocol": null, "source_cycles": null,
+        "cores": 1, "warps": 1, "ops": 0, "memory_ops": 0, "annotated_ops": 0}"#;
+    assert!(check_schema("trace manifest", schemas::TRACE_MANIFEST, bad_version).is_err());
+}
+
 /// The transition matrix `rcc-lint --matrix-out` writes, produced from
 /// the real workspace, validates against `schemas/lint.schema.json`.
 #[test]

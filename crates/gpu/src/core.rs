@@ -197,6 +197,13 @@ pub struct CoreOutput {
     /// Warps whose FENCE retired this cycle (the simulator calls the
     /// L1's `fence()` hook for these).
     pub fences_retired: Vec<WarpId>,
+    /// The program op this cycle issued *for the first time*, if any:
+    /// `(warp index, pc)`. Non-memory ops report here the cycle they
+    /// execute; memory ops the cycle their first access is accepted
+    /// (lock-CAS retries and barrier re-polls of the same op do not
+    /// report). Ephemeral per-tick data for the trace recorder — not
+    /// architectural state, so passivity is preserved by construction.
+    pub issued_op: Option<(usize, usize)>,
 }
 
 /// One streaming multiprocessor.
@@ -407,6 +414,10 @@ impl Core {
                     true,
                 )),
                 MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. } => None,
+                // The gate is not a memory access; `tick` advances past
+                // it once its cycle has come, and `next_event` /
+                // `stall_horizon` treat a pending gate as a timer.
+                MemOp::WaitUntil(_) => None,
             },
         }
     }
@@ -475,6 +486,14 @@ impl Core {
                 }
                 _ => {}
             }
+            // A pending replay gate is a timer: the warp does nothing
+            // until its cycle, then advances pc (an event).
+            if let Some(MemOp::WaitUntil(t)) = warp.current_op() {
+                if t > nowr {
+                    wake = wake.max(t);
+                    timer_pending = true;
+                }
+            }
             if wake > floor {
                 // A timer expires mid-idle: stepping resumes there (the
                 // warp either issues or starts accruing ordering stalls).
@@ -482,7 +501,12 @@ impl Core {
                 continue;
             }
             match warp.current_op() {
-                Some(MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. }) => best = floor,
+                Some(
+                    MemOp::Compute(_)
+                    | MemOp::Fence
+                    | MemOp::LocalWait { .. }
+                    | MemOp::WaitUntil(_),
+                ) => best = floor,
                 _ => {
                     if let Some((_, addr, _, is_sync)) = self.issue_intent(warp, wake) {
                         if timer_pending || self.ordering_allows(warp, addr, is_sync) {
@@ -619,6 +643,14 @@ impl Core {
                 }
                 _ => {}
             }
+            // A pending replay gate is a timer: at its cycle the warp
+            // becomes eligible and can preempt the spinning warp.
+            if let Some(MemOp::WaitUntil(t)) = warp.current_op() {
+                if t > nowr {
+                    wake = wake.max(t);
+                    timer_pending = true;
+                }
+            }
             if wake > floor {
                 // A timer re-enables this warp mid-spin: the scheduler
                 // could then pick it over the spinning warp.
@@ -731,10 +763,12 @@ impl Core {
                 }
                 warp.current_op()
             };
-            // Compute / fence / local-wait "issue" (no memory access).
+            // Compute / fence / local-wait / gate "issue" (no memory
+            // access).
             match now_op {
                 Some(MemOp::Compute(c)) if self.warps[i].micro == Micro::Fresh => {
                     let warp = &mut self.warps[i];
+                    out.issued_op = Some((i, warp.pc));
                     warp.busy_until = now + c.max(1) as u64;
                     warp.pc += 1;
                     self.stats.issued += 1;
@@ -743,6 +777,7 @@ impl Core {
                 }
                 Some(MemOp::Fence) if self.warps[i].micro == Micro::Fresh => {
                     let warp = &mut self.warps[i];
+                    out.issued_op = Some((i, warp.pc));
                     self.stats.issued += 1;
                     if self.params.fence_policy == FencePolicy::Free {
                         warp.pc += 1;
@@ -758,12 +793,24 @@ impl Core {
                 {
                     let wg = self.warps[i].wg_index;
                     let warp = &mut self.warps[i];
+                    out.issued_op = Some((i, warp.pc));
                     self.stats.issued += 1;
                     if self.wg_epochs[wg] >= epoch {
                         warp.pc += 1;
                     } else {
                         warp.waiting_local = Some(epoch);
                     }
+                    self.sched_ptr = (i + 1) % n;
+                    return out;
+                }
+                Some(MemOp::WaitUntil(t)) if self.warps[i].micro == Micro::Fresh && now >= t => {
+                    // The gate has passed: retire it. (Before `t` the
+                    // warp simply has no intent and accrues no stalls —
+                    // it is idle, not stalled.)
+                    let warp = &mut self.warps[i];
+                    out.issued_op = Some((i, warp.pc));
+                    warp.pc += 1;
+                    self.stats.issued += 1;
                     self.sched_ptr = (i + 1) % n;
                     return out;
                 }
@@ -777,6 +824,11 @@ impl Core {
             if !self.ordering_allows(&self.warps[i], addr, is_sync) {
                 continue; // ordering stall, already counted
             }
+            // First presentation of the program op at `pc` (as opposed
+            // to a lock-CAS retry or barrier re-poll out of a backoff
+            // state) — what the trace recorder pins the issue cycle of.
+            let first_issue = self.warps[i].micro == Micro::Fresh;
+            let pc = self.warps[i].pc;
             let access = Access {
                 warp: WarpId(i),
                 addr,
@@ -790,6 +842,9 @@ impl Core {
                     return out;
                 }
                 outcome => {
+                    if first_issue {
+                        out.issued_op = Some((i, pc));
+                    }
                     self.note_issue(i, cycle, addr, kind, purpose);
                     if let AccessOutcome::Done(c) = outcome {
                         self.complete(cycle, &c);

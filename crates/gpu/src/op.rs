@@ -19,6 +19,7 @@
 
 use rcc_common::addr::WordAddr;
 use rcc_common::ids::WorkgroupId;
+use rcc_common::snap::{SnapError, SnapReader, SnapWriter};
 use rcc_core::msg::AtomicOp;
 
 /// One warp-level operation. Memory operations are line-granular in
@@ -58,6 +59,11 @@ pub enum MemOp {
         /// Barrier epoch to wait for (1-based).
         epoch: u64,
     },
+    /// Gate: the warp may not issue its next op before the given cycle.
+    /// Used by timed trace replay to pin an op's earliest issue cycle to
+    /// the cycle it issued at in the recorded run; costs no memory
+    /// traffic and never stalls once the cycle has passed.
+    WaitUntil(u64),
 }
 
 impl MemOp {
@@ -66,8 +72,109 @@ impl MemOp {
     pub fn is_memory(&self) -> bool {
         !matches!(
             self,
-            MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. }
+            MemOp::Compute(_) | MemOp::Fence | MemOp::LocalWait { .. } | MemOp::WaitUntil(_)
         )
+    }
+
+    /// Serializes this op into the `snap` codec. The tag space (0-9) is
+    /// shared by the checkpoint (`RCCK`) and trace (`RCCT`) formats —
+    /// append-only: new ops take fresh tags, existing tags never change
+    /// meaning.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            MemOp::Load(a) => {
+                w.u8(0);
+                w.u64(a.0);
+            }
+            MemOp::Store(a, v) => {
+                w.u8(1);
+                w.u64(a.0);
+                w.u64(*v);
+            }
+            MemOp::Atomic(a, at) => {
+                w.u8(2);
+                w.u64(a.0);
+                match at {
+                    AtomicOp::Add(v) => {
+                        w.u8(0);
+                        w.u64(*v);
+                    }
+                    AtomicOp::Exch(v) => {
+                        w.u8(1);
+                        w.u64(*v);
+                    }
+                    AtomicOp::Cas { expect, new } => {
+                        w.u8(2);
+                        w.u64(*expect);
+                        w.u64(*new);
+                    }
+                    AtomicOp::Read => w.u8(3),
+                }
+            }
+            MemOp::Fence => w.u8(3),
+            MemOp::Compute(c) => {
+                w.u8(4);
+                w.u32(*c);
+            }
+            MemOp::Lock(a) => {
+                w.u8(5);
+                w.u64(a.0);
+            }
+            MemOp::Unlock(a) => {
+                w.u8(6);
+                w.u64(a.0);
+            }
+            MemOp::Barrier { word, members } => {
+                w.u8(7);
+                w.u64(word.0);
+                w.u64(*members);
+            }
+            MemOp::LocalWait { epoch } => {
+                w.u8(8);
+                w.u64(*epoch);
+            }
+            MemOp::WaitUntil(t) => {
+                w.u8(9);
+                w.u64(*t);
+            }
+        }
+    }
+
+    /// Decodes an op written by [`MemOp::snap`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on an unknown tag or a truncated payload.
+    pub fn unsnap(r: &mut SnapReader) -> Result<MemOp, SnapError> {
+        Ok(match r.u8()? {
+            0 => MemOp::Load(WordAddr(r.u64()?)),
+            1 => MemOp::Store(WordAddr(r.u64()?), r.u64()?),
+            2 => {
+                let a = WordAddr(r.u64()?);
+                let at = match r.u8()? {
+                    0 => AtomicOp::Add(r.u64()?),
+                    1 => AtomicOp::Exch(r.u64()?),
+                    2 => AtomicOp::Cas {
+                        expect: r.u64()?,
+                        new: r.u64()?,
+                    },
+                    3 => AtomicOp::Read,
+                    other => return Err(SnapError(format!("unknown atomic tag {other}"))),
+                };
+                MemOp::Atomic(a, at)
+            }
+            3 => MemOp::Fence,
+            4 => MemOp::Compute(r.u32()?),
+            5 => MemOp::Lock(WordAddr(r.u64()?)),
+            6 => MemOp::Unlock(WordAddr(r.u64()?)),
+            7 => MemOp::Barrier {
+                word: WordAddr(r.u64()?),
+                members: r.u64()?,
+            },
+            8 => MemOp::LocalWait { epoch: r.u64()? },
+            9 => MemOp::WaitUntil(r.u64()?),
+            other => return Err(SnapError(format!("unknown op tag {other}"))),
+        })
     }
 }
 
@@ -118,6 +225,7 @@ mod tests {
         assert!(!MemOp::Fence.is_memory());
         assert!(!MemOp::Compute(5).is_memory());
         assert!(!MemOp::LocalWait { epoch: 1 }.is_memory());
+        assert!(!MemOp::WaitUntil(100).is_memory());
     }
 
     #[test]
@@ -134,5 +242,39 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert_eq!(p.memory_ops(), 2);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn snap_round_trips_every_variant() {
+        use rcc_common::snap::{SnapReader, SnapWriter};
+        use rcc_core::msg::AtomicOp;
+        let ops = [
+            MemOp::Load(WordAddr(7)),
+            MemOp::Store(WordAddr(8), 42),
+            MemOp::Atomic(WordAddr(9), AtomicOp::Add(3)),
+            MemOp::Atomic(WordAddr(9), AtomicOp::Exch(0)),
+            MemOp::Atomic(WordAddr(9), AtomicOp::Cas { expect: 0, new: 1 }),
+            MemOp::Atomic(WordAddr(9), AtomicOp::Read),
+            MemOp::Fence,
+            MemOp::Compute(12),
+            MemOp::Lock(WordAddr(1)),
+            MemOp::Unlock(WordAddr(1)),
+            MemOp::Barrier {
+                word: WordAddr(2),
+                members: 4,
+            },
+            MemOp::LocalWait { epoch: 2 },
+            MemOp::WaitUntil(10_000),
+        ];
+        let mut w = SnapWriter::new();
+        for op in &ops {
+            op.snap(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        for op in &ops {
+            assert_eq!(*op, MemOp::unsnap(&mut r).unwrap());
+        }
+        r.done().unwrap();
     }
 }

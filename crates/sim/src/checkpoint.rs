@@ -23,13 +23,11 @@
 use crate::error::SimError;
 use crate::runner::SimOptions;
 use rcc_chaos::{ChaosProfile, ChaosSpec};
-use rcc_common::addr::WordAddr;
 use rcc_common::config::{
     CacheParams, DramParams, GpuConfig, L2Params, NocParams, NocTopology, RccParams, TcParams,
 };
 use rcc_common::ids::WorkgroupId;
 use rcc_common::snap::{SnapError, SnapReader, SnapWriter};
-use rcc_core::msg::AtomicOp;
 use rcc_core::ProtocolKind;
 use rcc_gpu::{MemOp, WarpProgram};
 use rcc_workloads::{Sharing, Workload};
@@ -219,90 +217,13 @@ fn read_cfg(r: &mut SnapReader) -> Result<GpuConfig, SnapError> {
 }
 
 fn write_op(w: &mut SnapWriter, op: &MemOp) {
-    match op {
-        MemOp::Load(a) => {
-            w.u8(0);
-            w.u64(a.0);
-        }
-        MemOp::Store(a, v) => {
-            w.u8(1);
-            w.u64(a.0);
-            w.u64(*v);
-        }
-        MemOp::Atomic(a, at) => {
-            w.u8(2);
-            w.u64(a.0);
-            match at {
-                AtomicOp::Add(v) => {
-                    w.u8(0);
-                    w.u64(*v);
-                }
-                AtomicOp::Exch(v) => {
-                    w.u8(1);
-                    w.u64(*v);
-                }
-                AtomicOp::Cas { expect, new } => {
-                    w.u8(2);
-                    w.u64(*expect);
-                    w.u64(*new);
-                }
-                AtomicOp::Read => w.u8(3),
-            }
-        }
-        MemOp::Fence => w.u8(3),
-        MemOp::Compute(c) => {
-            w.u8(4);
-            w.u32(*c);
-        }
-        MemOp::Lock(a) => {
-            w.u8(5);
-            w.u64(a.0);
-        }
-        MemOp::Unlock(a) => {
-            w.u8(6);
-            w.u64(a.0);
-        }
-        MemOp::Barrier { word, members } => {
-            w.u8(7);
-            w.u64(word.0);
-            w.u64(*members);
-        }
-        MemOp::LocalWait { epoch } => {
-            w.u8(8);
-            w.u64(*epoch);
-        }
-    }
+    // The op tag space is owned by rcc-gpu and shared with the trace
+    // format; see `MemOp::snap`.
+    op.snap(w);
 }
 
 fn read_op(r: &mut SnapReader) -> Result<MemOp, SnapError> {
-    Ok(match r.u8()? {
-        0 => MemOp::Load(WordAddr(r.u64()?)),
-        1 => MemOp::Store(WordAddr(r.u64()?), r.u64()?),
-        2 => {
-            let a = WordAddr(r.u64()?);
-            let at = match r.u8()? {
-                0 => AtomicOp::Add(r.u64()?),
-                1 => AtomicOp::Exch(r.u64()?),
-                2 => AtomicOp::Cas {
-                    expect: r.u64()?,
-                    new: r.u64()?,
-                },
-                3 => AtomicOp::Read,
-                other => return Err(SnapError(format!("unknown atomic tag {other}"))),
-            };
-            MemOp::Atomic(a, at)
-        }
-        3 => MemOp::Fence,
-        4 => MemOp::Compute(r.u32()?),
-        5 => MemOp::Lock(WordAddr(r.u64()?)),
-        6 => MemOp::Unlock(WordAddr(r.u64()?)),
-        7 => MemOp::Barrier {
-            word: WordAddr(r.u64()?),
-            members: r.u64()?,
-        },
-        8 => MemOp::LocalWait { epoch: r.u64()? },
-        other => return Err(SnapError(format!("unknown op tag {other}"))),
-    })
+    MemOp::unsnap(r)
 }
 
 fn write_workload(w: &mut SnapWriter, wl: &Workload) {
@@ -402,6 +323,9 @@ fn read_opts(r: &mut SnapReader) -> Result<SimOptions, SnapError> {
         profile: r.bool()?,
         checkpoint_every: 0,
         checkpoint: None,
+        // Host-local output path, like `checkpoint`: a resumed run does
+        // not re-record (the pre-checkpoint issues are gone).
+        record_trace: None,
     })
 }
 

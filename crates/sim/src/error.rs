@@ -76,6 +76,8 @@ pub enum SimError {
     },
     /// A checkpoint could not be written, read, or verified.
     Checkpoint(String),
+    /// A requested memory-access trace could not be recorded or loaded.
+    Trace(String),
 }
 
 impl fmt::Display for SimError {
@@ -129,6 +131,7 @@ impl fmt::Display for SimError {
                 write!(f, "{litmus}: probe {probe} did not execute")
             }
             SimError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            SimError::Trace(msg) => write!(f, "trace error: {msg}"),
         }
     }
 }

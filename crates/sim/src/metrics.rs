@@ -1,5 +1,7 @@
 //! Run measurements: everything the paper's figures are computed from.
 
+use rcc_common::addr::WordAddr;
+use rcc_common::snap::StateDigest;
 use rcc_common::stats::{Histogram, MsgClass, TrafficStats};
 use rcc_core::protocol::{L1Stats, L2Stats};
 use rcc_core::ProtocolKind;
@@ -88,6 +90,13 @@ pub struct RunMetrics {
     /// unless an observer was armed. Observation, not simulation —
     /// excluded from [`RunMetrics::same_simulated_results`].
     pub obs: Option<ObsReport>,
+    /// FNV digest of the logical final memory image: the winning write
+    /// per word ordered by `(timestamp, sequence)`, which is protocol-
+    /// independent for race-free programs. A simulated result (compared
+    /// by [`RunMetrics::same_simulated_results`] and the differential
+    /// trace-replay suite) but *not* folded into [`RunMetrics::digest`]:
+    /// the golden snapshot hashes predate it and must stay stable.
+    pub final_mem_digest: u64,
 }
 
 impl RunMetrics {
@@ -123,6 +132,7 @@ impl RunMetrics {
             && self.sanitizer_sc == other.sanitizer_sc
             && self.rollovers == other.rollovers
             && self.chaos_events == other.chaos_events
+            && self.final_mem_digest == other.final_mem_digest
     }
 
     /// Instructions per cycle.
@@ -262,6 +272,19 @@ impl RunMetrics {
         w.finish()
     }
 
+    /// FNV digest of a final-memory image, exactly as
+    /// [`final_mem_digest`](RunMetrics::final_mem_digest) is computed
+    /// from a live system — callers holding the sorted word list can
+    /// cross-check the metrics field or diff images offline.
+    pub fn digest_words(words: &[(WordAddr, u64)]) -> u64 {
+        let mut d = StateDigest::new();
+        for &(addr, value) in words {
+            d.write_u64(addr.0);
+            d.write_u64(value);
+        }
+        d.finish()
+    }
+
     /// Mean load latency (Fig. 1c).
     pub fn load_latency(&self) -> &Histogram {
         &self.core.load_latency
@@ -317,6 +340,7 @@ mod tests {
             sched: SchedStats::default(),
             profile: None,
             obs: None,
+            final_mem_digest: 0,
         }
     }
 

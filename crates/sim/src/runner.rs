@@ -61,6 +61,14 @@ pub struct SimOptions {
     /// (`<path>.hang`) for forensic replay. A JSON manifest sidecar
     /// (`<path>.manifest.json`) accompanies every snapshot.
     pub checkpoint: Option<String>,
+    /// Record the run's per-warp memory-access trace (issue cycles at
+    /// program-op granularity) and write it to this path as an RCCT
+    /// binary, with a JSON manifest sidecar (`<path>.manifest.json`).
+    /// Recording is passive: simulated results are bit-identical with it
+    /// on or off, and — like [`SimOptions::checkpoint`] — the path is
+    /// host-local state that checkpoints do not carry (a resumed run
+    /// does not re-record).
+    pub record_trace: Option<String>,
 }
 
 impl SimOptions {
@@ -77,6 +85,7 @@ impl SimOptions {
             profile: false,
             checkpoint_every: 0,
             checkpoint: None,
+            record_trace: None,
         }
     }
 
@@ -139,6 +148,9 @@ fn run_system<P: Protocol>(
         });
     }
     system.set_profiling(opts.profile);
+    if opts.record_trace.is_some() && replay.is_none() {
+        system.set_trace_recorder(rcc_trace::TraceRecorder::new(workload));
+    }
 
     let outcome = (|| {
         if let Some(target) = replay {
@@ -176,6 +188,15 @@ fn run_system<P: Protocol>(
     match outcome {
         Ok(mut metrics) => {
             metrics.obs = system.take_observation();
+            if let (Some(path), Some(rec)) = (&opts.record_trace, system.take_trace_recorder()) {
+                let trace = rec.finish(&kind.to_string(), metrics.cycles);
+                trace
+                    .save(path)
+                    .map_err(|e| SimError::Trace(e.to_string()))?;
+                let manifest = format!("{path}.manifest.json");
+                std::fs::write(&manifest, trace.manifest_json())
+                    .map_err(|e| SimError::Trace(format!("{manifest}: {e}")))?;
+            }
             Ok(metrics)
         }
         Err(SimError::Deadlock(mut dump)) => {

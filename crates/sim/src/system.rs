@@ -84,6 +84,13 @@ struct Recorder {
     epoch_base: u64,
     max_ts_seen: u64,
     completions: u64,
+    /// Golden final value per word: the `(shifted_ts, seq)`-latest write
+    /// each word has completed, independent of where the line currently
+    /// lives (dirty lines never written back stay out of
+    /// `System::memory`). This is what "final memory state" means for
+    /// differential trace replay: the logical contents after every write
+    /// has logically landed.
+    final_vals: FxHashMap<WordAddr, (u64, u64, u64)>,
     /// First engine-invariant failure observed this cycle. Completion
     /// bookkeeping runs inside `Core::tick`'s access closure, where no
     /// `Result` can escape, so the failure is latched here and surfaced
@@ -170,6 +177,12 @@ impl Recorder {
         // order is preserved across timestamp resets.
         let shifted_ts = self.epoch_base + c.ts.raw();
         self.max_ts_seen = self.max_ts_seen.max(shifted_ts);
+        if let Some(value) = store_value {
+            let slot = self.final_vals.entry(c.addr).or_insert((0, 0, 0));
+            if (shifted_ts, c.seq) >= (slot.0, slot.1) {
+                *slot = (shifted_ts, c.seq, value);
+            }
+        }
         if let Some(sb) = &mut self.scoreboard {
             let shifted = Completion {
                 ts: Timestamp(shifted_ts),
@@ -260,6 +273,12 @@ pub struct System<P: Protocol> {
     obs: Option<Observer>,
     /// Self-profiling wall-clock attribution; `None` disables timing.
     profile: Option<SimProfile>,
+    /// Trace capture: annotates each program op with its first-issue
+    /// cycle, fed from the cores' ephemeral per-tick output. `None` —
+    /// the default — keeps the hot path at one branch per core tick;
+    /// armed or not, simulated state never observes it (the passivity
+    /// tests pin this).
+    trace_rec: Option<rcc_trace::TraceRecorder>,
 }
 
 impl<P: Protocol> System<P> {
@@ -318,6 +337,7 @@ impl<P: Protocol> System<P> {
                 epoch_base: 0,
                 max_ts_seen: 0,
                 completions: 0,
+                final_vals: FxHashMap::default(),
                 invariant_failure: None,
             },
             traffic: TrafficStats::new(),
@@ -347,7 +367,20 @@ impl<P: Protocol> System<P> {
             chaos_fired: Arc::new(AtomicU64::new(0)),
             obs: None,
             profile: None,
+            trace_rec: None,
         }
+    }
+
+    /// Arms trace capture for this run: every program op gets annotated
+    /// with its first-issue cycle. Call before the run starts; retrieve
+    /// the capture with [`System::take_trace_recorder`] when it ends.
+    pub fn set_trace_recorder(&mut self, rec: rcc_trace::TraceRecorder) {
+        self.trace_rec = Some(rec);
+    }
+
+    /// Detaches the trace recorder (if one was armed), ending capture.
+    pub fn take_trace_recorder(&mut self) -> Option<rcc_trace::TraceRecorder> {
+        self.trace_rec.take()
     }
 
     /// Arms deterministic perturbation injection for this run: every
@@ -526,6 +559,8 @@ impl<P: Protocol> System<P> {
         if let Some(san) = &mut self.recorder.sanitizer {
             san.seed(addr, value);
         }
+        // Seeds sort before every simulated write: (ts, seq) = (0, 0).
+        self.recorder.final_vals.insert(addr, (0, 0, value));
         if let Some(sb) = &mut self.recorder.scoreboard {
             sb.record(
                 CoreId(usize::MAX % 251),
@@ -1158,6 +1193,14 @@ impl<P: Protocol> System<P> {
                 });
                 if issued_any {
                     self.last_progress = cycle.raw();
+                }
+                // Trace capture: one branch when unarmed, and the tap
+                // reads only the tick's ephemeral output, so recording
+                // cannot perturb the simulated machine.
+                if let Some(tr) = &mut self.trace_rec {
+                    if let Some((w, pc)) = core_out.issued_op {
+                        tr.note_issue(i, w, pc, cycle.raw());
+                    }
                 }
                 for _warp in core_out.fences_retired {
                     // RCC-WO: joining the views is a core-level action.
@@ -1815,6 +1858,14 @@ impl<P: Protocol> System<P> {
                     if issued_any {
                         self.last_progress = n;
                     }
+                    // Trace capture (see the stepped engine's tap): the
+                    // same ephemeral per-tick output feeds the recorder,
+                    // so both engines record identical traces.
+                    if let Some(tr) = &mut self.trace_rec {
+                        if let Some((w, pc)) = core_out.issued_op {
+                            tr.note_issue(i, w, pc, n);
+                        }
+                    }
                     for _warp in core_out.fences_retired {
                         // RCC-WO: joining the views is a core-level action.
                         self.l1s[i].fence();
@@ -2104,7 +2155,29 @@ impl<P: Protocol> System<P> {
             },
             profile: self.profile.clone(),
             obs: None,
+            final_mem_digest: self.final_mem_digest(),
         }
+    }
+
+    /// Logical final memory: the winning write per word, ordered by
+    /// `(timestamp, sequence)` across the whole run — independent of
+    /// which cache a dirty line happens to live in when the run ends.
+    /// This is what differential trace replay compares across protocols.
+    pub fn final_memory(&self) -> Vec<(WordAddr, u64)> {
+        let mut words: Vec<(WordAddr, u64)> = self
+            .recorder
+            .final_vals
+            .iter()
+            .map(|(&addr, &(_, _, value))| (addr, value))
+            .collect();
+        words.sort_unstable_by_key(|&(addr, _)| addr);
+        words
+    }
+
+    /// FNV digest of [`Self::final_memory`] (order-independent by
+    /// construction: the fold runs over the sorted word list).
+    pub fn final_mem_digest(&self) -> u64 {
+        RunMetrics::digest_words(&self.final_memory())
     }
 }
 

@@ -1,0 +1,99 @@
+//! `rcc-trace` — inspect and convert RCCT trace files.
+//!
+//! ```text
+//! rcc-trace stats <trace>                 summary counts (binary or text)
+//! rcc-trace inspect <trace>               manifest JSON + per-warp listing
+//! rcc-trace to-text <trace.rcct> [out]    binary -> text (stdout by default)
+//! rcc-trace from-text <trace.txt> <out>   text -> binary (+ manifest sidecar)
+//! ```
+//!
+//! Input files are sniffed: files starting with the `RCCT` magic are
+//! decoded as binary, everything else parses as the text dialect. All
+//! failures are typed and exit non-zero with a message on stderr.
+
+use rcc_trace::text::{format_text, parse_text};
+use rcc_trace::{Trace, TraceError};
+use std::process::ExitCode;
+
+fn load_any(path: &str) -> Result<Trace, TraceError> {
+    Trace::load_any(path)
+}
+
+fn stats(trace: &Trace) -> String {
+    let s = trace.stats();
+    let mut out = String::new();
+    out.push_str(&format!("name:        {}\n", trace.name));
+    out.push_str(&format!(
+        "source:      {}\n",
+        trace
+            .source
+            .as_ref()
+            .map(|src| format!("{} ({} cycles)", src.protocol, src.cycles))
+            .unwrap_or_else(|| "hand-authored".to_string())
+    ));
+    out.push_str(&format!("cores:       {}\n", s.cores));
+    out.push_str(&format!("warps:       {}\n", s.warps));
+    out.push_str(&format!("ops:         {}\n", s.ops));
+    out.push_str(&format!("memory ops:  {}\n", s.memory_ops));
+    out.push_str(&format!(
+        "annotated:   {} (last issue cycle {})\n",
+        s.annotated,
+        s.last_issue
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".to_string())
+    ));
+    out
+}
+
+fn run() -> Result<(), TraceError> {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = || {
+        TraceError::Io(
+            "usage: rcc-trace <stats|inspect|to-text|from-text> <trace> [out]".to_string(),
+        )
+    };
+    let cmd = args.get(1).ok_or_else(usage)?;
+    let path = args.get(2).ok_or_else(usage)?;
+    match cmd.as_str() {
+        "stats" => {
+            print!("{}", stats(&load_any(path)?));
+        }
+        "inspect" => {
+            let trace = load_any(path)?;
+            print!("{}", trace.manifest_json());
+            print!("{}", format_text(&trace));
+        }
+        "to-text" => {
+            let trace = load_any(path)?;
+            let text = format_text(&trace);
+            match args.get(3) {
+                Some(out) => {
+                    std::fs::write(out, text).map_err(|e| TraceError::Io(format!("{out}: {e}")))?
+                }
+                None => print!("{text}"),
+            }
+        }
+        "from-text" => {
+            let out = args.get(3).ok_or_else(usage)?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| TraceError::Io(format!("{path}: {e}")))?;
+            let trace = parse_text(&text)?;
+            trace.save(out)?;
+            let manifest = format!("{out}.manifest.json");
+            std::fs::write(&manifest, trace.manifest_json())
+                .map_err(|e| TraceError::Io(format!("{manifest}: {e}")))?;
+        }
+        _ => return Err(usage()),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rcc-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Human-editable text dialect of the trace format.
+//!
+//! Extends the op vocabulary of [`rcc_workloads::custom`] (delegating to
+//! its parser, so the two dialects can never drift) with header
+//! directives and per-op issue-cycle annotations:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! trace mp               # workload name
+//! category inter         # inter | intra workgroup sharing
+//! wpw 1                  # warps per workgroup
+//! cores 4                # machine span (pads trailing empty cores)
+//! source rcc-sc 1234     # provenance: protocol + cycles (optional)
+//! warp 0 0 wg=0
+//!   @3 st 0x0 1          # "@N" pins the recorded issue cycle
+//!   st 0x80 1            # unannotated ops carry no cycle
+//! warp 1 0 wg=1
+//!   ld 0x80
+//!   ld 0x0
+//! ```
+//!
+//! [`parse_text`] and [`format_text`] round-trip exactly (including
+//! annotations and provenance), and the binary codec preserves the same
+//! data, so text ↔ binary conversion is lossless in both directions.
+
+use crate::{Trace, TraceError, TraceOp, TraceProgram, TraceSource};
+use rcc_workloads::custom::{format_op, parse_op, ParseTraceError};
+use rcc_workloads::Sharing;
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Parse(ParseTraceError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_num(s: &str, line: usize, what: &str) -> Result<u64, TraceError> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| err(line, format!("bad {what}: {s:?}")))
+}
+
+/// Parses the text dialect into a [`Trace`].
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] naming the offending line on any malformed
+/// input (unknown directive or opcode, bad number, op outside a warp).
+pub fn parse_text(text: &str) -> Result<Trace, TraceError> {
+    let mut trace = Trace {
+        name: "trace".to_string(),
+        category: Sharing::InterWorkgroup,
+        warps_per_workgroup: 1,
+        source: None,
+        warps: Vec::new(),
+    };
+    let mut current: Option<(usize, usize)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "trace" => {
+                let name = tokens
+                    .get(1..)
+                    .filter(|r| !r.is_empty())
+                    .ok_or_else(|| err(line_no, "trace needs a name"))?;
+                trace.name = name.join(" ");
+            }
+            "category" => {
+                trace.category = match tokens.get(1).copied() {
+                    Some("inter") => Sharing::InterWorkgroup,
+                    Some("intra") => Sharing::IntraWorkgroup,
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("unknown category {other:?} (inter|intra)"),
+                        ))
+                    }
+                };
+            }
+            "wpw" => {
+                let n = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "wpw needs a count"))?;
+                trace.warps_per_workgroup = parse_num(n, line_no, "warps per workgroup")? as usize;
+            }
+            "cores" => {
+                let n = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "cores needs a count"))?;
+                let n = parse_num(n, line_no, "core count")? as usize;
+                while trace.warps.len() < n {
+                    trace.warps.push(Vec::new());
+                }
+            }
+            "source" => {
+                if tokens.len() < 3 {
+                    return Err(err(line_no, "expected: source <protocol> <cycles>"));
+                }
+                trace.source = Some(TraceSource {
+                    protocol: tokens[1..tokens.len() - 1].join(" "),
+                    cycles: parse_num(tokens[tokens.len() - 1], line_no, "cycles")?,
+                });
+            }
+            "warp" => {
+                if tokens.len() < 3 {
+                    return Err(err(line_no, "expected: warp <core> <warp> [wg=<id>]"));
+                }
+                let core = parse_num(tokens[1], line_no, "core")? as usize;
+                let warp = parse_num(tokens[2], line_no, "warp")? as usize;
+                let wg = tokens
+                    .get(3)
+                    .and_then(|t| t.strip_prefix("wg="))
+                    .map(|s| parse_num(s, line_no, "workgroup"))
+                    .transpose()?
+                    .unwrap_or(core as u64);
+                while trace.warps.len() <= core {
+                    trace.warps.push(Vec::new());
+                }
+                let progs = &mut trace.warps[core];
+                while progs.len() <= warp {
+                    progs.push(TraceProgram::default());
+                }
+                progs[warp].workgroup = wg;
+                current = Some((core, warp));
+            }
+            _ => {
+                let Some((core, warp)) = current else {
+                    return Err(err(line_no, "operation before any `warp` header"));
+                };
+                let (issue_cycle, op_tokens) = match tokens[0].strip_prefix('@') {
+                    Some(cycle) => {
+                        if tokens.len() < 2 {
+                            return Err(err(line_no, "annotation without an operation"));
+                        }
+                        (
+                            Some(parse_num(cycle, line_no, "issue cycle")?),
+                            &tokens[1..],
+                        )
+                    }
+                    None => (None, &tokens[..]),
+                };
+                let op = parse_op(op_tokens, line_no)?;
+                trace.warps[core][warp]
+                    .ops
+                    .push(TraceOp { op, issue_cycle });
+            }
+        }
+    }
+    Ok(trace)
+}
+
+/// Renders a trace in the text dialect (round-trips through
+/// [`parse_text`] exactly, annotations and provenance included).
+pub fn format_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("trace {}\n", trace.name));
+    out.push_str(match trace.category {
+        Sharing::InterWorkgroup => "category inter\n",
+        Sharing::IntraWorkgroup => "category intra\n",
+    });
+    out.push_str(&format!("wpw {}\n", trace.warps_per_workgroup));
+    out.push_str(&format!("cores {}\n", trace.warps.len()));
+    if let Some(src) = &trace.source {
+        out.push_str(&format!("source {} {}\n", src.protocol, src.cycles));
+    }
+    for (core, warps) in trace.warps.iter().enumerate() {
+        for (warp, p) in warps.iter().enumerate() {
+            out.push_str(&format!("warp {core} {warp} wg={}\n", p.workgroup));
+            for op in &p.ops {
+                out.push_str("  ");
+                if let Some(c) = op.issue_cycle {
+                    out.push_str(&format!("@{c} "));
+                }
+                out.push_str(&format_op(&op.op));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_gpu::op::MemOp;
+
+    const MP: &str = "\
+trace mp
+category inter
+wpw 1
+cores 4
+source rcc-sc 1234
+warp 0 0 wg=0
+  @3 st 0x0 1
+  st 0x80 1
+warp 1 0 wg=1
+  ld 0x80
+  @99 ld 0x0
+";
+
+    #[test]
+    fn parses_headers_and_annotations() {
+        let t = parse_text(MP).unwrap();
+        assert_eq!(t.name, "mp");
+        assert_eq!(t.category, Sharing::InterWorkgroup);
+        assert_eq!(t.warps.len(), 4);
+        assert_eq!(
+            t.source,
+            Some(TraceSource {
+                protocol: "rcc-sc".into(),
+                cycles: 1234
+            })
+        );
+        assert_eq!(t.warps[0][0].ops[0].issue_cycle, Some(3));
+        assert_eq!(t.warps[0][0].ops[1].issue_cycle, None);
+        assert!(matches!(t.warps[1][0].ops[1].op, MemOp::Load(_)));
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        let t = parse_text(MP).unwrap();
+        let text = format_text(&t);
+        let again = parse_text(&text).unwrap();
+        assert_eq!(t, again);
+        assert_eq!(text, format_text(&again));
+    }
+
+    #[test]
+    fn text_and_binary_agree() {
+        let t = parse_text(MP).unwrap();
+        let back = Trace::decode(&t.encode()).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(format_text(&t), format_text(&back));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_text("warp 0 0\n  @x ld 0x0\n").unwrap_err();
+        let TraceError::Parse(p) = e else {
+            panic!("expected a parse error")
+        };
+        assert_eq!(p.line, 2);
+        let e = parse_text("ld 0x0\n").unwrap_err();
+        assert!(e.to_string().contains("before any"));
+        let e = parse_text("category sideways\n").unwrap_err();
+        assert!(e.to_string().contains("unknown category"));
+        let e = parse_text("warp 0 0\n  @5\n").unwrap_err();
+        assert!(e.to_string().contains("annotation without"));
+    }
+
+    #[test]
+    fn until_ops_flow_through() {
+        let t = parse_text("warp 0 0 wg=0\n  until 500\n  ld 0x0\n").unwrap();
+        assert_eq!(t.warps[0][0].ops[0].op, MemOp::WaitUntil(500));
+        let again = parse_text(&format_text(&t)).unwrap();
+        assert_eq!(t, again);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property coverage for the RCCT codec: encode→decode identity on
+//! random traces, and fail-closed typed errors — never panics — on
+//! truncated, bit-flipped, or extended files. Mirrors the discipline of
+//! the checkpoint (`RCCK`) codec tests.
+
+use proptest::prelude::*;
+use rcc_common::addr::WordAddr;
+use rcc_core::msg::AtomicOp;
+use rcc_gpu::op::MemOp;
+use rcc_trace::text::{format_text, parse_text};
+use rcc_trace::{Trace, TraceError, TraceOp, TraceProgram, TraceSource};
+use rcc_workloads::Sharing;
+
+fn arb_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0u64..4096).prop_map(|a| MemOp::Load(WordAddr(a))),
+        (0u64..4096, 0u64..1000).prop_map(|(a, v)| MemOp::Store(WordAddr(a), v)),
+        (0u64..4096, 0u64..100).prop_map(|(a, v)| MemOp::Atomic(WordAddr(a), AtomicOp::Add(v))),
+        (0u64..4096, 0u64..100).prop_map(|(a, v)| MemOp::Atomic(WordAddr(a), AtomicOp::Exch(v))),
+        (0u64..4096, 0u64..4, 0u64..4)
+            .prop_map(|(a, e, n)| MemOp::Atomic(WordAddr(a), AtomicOp::Cas { expect: e, new: n })),
+        (0u64..4096).prop_map(|a| MemOp::Atomic(WordAddr(a), AtomicOp::Read)),
+        Just(MemOp::Fence),
+        (1u32..64).prop_map(MemOp::Compute),
+        (0u64..4096).prop_map(|a| MemOp::Lock(WordAddr(a))),
+        (0u64..4096).prop_map(|a| MemOp::Unlock(WordAddr(a))),
+        (0u64..4096, 1u64..8).prop_map(|(a, m)| MemOp::Barrier {
+            word: WordAddr(a),
+            members: m
+        }),
+        (1u64..4).prop_map(|e| MemOp::LocalWait { epoch: e }),
+        (0u64..100_000).prop_map(MemOp::WaitUntil),
+    ]
+}
+
+fn arb_trace_op() -> impl Strategy<Value = TraceOp> {
+    (
+        arb_op(),
+        prop_oneof![Just(None), (0u64..1_000_000).prop_map(Some)],
+    )
+        .prop_map(|(op, issue_cycle)| TraceOp { op, issue_cycle })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        prop::collection::vec(
+            prop::collection::vec(
+                (0u64..8, prop::collection::vec(arb_trace_op(), 0..12)),
+                0..4,
+            ),
+            0..5,
+        ),
+        any::<bool>(),
+        prop_oneof![
+            Just(None),
+            (0u64..1_000_000).prop_map(|cycles| Some(TraceSource {
+                protocol: "rcc-sc".to_string(),
+                cycles
+            }))
+        ],
+        1usize..5,
+    )
+        .prop_map(|(cores, intra, source, wpw)| Trace {
+            name: "prop".to_string(),
+            category: if intra {
+                Sharing::IntraWorkgroup
+            } else {
+                Sharing::InterWorkgroup
+            },
+            warps_per_workgroup: wpw,
+            source,
+            warps: cores
+                .into_iter()
+                .map(|core| {
+                    core.into_iter()
+                        .map(|(workgroup, ops)| TraceProgram { workgroup, ops })
+                        .collect()
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_decode_is_identity(t in arb_trace()) {
+        let bytes = t.encode();
+        let back = Trace::decode(&bytes).unwrap();
+        prop_assert_eq!(&t, &back);
+        // Canonical: re-encoding reproduces the same bytes.
+        prop_assert_eq!(bytes, back.encode());
+    }
+
+    #[test]
+    fn text_round_trip_is_identity(t in arb_trace()) {
+        let text = format_text(&t);
+        let back = parse_text(&text).unwrap();
+        prop_assert_eq!(&t, &back);
+        prop_assert_eq!(text, format_text(&back));
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error(t in arb_trace(), cut in 1usize..64) {
+        let bytes = t.encode();
+        let keep = bytes.len().saturating_sub(cut);
+        // Every truncation point must fail closed (the footer is gone or
+        // the payload no longer matches it) — and must never panic.
+        match Trace::decode(&bytes[..keep]) {
+            Err(TraceError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error kind: {other}"),
+            Ok(_) => prop_assert!(false, "decoded a truncated trace"),
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_typed_errors(t in arb_trace(), pos: usize, bit in 0u8..8) {
+        let mut bytes = t.encode();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // The FNV footer catches any payload flip; a footer flip
+        // mismatches the payload digest. Either way: typed error.
+        match Trace::decode(&bytes) {
+            Err(TraceError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error kind: {other}"),
+            Ok(_) => prop_assert!(false, "decoded a corrupted trace"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed_errors(t in arb_trace(), extra in 1usize..16) {
+        let mut bytes = t.encode();
+        bytes.extend(std::iter::repeat_n(0xAAu8, extra));
+        match Trace::decode(&bytes) {
+            Err(TraceError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error kind: {other}"),
+            Ok(_) => prop_assert!(false, "decoded a trace with trailing bytes"),
+        }
+    }
+}
+
+#[test]
+fn empty_and_tiny_inputs_fail_closed() {
+    for input in [&[][..], &[0x52][..], &[0; 7][..], &[0; 8][..], &[0; 12][..]] {
+        match Trace::decode(input) {
+            Err(TraceError::Corrupt(_)) => {}
+            other => panic!("{} bytes: expected Corrupt, got {other:?}", input.len()),
+        }
+    }
+}
+
+#[test]
+fn wrong_magic_and_version_name_the_problem() {
+    let t = parse_text("warp 0 0 wg=0\n  ld 0x0\n").unwrap();
+    let reseal = |mut bytes: Vec<u8>| {
+        let keep = bytes.len() - 8;
+        bytes.truncate(keep);
+        let mut d = rcc_common::snap::StateDigest::new();
+        d.write_bytes(&bytes);
+        let f = d.finish().to_le_bytes();
+        bytes.extend_from_slice(&f);
+        bytes
+    };
+    // Valid digest but wrong magic: the magic check must still fire.
+    let mut bytes = t.encode();
+    bytes[0] = b'X';
+    let e = Trace::decode(&reseal(bytes)).unwrap_err();
+    assert!(e.to_string().contains("bad magic"), "{e}");
+    // Valid digest but future version.
+    let mut bytes = t.encode();
+    bytes[4] = 0xFF;
+    let e = Trace::decode(&reseal(bytes)).unwrap_err();
+    assert!(e.to_string().contains("unsupported version"), "{e}");
+}

@@ -18,6 +18,7 @@
 //!   unlock 0x1c0
 //!   barrier 0x200 4      # fast-barrier arrive+poll, 4 members
 //!   wait 1               # intra-workgroup wait for barrier epoch 1
+//!   until 500            # issue gate: next op not before cycle 500
 //! ```
 //!
 //! # Example
@@ -115,112 +116,11 @@ pub fn parse_trace(text: &str, num_cores: usize) -> Result<Workload, ParseTraceE
                 progs[warp].workgroup = WorkgroupId(wg);
                 current = Some((core, warp));
             }
-            op => {
+            _ => {
                 let Some((core, warp)) = current else {
                     return Err(err(line_no, "operation before any `warp` header"));
                 };
-                let memop = match op {
-                    "ld" => MemOp::Load(parse_addr(
-                        tokens
-                            .get(1)
-                            .ok_or_else(|| err(line_no, "ld needs an address"))?,
-                        line_no,
-                    )?),
-                    "st" => {
-                        let [addr, value] = tokens
-                            .get(1..3)
-                            .and_then(|s| <[&str; 2]>::try_from(s).ok())
-                            .ok_or_else(|| err(line_no, "st needs an address and a value"))?;
-                        MemOp::Store(
-                            parse_addr(addr, line_no)?,
-                            parse_u64(value, line_no, "value")?,
-                        )
-                    }
-                    "at" => {
-                        let addr = parse_addr(
-                            tokens
-                                .get(1)
-                                .ok_or_else(|| err(line_no, "at needs an address"))?,
-                            line_no,
-                        )?;
-                        let op = match tokens.get(2).copied() {
-                            Some("add") => AtomicOp::Add(parse_u64(
-                                tokens
-                                    .get(3)
-                                    .ok_or_else(|| err(line_no, "add needs an operand"))?,
-                                line_no,
-                                "operand",
-                            )?),
-                            Some("exch") => AtomicOp::Exch(parse_u64(
-                                tokens
-                                    .get(3)
-                                    .ok_or_else(|| err(line_no, "exch needs an operand"))?,
-                                line_no,
-                                "operand",
-                            )?),
-                            Some("cas") => {
-                                let [e, n] = tokens
-                                    .get(3..5)
-                                    .and_then(|s| <[&str; 2]>::try_from(s).ok())
-                                    .ok_or_else(|| err(line_no, "cas needs expect and new"))?;
-                                AtomicOp::Cas {
-                                    expect: parse_u64(e, line_no, "expect")?,
-                                    new: parse_u64(n, line_no, "new")?,
-                                }
-                            }
-                            Some("read") => AtomicOp::Read,
-                            other => {
-                                return Err(err(
-                                    line_no,
-                                    format!("unknown atomic {other:?} (add|exch|cas|read)"),
-                                ))
-                            }
-                        };
-                        MemOp::Atomic(addr, op)
-                    }
-                    "fence" => MemOp::Fence,
-                    "compute" => MemOp::Compute(parse_u64(
-                        tokens
-                            .get(1)
-                            .ok_or_else(|| err(line_no, "compute needs cycles"))?,
-                        line_no,
-                        "cycles",
-                    )? as u32),
-                    "lock" => MemOp::Lock(parse_addr(
-                        tokens
-                            .get(1)
-                            .ok_or_else(|| err(line_no, "lock needs an address"))?,
-                        line_no,
-                    )?),
-                    "unlock" => MemOp::Unlock(parse_addr(
-                        tokens
-                            .get(1)
-                            .ok_or_else(|| err(line_no, "unlock needs an address"))?,
-                        line_no,
-                    )?),
-                    "barrier" => {
-                        let [addr, members] = tokens
-                            .get(1..3)
-                            .and_then(|s| <[&str; 2]>::try_from(s).ok())
-                            .ok_or_else(|| {
-                                err(line_no, "barrier needs an address and member count")
-                            })?;
-                        MemOp::Barrier {
-                            word: parse_addr(addr, line_no)?,
-                            members: parse_u64(members, line_no, "members")?,
-                        }
-                    }
-                    "wait" => MemOp::LocalWait {
-                        epoch: parse_u64(
-                            tokens
-                                .get(1)
-                                .ok_or_else(|| err(line_no, "wait needs an epoch"))?,
-                            line_no,
-                            "epoch",
-                        )?,
-                    },
-                    other => return Err(err(line_no, format!("unknown operation {other:?}"))),
-                };
+                let memop = parse_op(&tokens, line_no)?;
                 programs[core][warp].ops.push(memop);
             }
         }
@@ -234,6 +134,147 @@ pub fn parse_trace(text: &str, num_cores: usize) -> Result<Workload, ParseTraceE
     })
 }
 
+/// Parses one already-tokenized op line (everything after a `warp`
+/// header) into a [`MemOp`]. The shared op vocabulary of the text trace
+/// formats — `rcc-trace`'s text form delegates here so the two dialects
+/// can never drift.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] naming `line_no` on an unknown opcode
+/// or malformed operand.
+pub fn parse_op(tokens: &[&str], line_no: usize) -> Result<MemOp, ParseTraceError> {
+    Ok(match tokens[0] {
+        "ld" => MemOp::Load(parse_addr(
+            tokens
+                .get(1)
+                .ok_or_else(|| err(line_no, "ld needs an address"))?,
+            line_no,
+        )?),
+        "st" => {
+            let [addr, value] = tokens
+                .get(1..3)
+                .and_then(|s| <[&str; 2]>::try_from(s).ok())
+                .ok_or_else(|| err(line_no, "st needs an address and a value"))?;
+            MemOp::Store(
+                parse_addr(addr, line_no)?,
+                parse_u64(value, line_no, "value")?,
+            )
+        }
+        "at" => {
+            let addr = parse_addr(
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "at needs an address"))?,
+                line_no,
+            )?;
+            let op = match tokens.get(2).copied() {
+                Some("add") => AtomicOp::Add(parse_u64(
+                    tokens
+                        .get(3)
+                        .ok_or_else(|| err(line_no, "add needs an operand"))?,
+                    line_no,
+                    "operand",
+                )?),
+                Some("exch") => AtomicOp::Exch(parse_u64(
+                    tokens
+                        .get(3)
+                        .ok_or_else(|| err(line_no, "exch needs an operand"))?,
+                    line_no,
+                    "operand",
+                )?),
+                Some("cas") => {
+                    let [e, n] = tokens
+                        .get(3..5)
+                        .and_then(|s| <[&str; 2]>::try_from(s).ok())
+                        .ok_or_else(|| err(line_no, "cas needs expect and new"))?;
+                    AtomicOp::Cas {
+                        expect: parse_u64(e, line_no, "expect")?,
+                        new: parse_u64(n, line_no, "new")?,
+                    }
+                }
+                Some("read") => AtomicOp::Read,
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!("unknown atomic {other:?} (add|exch|cas|read)"),
+                    ))
+                }
+            };
+            MemOp::Atomic(addr, op)
+        }
+        "fence" => MemOp::Fence,
+        "compute" => MemOp::Compute(parse_u64(
+            tokens
+                .get(1)
+                .ok_or_else(|| err(line_no, "compute needs cycles"))?,
+            line_no,
+            "cycles",
+        )? as u32),
+        "lock" => MemOp::Lock(parse_addr(
+            tokens
+                .get(1)
+                .ok_or_else(|| err(line_no, "lock needs an address"))?,
+            line_no,
+        )?),
+        "unlock" => MemOp::Unlock(parse_addr(
+            tokens
+                .get(1)
+                .ok_or_else(|| err(line_no, "unlock needs an address"))?,
+            line_no,
+        )?),
+        "barrier" => {
+            let [addr, members] = tokens
+                .get(1..3)
+                .and_then(|s| <[&str; 2]>::try_from(s).ok())
+                .ok_or_else(|| err(line_no, "barrier needs an address and member count"))?;
+            MemOp::Barrier {
+                word: parse_addr(addr, line_no)?,
+                members: parse_u64(members, line_no, "members")?,
+            }
+        }
+        "wait" => MemOp::LocalWait {
+            epoch: parse_u64(
+                tokens
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "wait needs an epoch"))?,
+                line_no,
+                "epoch",
+            )?,
+        },
+        "until" => MemOp::WaitUntil(parse_u64(
+            tokens
+                .get(1)
+                .ok_or_else(|| err(line_no, "until needs a cycle"))?,
+            line_no,
+            "cycle",
+        )?),
+        other => return Err(err(line_no, format!("unknown operation {other:?}"))),
+    })
+}
+
+/// Renders one op in the text vocabulary [`parse_op`] accepts (no
+/// leading indentation).
+pub fn format_op(op: &MemOp) -> String {
+    match op {
+        MemOp::Load(a) => format!("ld {:#x}", a.base().0),
+        MemOp::Store(a, v) => format!("st {:#x} {v}", a.base().0),
+        MemOp::Atomic(a, AtomicOp::Add(v)) => format!("at {:#x} add {v}", a.base().0),
+        MemOp::Atomic(a, AtomicOp::Exch(v)) => format!("at {:#x} exch {v}", a.base().0),
+        MemOp::Atomic(a, AtomicOp::Cas { expect, new }) => {
+            format!("at {:#x} cas {expect} {new}", a.base().0)
+        }
+        MemOp::Atomic(a, AtomicOp::Read) => format!("at {:#x} read", a.base().0),
+        MemOp::Fence => "fence".to_string(),
+        MemOp::Compute(c) => format!("compute {c}"),
+        MemOp::Lock(a) => format!("lock {:#x}", a.base().0),
+        MemOp::Unlock(a) => format!("unlock {:#x}", a.base().0),
+        MemOp::Barrier { word, members } => format!("barrier {:#x} {members}", word.base().0),
+        MemOp::LocalWait { epoch } => format!("wait {epoch}"),
+        MemOp::WaitUntil(t) => format!("until {t}"),
+    }
+}
+
 /// Renders a workload back into the trace format (round-trips through
 /// [`parse_trace`]).
 pub fn to_trace(workload: &Workload) -> String {
@@ -245,27 +286,8 @@ pub fn to_trace(workload: &Workload) -> String {
             }
             out.push_str(&format!("warp {core} {warp} wg={}\n", p.workgroup.index()));
             for op in &p.ops {
-                let line = match op {
-                    MemOp::Load(a) => format!("  ld {:#x}", a.base().0),
-                    MemOp::Store(a, v) => format!("  st {:#x} {v}", a.base().0),
-                    MemOp::Atomic(a, AtomicOp::Add(v)) => format!("  at {:#x} add {v}", a.base().0),
-                    MemOp::Atomic(a, AtomicOp::Exch(v)) => {
-                        format!("  at {:#x} exch {v}", a.base().0)
-                    }
-                    MemOp::Atomic(a, AtomicOp::Cas { expect, new }) => {
-                        format!("  at {:#x} cas {expect} {new}", a.base().0)
-                    }
-                    MemOp::Atomic(a, AtomicOp::Read) => format!("  at {:#x} read", a.base().0),
-                    MemOp::Fence => "  fence".to_string(),
-                    MemOp::Compute(c) => format!("  compute {c}"),
-                    MemOp::Lock(a) => format!("  lock {:#x}", a.base().0),
-                    MemOp::Unlock(a) => format!("  unlock {:#x}", a.base().0),
-                    MemOp::Barrier { word, members } => {
-                        format!("  barrier {:#x} {members}", word.base().0)
-                    }
-                    MemOp::LocalWait { epoch } => format!("  wait {epoch}"),
-                };
-                out.push_str(&line);
+                out.push_str("  ");
+                out.push_str(&format_op(op));
                 out.push('\n');
             }
         }
@@ -295,10 +317,12 @@ warp 0 0 wg=3
   unlock 0x1c0
   barrier 0x200 4
   wait 1
+  until 500
 ";
         let wl = parse_trace(text, 2).unwrap();
         let p = &wl.programs[0][0];
-        assert_eq!(p.ops.len(), 12);
+        assert_eq!(p.ops.len(), 13);
+        assert_eq!(p.ops[12], MemOp::WaitUntil(500));
         assert_eq!(p.workgroup.index(), 3);
         assert_eq!(p.ops[0], MemOp::Load(LineAddr(2).word(0)));
         assert_eq!(p.ops[1], MemOp::Store(LineAddr(2).word(16), 42));
@@ -307,7 +331,7 @@ warp 0 0 wg=3
 
     #[test]
     fn round_trips() {
-        let text = "warp 1 2 wg=5\n  st 0x80 9\n  fence\n  at 0x100 cas 1 2\n";
+        let text = "warp 1 2 wg=5\n  st 0x80 9\n  fence\n  until 40\n  at 0x100 cas 1 2\n";
         let wl = parse_trace(text, 4).unwrap();
         let again = parse_trace(&to_trace(&wl), 4).unwrap();
         assert_eq!(

@@ -30,5 +30,6 @@ pub use rcc_mem as mem;
 pub use rcc_noc as noc;
 pub use rcc_obs as obs;
 pub use rcc_sim as sim;
+pub use rcc_trace as trace;
 pub use rcc_verify as verify;
 pub use rcc_workloads as workloads;

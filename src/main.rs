@@ -33,6 +33,10 @@
 //!   --hang-dump PATH    write the forensic hang-dump JSON here if the
 //!               watchdog fires (default PATH of --checkpoint plus
 //!               .hangdump.json, when --checkpoint is given)
+//!   --record-trace PATH write the run's memory-access trace (RCCT
+//!               binary + manifest); under --all, covers --protocol's run
+//!   --replay-trace PATH re-execute a recorded or hand-authored trace
+//!               (binary or text; inspect with the rcc-trace tool)
 //! ```
 
 use rcc_repro::coherence::ProtocolKind;
@@ -193,7 +197,7 @@ fn main() -> ExitCode {
             include_str!("main.rs")
                 .lines()
                 .skip(3)
-                .take(32)
+                .take(36)
                 .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
@@ -256,6 +260,7 @@ fn main() -> ExitCode {
         } else {
             0
         });
+    opts.record_trace = get("--record-trace");
     let hang_dump = get("--hang-dump").or_else(|| {
         opts.checkpoint
             .as_ref()
@@ -280,7 +285,16 @@ fn main() -> ExitCode {
         };
     }
 
-    let wl = if let Some(path) = get("--trace-file") {
+    let wl = if let Some(path) = get("--replay-trace") {
+        // Binary (RCCT) or text — same sniff the rcc-trace tool uses.
+        match rcc_trace::Trace::load_any(&path).and_then(|t| t.to_workload(cfg.num_cores)) {
+            Ok(wl) => wl,
+            Err(e) => {
+                eprintln!("cannot replay {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(path) = get("--trace-file") {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
@@ -312,7 +326,15 @@ fn main() -> ExitCode {
     // A failed protocol (deadlock, budget, invariant) reports as a typed
     // error and flips the exit code; the other jobs still complete.
     let jobs = rcc_bench::parse_jobs(&args);
-    let results = rcc_bench::pool::run_indexed(kinds, jobs, |k| try_simulate(k, &cfg, &wl, &opts));
+    let results = rcc_bench::pool::run_indexed(kinds, jobs, |k| {
+        // Like the observation exports, a trace under --all covers the
+        // --protocol selection — the other runs must not race on the path.
+        let mut o = opts.clone();
+        if k != kind {
+            o.record_trace = None;
+        }
+        try_simulate(k, &cfg, &wl, &o)
+    });
     let mut failed = false;
     for (i, r) in results.iter().enumerate() {
         match r {
@@ -362,6 +384,11 @@ fn main() -> ExitCode {
             }
             println!("wrote {path} ({what})");
         }
+    }
+    if let (Some(path), false) = (&opts.record_trace, failed) {
+        // stderr, like the checkpoint notices: `--csv | tail -1` must
+        // still see the data row as the last line of stdout.
+        eprintln!("wrote {path} (memory-access trace; replay with --replay-trace)");
     }
     if failed {
         ExitCode::FAILURE
