@@ -55,6 +55,24 @@ pub mod schemas {
         env!("CARGO_MANIFEST_DIR"),
         "/../../schemas/trace_manifest.schema.json"
     ));
+    /// Shape of an `rcc-serve` job submission (the `spec` payload of a
+    /// `submit` request).
+    pub const JOB: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/job.schema.json"
+    ));
+    /// Shape of a per-job result artifact persisted by the `rcc-serve`
+    /// job store (`job-<id>.json`).
+    pub const JOB_RESULT: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/job_result.schema.json"
+    ));
+    /// Shape of the `rcc-serve` results-directory manifest
+    /// (`manifest.json`, indexing every persisted job artifact).
+    pub const JOB_MANIFEST: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../schemas/job_manifest.schema.json"
+    ));
 }
 
 /// Validates `doc` against `schema_text`; `Err` carries every violation,

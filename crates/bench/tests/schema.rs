@@ -236,3 +236,87 @@ fn lint_schema_rejects_malformed_matrices() {
     let bad_status = r#"{"version": 1, "generated_by": "rcc-lint", "enums": {}, "controllers": [{"protocol": "rcc", "controller": "l1", "file": "f.rs", "states": [], "tables": [{"enum": "ReqPayload", "wildcard": false, "arms": [{"variant": "Gets", "status": "shrugged", "line": 3}]}]}]}"#;
     assert!(check_schema("bad status", schemas::LINT, bad_status).is_err());
 }
+
+/// The `rcc-serve` job schemas accept well-formed specs/artifacts and
+/// reject the shapes the service must fail closed on.
+#[test]
+fn job_schemas_accept_and_reject() {
+    // A minimal valid submission and a fully-optioned one.
+    let minimal = r#"{"version": 1, "protocol": "rcc",
+        "workload": {"kind": "litmus", "name": "mp", "seed": 3}}"#;
+    check_schema("job minimal", schemas::JOB, minimal).expect("minimal job validates");
+    let full = r#"{"version": 1, "protocol": "mesi-wb",
+        "workload": {"kind": "bench", "name": "dlb", "scale": "quick", "cores": 4, "seed": 9},
+        "options": {"max_cycles": 200000, "fast_forward": true, "sanitize": false,
+                    "record_trace": false, "sample_every": 64, "priority": 2,
+                    "chaos": {"profile": "light", "seed": 11}}}"#;
+    check_schema("job full", schemas::JOB, full).expect("full job validates");
+
+    // Unknown protocol, unknown workload kind, out-of-range priority,
+    // chaos missing its seed, and a stray field are each rejected.
+    for (label, bad) in [
+        (
+            "protocol",
+            r#"{"version": 1, "protocol": "moesi", "workload": {"kind": "litmus"}}"#,
+        ),
+        (
+            "kind",
+            r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "fuzz"}}"#,
+        ),
+        (
+            "priority",
+            r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus"},
+                "options": {"priority": 7}}"#,
+        ),
+        (
+            "chaos",
+            r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus"},
+                "options": {"chaos": {"profile": "light"}}}"#,
+        ),
+        (
+            "stray",
+            r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus"},
+                "turbo": true}"#,
+        ),
+    ] {
+        assert!(
+            check_schema(label, schemas::JOB, bad).is_err(),
+            "{label} should be rejected"
+        );
+    }
+
+    // A persisted result artifact for a finished job and a failed one.
+    let done = r#"{"version": 1, "job_id": 4, "state": "done",
+        "spec": {"protocol": "rcc"},
+        "result": {"protocol": "RCC-SC", "workload": "mp", "cycles": 913,
+                   "issued": 40, "mem_ops": 12, "sc_violations": 0,
+                   "metrics_digest": "00c0ffee00c0ffee"},
+        "error": null,
+        "service": {"priority": 1, "slices": 3, "preemptions": 2}}"#;
+    check_schema("job result done", schemas::JOB_RESULT, done).expect("done artifact validates");
+    let failed = r#"{"version": 1, "job_id": 7, "state": "failed",
+        "spec": {"protocol": "tcw"},
+        "result": null,
+        "error": {"kind": "deadlock", "detail": "watchdog fired",
+                  "hang_dump": {"any": "shape"}},
+        "service": {"priority": 0, "slices": 1, "preemptions": 0}}"#;
+    check_schema("job result failed", schemas::JOB_RESULT, failed)
+        .expect("failed artifact validates");
+    // Result object missing its digest is rejected.
+    let no_digest = r#"{"version": 1, "job_id": 4, "state": "done",
+        "spec": {},
+        "result": {"protocol": "RCC-SC", "workload": "mp", "cycles": 913,
+                   "issued": 40, "mem_ops": 12, "sc_violations": 0},
+        "error": null,
+        "service": {"priority": 1, "slices": 1, "preemptions": 0}}"#;
+    assert!(check_schema("no digest", schemas::JOB_RESULT, no_digest).is_err());
+
+    // The manifest indexes artifacts; a bogus state is rejected.
+    let manifest = r#"{"version": 1, "jobs": 2, "done": 1, "failed": 1,
+        "entries": [{"job_id": 0, "state": "done", "path": "job-0.json"},
+                    {"job_id": 1, "state": "failed", "path": "job-1.json"}]}"#;
+    check_schema("job manifest", schemas::JOB_MANIFEST, manifest).expect("manifest validates");
+    let bad_state = r#"{"version": 1, "jobs": 1, "done": 0, "failed": 0,
+        "entries": [{"job_id": 0, "state": "queued", "path": "job-0.json"}]}"#;
+    assert!(check_schema("bad state", schemas::JOB_MANIFEST, bad_state).is_err());
+}

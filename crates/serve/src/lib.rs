@@ -1,0 +1,50 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `rcc-serve` — a long-running batch-simulation service.
+//!
+//! The service accepts simulation job requests (protocol × machine ×
+//! workload × options), runs them on a bounded worker pool, and
+//! persists schema-validated result artifacts. Long jobs are
+//! preemptible: a worker runs one checkpoint quantum at a time via
+//! [`rcc_sim::try_simulate_slice`] / [`rcc_sim::resume_slice`], parks
+//! the in-memory [`rcc_sim::Checkpoint`] and requeues the job, so a
+//! flood of short jobs cannot starve behind a long one — and, because a
+//! resumed slice replays to its snapshot cycle and digest-verifies the
+//! rebuilt state, a preempted job's results are bit-identical to an
+//! uninterrupted run of the same spec (the stress suite asserts this
+//! byte-for-byte).
+//!
+//! Layers, bottom to top:
+//!
+//! - [`queue`] — the pure priority-aged FIFO scheduler (provable
+//!   starvation bound, deterministic for a fixed arrival order).
+//! - [`spec`] — job validation: JSON Schema (`schemas/job.schema.json`)
+//!   first, then semantic checks, then resolution into the exact
+//!   `(ProtocolKind, GpuConfig, Workload, SimOptions)` the driver's
+//!   `try_simulate` would use.
+//! - [`store`] — result summaries, typed job errors (hang dumps
+//!   attached), and the on-disk artifact/manifest writer, all validated
+//!   against `schemas/job_result.schema.json` /
+//!   `schemas/job_manifest.schema.json` before anything is written.
+//! - [`server`] — the worker pool, the in-process [`server::Server`]
+//!   API the tests drive, and the line-delimited JSON TCP front end.
+//! - [`wire`] — the fail-closed wire protocol (bounded frames, typed
+//!   [`wire::WireError`] rejections; malformed input can never kill the
+//!   accept loop or a worker).
+//!
+//! The worker pool generalizes `rcc_bench::pool::run_yielding` — the
+//! same cooperative `Slice { Done, Yield }` step shape — to dynamic
+//! arrivals with priorities; a fixed batch of specs can equivalently be
+//! driven through the bench pool, which is exactly how the stress suite
+//! cross-checks the service against direct simulation.
+
+pub mod queue;
+pub mod server;
+pub mod spec;
+pub mod store;
+pub mod wire;
+
+pub use queue::Sched;
+pub use server::{Server, ServerConfig, Submission};
+pub use spec::{JobSpec, SpecError, WorkloadSpec};
+pub use store::{JobError, JobState, ResultSummary};

@@ -1,0 +1,80 @@
+//! `rcc-serve` — the batch-simulation service binary.
+//!
+//! ```text
+//! USAGE: rcc-serve [--addr HOST:PORT] [--workers N] [--quantum CYCLES]
+//!                  [--aging N] [--results-dir PATH]
+//!
+//!   --addr         bind address (default 127.0.0.1:0; the chosen
+//!                  port is printed as "listening on HOST:PORT")
+//!   --workers      worker threads (default 2)
+//!   --quantum      preemption quantum in cycles (default 50000;
+//!                  0 disables preemption)
+//!   --aging        scheduler aging rate (default 4)
+//!   --results-dir  persist job artifacts + manifest here
+//!
+//! Speak line-delimited JSON to the printed address:
+//!   {"cmd": "submit", "spec": {...}}   -> {"ok": true, "job": N}
+//!   {"cmd": "status", "job": N}
+//!   {"cmd": "watch", "job": N}         (streams progress events)
+//!   {"cmd": "list"}
+//!   {"cmd": "shutdown"}
+//! ```
+
+use rcc_serve::server::DEFAULT_QUANTUM;
+use rcc_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "{}",
+            include_str!("main.rs")
+                .lines()
+                .skip(2)
+                .take(19)
+                .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        return ExitCode::SUCCESS;
+    }
+    let cfg = ServerConfig {
+        workers: get("--workers").and_then(|s| s.parse().ok()).unwrap_or(2),
+        quantum: get("--quantum")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_QUANTUM),
+        aging: get("--aging").and_then(|s| s.parse().ok()).unwrap_or(4),
+        results_dir: get("--results-dir").map(Into::into),
+    };
+    let addr = get("--addr").unwrap_or_else(|| "127.0.0.1:0".into());
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = match server.listen(&addr) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            let _ = server.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {local}");
+    server.wait_for_shutdown_request();
+    match server.shutdown() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! The service itself: worker pool, in-process API, TCP front end.
+//!
+//! A [`Server`] owns a bounded pool of worker threads draining the
+//! priority-aged [`crate::queue::Sched`]. A worker never runs a job to
+//! completion blindly: it executes **one checkpoint quantum** via
+//! [`rcc_sim::try_simulate_slice`] (or [`rcc_sim::resume_slice`] for a
+//! parked job), and a job that yields is re-admitted behind its class
+//! peers with its in-memory [`Checkpoint`] stored on the record. Resume
+//! replays to the snapshot cycle and digest-verifies the rebuilt state,
+//! so preemption is invisible in the results — and a corrupted snapshot
+//! surfaces as a typed `checkpoint` failure on that job, never a wedged
+//! worker.
+//!
+//! Every failure path is typed: simulation errors map through
+//! [`JobError::from_sim`] (deadlocks carry their hang dump), a
+//! panicking slice is caught and recorded as an internal error, and the
+//! worker loop survives all of it. The TCP front end speaks the
+//! fail-closed [`crate::wire`] protocol; `watch` streams the per-slice
+//! progress events (cycle, issued instructions, memory operations, and
+//! the sample count from the rcc-obs time-series sampler) until the job
+//! is terminal.
+
+use crate::queue::Sched;
+use crate::spec::JobSpec;
+use crate::store::{JobError, JobRecord, JobState, ResultSummary, Store};
+use crate::wire::{self, Request, WireError};
+use rcc_sim::{Checkpoint, SimOptions, SliceOutcome};
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Preemption quantum in cycles; 0 runs every job to completion.
+    pub quantum: u64,
+    /// Scheduler aging rate (dispatches per class of earned urgency).
+    pub aging: u64,
+    /// Results directory; `None` keeps everything in memory.
+    pub results_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            quantum: 0,
+            aging: 4,
+            results_dir: None,
+        }
+    }
+}
+
+/// Outcome of a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// The job was admitted under this id.
+    Accepted {
+        /// Dense job id; the handle for status/watch.
+        id: u64,
+    },
+    /// The job was rejected with a typed reason; nothing was queued.
+    Rejected {
+        /// Rejection category (see [`crate::spec::SpecError`]).
+        kind: String,
+        /// Human-readable reason.
+        detail: String,
+    },
+}
+
+/// One per-slice progress event, streamed by `watch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressEvent {
+    /// Job id.
+    pub job: u64,
+    /// Slice ordinal (1 = first quantum).
+    pub slice: u64,
+    /// Simulated cycle reached.
+    pub cycle: u64,
+    /// Instructions issued so far.
+    pub issued: u64,
+    /// Memory operations performed so far.
+    pub mem_ops: u64,
+    /// Rows the rcc-obs time-series sampler has collected so far
+    /// (0 when the job did not request sampling).
+    pub samples: u64,
+}
+
+impl ProgressEvent {
+    /// Wire form.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"event\": \"progress\", \"job\": {}, \"slice\": {}, \"cycle\": {}, \
+             \"issued\": {}, \"mem_ops\": {}, \"samples\": {}}}",
+            self.job, self.slice, self.cycle, self.issued, self.mem_ops, self.samples
+        )
+    }
+}
+
+struct Job {
+    record: JobRecord,
+    spec: JobSpec,
+    /// Parked mid-run state between quanta.
+    ck: Option<Box<Checkpoint>>,
+    /// Fault injection: corrupt the next snapshot this job parks on.
+    corrupt_next: bool,
+    events: Vec<ProgressEvent>,
+}
+
+struct State {
+    jobs: Vec<Job>,
+    sched: Sched,
+    /// Scheduler token → job index, for everything currently queued.
+    token_to_job: BTreeMap<u64, usize>,
+    /// Jobs not yet terminal.
+    active: usize,
+    shutdown: bool,
+    addr: Option<SocketAddr>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signaled when work lands in the queue (workers wait here).
+    work: Condvar,
+    /// Signaled on any job state change (watchers/waiters wait here).
+    change: Condvar,
+    store: Store,
+    quantum: u64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// The batch-simulation service. Cheap to clone; all clones share one
+/// state.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+struct Task {
+    id: usize,
+    spec: JobSpec,
+    ck: Option<Box<Checkpoint>>,
+}
+
+enum QuantumOutcome {
+    Finished(Box<rcc_sim::RunMetrics>),
+    Preempted {
+        ck: Box<Checkpoint>,
+        progress: Box<rcc_sim::SliceProgress>,
+    },
+    Failed(JobError),
+}
+
+fn run_quantum(inner: &Inner, task: &Task) -> QuantumOutcome {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(ck) = &task.ck {
+            return rcc_sim::resume_slice(ck);
+        }
+        let (kind, cfg, wl, mut opts) = task.spec.inputs();
+        if task.spec.record_trace {
+            // A resumed run does not re-record, so trace jobs run as one
+            // uninterrupted quantum through the plain driver path.
+            opts.record_trace = inner.store.trace_path(task.id as u64);
+            return rcc_sim::try_simulate(kind, &cfg, &wl, &opts)
+                .map(|m| SliceOutcome::Finished(Box::new(m)));
+        }
+        opts.quantum = inner.quantum;
+        rcc_sim::try_simulate_slice(kind, &cfg, &wl, &opts)
+    }));
+    match res {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker slice panicked".into());
+            QuantumOutcome::Failed(JobError::internal("panic", msg))
+        }
+        Ok(Err(e)) => QuantumOutcome::Failed(JobError::from_sim(&e)),
+        Ok(Ok(SliceOutcome::Finished(m))) => QuantumOutcome::Finished(m),
+        Ok(Ok(SliceOutcome::Preempted { ck, progress })) => {
+            QuantumOutcome::Preempted { ck, progress }
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let task = {
+            let mut st = inner.state.lock().expect("server state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(token) = st.sched.pop() {
+                    let id = st
+                        .token_to_job
+                        .remove(&token)
+                        .expect("scheduler token maps to a job");
+                    let job = &mut st.jobs[id];
+                    job.record.state = JobState::Running;
+                    break Task {
+                        id,
+                        spec: job.spec.clone(),
+                        ck: job.ck.take(),
+                    };
+                }
+                st = inner.work.wait(st).expect("server state poisoned");
+            }
+        };
+        let outcome = run_quantum(inner, &task);
+        let mut st = inner.state.lock().expect("server state poisoned");
+        let priority = st.jobs[task.id].record.priority;
+        match outcome {
+            QuantumOutcome::Finished(m) => {
+                let job = &mut st.jobs[task.id];
+                job.record.slices += 1;
+                job.record.summary = Some(ResultSummary::from_metrics(&m));
+                job.record.state = JobState::Done;
+                if let Err(e) = inner.store.persist(&job.record) {
+                    job.record.state = JobState::Failed;
+                    job.record.error = Some(JobError::internal("store", e));
+                }
+                st.active -= 1;
+            }
+            QuantumOutcome::Failed(err) => {
+                let job = &mut st.jobs[task.id];
+                job.record.slices += 1;
+                job.record.state = JobState::Failed;
+                job.record.error = Some(err);
+                let _ = inner.store.persist(&job.record);
+                st.active -= 1;
+            }
+            QuantumOutcome::Preempted { mut ck, progress } => {
+                let job = &mut st.jobs[task.id];
+                if std::mem::take(&mut job.corrupt_next) {
+                    ck.state_digest ^= 0xdead_beef_dead_beef;
+                }
+                job.record.slices += 1;
+                job.record.preemptions += 1;
+                let samples = progress
+                    .obs
+                    .as_ref()
+                    .map(|o| o.series.rows() as u64)
+                    .unwrap_or(0);
+                let event = ProgressEvent {
+                    job: task.id as u64,
+                    slice: job.record.slices,
+                    cycle: progress.cycle,
+                    issued: progress.issued,
+                    mem_ops: progress.mem_ops,
+                    samples,
+                };
+                job.events.push(event);
+                job.ck = Some(ck);
+                job.record.state = JobState::Queued;
+                let token = st.sched.requeue(priority);
+                st.token_to_job.insert(token, task.id);
+                inner.work.notify_one();
+            }
+        }
+        inner.change.notify_all();
+    }
+}
+
+impl Server {
+    /// Starts the worker pool. No sockets yet — tests drive the
+    /// in-process API directly; call [`Server::listen`] for TCP.
+    pub fn start(cfg: ServerConfig) -> Result<Server, String> {
+        let store = Store::new(cfg.results_dir.clone())?;
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: Vec::new(),
+                sched: Sched::new(cfg.aging),
+                token_to_job: BTreeMap::new(),
+                active: 0,
+                shutdown: false,
+                addr: None,
+            }),
+            work: Condvar::new(),
+            change: Condvar::new(),
+            store,
+            quantum: cfg.quantum,
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::new();
+        for i in 0..cfg.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rcc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        inner
+            .handles
+            .lock()
+            .expect("handle list poisoned")
+            .extend(handles);
+        Ok(Server { inner })
+    }
+
+    /// Submits a job from raw JSON text.
+    pub fn submit_json(&self, text: &str) -> Submission {
+        match JobSpec::parse(text) {
+            Ok(spec) => self.submit_spec(spec),
+            Err(e) => Submission::Rejected {
+                kind: e.kind.to_string(),
+                detail: e.detail,
+            },
+        }
+    }
+
+    /// Submits an already-parsed spec value.
+    pub fn submit_value(&self, v: &rcc_obs::json::JsonValue) -> Submission {
+        match JobSpec::from_value(v) {
+            Ok(spec) => self.submit_spec(spec),
+            Err(e) => Submission::Rejected {
+                kind: e.kind.to_string(),
+                detail: e.detail,
+            },
+        }
+    }
+
+    /// Admits a validated spec into the queue.
+    pub fn submit_spec(&self, spec: JobSpec) -> Submission {
+        if spec.record_trace && !self.inner.store.persistent() {
+            return Submission::Rejected {
+                kind: "options".into(),
+                detail: "record_trace requires a results dir".into(),
+            };
+        }
+        let mut st = self.inner.state.lock().expect("server state poisoned");
+        if st.shutdown {
+            return Submission::Rejected {
+                kind: "shutdown".into(),
+                detail: "server is shutting down".into(),
+            };
+        }
+        let id = st.jobs.len() as u64;
+        let token = st.sched.push(spec.priority);
+        let idx = st.jobs.len();
+        st.token_to_job.insert(token, idx);
+        st.jobs.push(Job {
+            record: JobRecord {
+                id,
+                state: JobState::Queued,
+                spec_json: spec.to_canonical_json(),
+                priority: spec.priority,
+                slices: 0,
+                preemptions: 0,
+                summary: None,
+                error: None,
+            },
+            spec,
+            ck: None,
+            corrupt_next: false,
+            events: Vec::new(),
+        });
+        st.active += 1;
+        self.inner.work.notify_one();
+        Submission::Accepted { id }
+    }
+
+    /// A snapshot of one job's record.
+    pub fn status(&self, id: u64) -> Option<JobRecord> {
+        let st = self.inner.state.lock().expect("server state poisoned");
+        st.jobs.get(id as usize).map(|j| j.record.clone())
+    }
+
+    /// The progress events a job has emitted so far.
+    pub fn progress(&self, id: u64) -> Option<Vec<ProgressEvent>> {
+        let st = self.inner.state.lock().expect("server state poisoned");
+        st.jobs.get(id as usize).map(|j| j.events.clone())
+    }
+
+    /// Blocks until the job is terminal; returns its final record.
+    pub fn wait(&self, id: u64) -> Option<JobRecord> {
+        let mut st = self.inner.state.lock().expect("server state poisoned");
+        loop {
+            let job = st.jobs.get(id as usize)?;
+            if job.record.state.terminal() {
+                return Some(job.record.clone());
+            }
+            st = self.inner.change.wait(st).expect("server state poisoned");
+        }
+    }
+
+    /// Blocks until no job is queued or running.
+    pub fn wait_idle(&self) {
+        let mut st = self.inner.state.lock().expect("server state poisoned");
+        while st.active > 0 {
+            st = self.inner.change.wait(st).expect("server state poisoned");
+        }
+    }
+
+    /// Fault-injection hook for the preemption-fidelity suite: corrupts
+    /// job `id`'s mid-run snapshot — directly if it is parked on one,
+    /// or the next one it parks on if a worker is mid-quantum (blocking
+    /// until either happens). The next resume must then fail with a
+    /// typed `checkpoint` error on this job — and only this job.
+    /// Returns false when the job finished before it could be hit.
+    pub fn corrupt_checkpoint(&self, id: u64) -> bool {
+        let mut st = self.inner.state.lock().expect("server state poisoned");
+        loop {
+            let Some(job) = st.jobs.get_mut(id as usize) else {
+                return false;
+            };
+            if job.record.state.terminal() {
+                return false;
+            }
+            if job.record.state == JobState::Queued {
+                if let Some(ck) = &mut job.ck {
+                    ck.state_digest ^= 0xdead_beef_dead_beef;
+                    return true;
+                }
+            } else if job.record.state == JobState::Running {
+                job.corrupt_next = true;
+                return true;
+            }
+            st = self.inner.change.wait(st).expect("server state poisoned");
+        }
+    }
+
+    /// Counts per state: (queued, running, done, failed).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let st = self.inner.state.lock().expect("server state poisoned");
+        let mut c = (0, 0, 0, 0);
+        for j in &st.jobs {
+            match j.record.state {
+                JobState::Queued => c.0 += 1,
+                JobState::Running => c.1 += 1,
+                JobState::Done => c.2 += 1,
+                JobState::Failed => c.3 += 1,
+            }
+        }
+        c
+    }
+
+    /// Asks the service to stop: no new submissions, workers exit after
+    /// their current quantum, the accept loop unblocks.
+    pub fn request_shutdown(&self) {
+        let addr = {
+            let mut st = self.inner.state.lock().expect("server state poisoned");
+            st.shutdown = true;
+            st.addr
+        };
+        self.inner.work.notify_all();
+        self.inner.change.notify_all();
+        if let Some(addr) = addr {
+            // Unblock the acceptor.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Full stop: requests shutdown, joins every thread, writes the
+    /// results manifest. Idempotent.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.request_shutdown();
+        let handles: Vec<_> = self
+            .inner
+            .handles
+            .lock()
+            .expect("handle list poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        let records: Vec<JobRecord> = {
+            let st = self.inner.state.lock().expect("server state poisoned");
+            st.jobs.iter().map(|j| j.record.clone()).collect()
+        };
+        self.inner.store.write_manifest(&records).map(|_| ())
+    }
+
+    /// Blocks until something requests shutdown (the TCP `shutdown`
+    /// verb, or [`Server::request_shutdown`] from another thread).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut st = self.inner.state.lock().expect("server state poisoned");
+        while !st.shutdown {
+            st = self.inner.change.wait(st).expect("server state poisoned");
+        }
+    }
+
+    /// Binds `addr` and starts the accept loop. Returns the bound
+    /// address (use port 0 to let the OS pick).
+    pub fn listen(&self, addr: &str) -> Result<SocketAddr, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        self.inner.state.lock().expect("server state poisoned").addr = Some(local);
+        let server = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("rcc-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if server
+                        .inner
+                        .state
+                        .lock()
+                        .expect("server state poisoned")
+                        .shutdown
+                    {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let server = server.clone();
+                    // Connection threads are detached; they exit on EOF,
+                    // socket error, or server shutdown.
+                    let _ = std::thread::Builder::new()
+                        .name("rcc-serve-conn".into())
+                        .spawn(move || server.handle_conn(stream));
+                }
+            })
+            .map_err(|e| format!("spawn acceptor: {e}"))?;
+        self.inner
+            .handles
+            .lock()
+            .expect("handle list poisoned")
+            .push(handle);
+        Ok(local)
+    }
+
+    /// Wire form of one job's status.
+    fn status_line(&self, id: u64) -> String {
+        match self.status(id) {
+            None => wire::error_line("request", &format!("no such job {id}")),
+            Some(rec) => record_json(&rec),
+        }
+    }
+
+    fn handle_conn(&self, stream: TcpStream) {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        let mut out = stream;
+        loop {
+            let frame = match wire::read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                Ok(None) | Err(_) => return,
+            };
+            let reply = match frame.and_then(|line| wire::parse_request(&line)) {
+                Err(WireError { kind, detail }) => wire::error_line(kind, &detail),
+                Ok(Request::Submit(spec)) => match self.submit_value(&spec) {
+                    Submission::Accepted { id } => format!("{{\"ok\": true, \"job\": {id}}}"),
+                    Submission::Rejected { kind, detail } => wire::error_line(&kind, &detail),
+                },
+                Ok(Request::Status(id)) => self.status_line(id),
+                Ok(Request::List) => {
+                    let (q, r, d, f) = self.counts();
+                    format!(
+                        "{{\"ok\": true, \"jobs\": {}, \"queued\": {q}, \"running\": {r}, \
+                         \"done\": {d}, \"failed\": {f}}}",
+                        q + r + d + f
+                    )
+                }
+                Ok(Request::Shutdown) => {
+                    let _ = writeln!(out, "{{\"ok\": true, \"stopping\": true}}");
+                    self.request_shutdown();
+                    return;
+                }
+                Ok(Request::Watch(id)) => {
+                    if self.stream_watch(id, &mut out).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if writeln!(out, "{reply}").is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Streams progress events for `id` until it is terminal, then the
+    /// final status line.
+    fn stream_watch(&self, id: u64, out: &mut TcpStream) -> std::io::Result<()> {
+        {
+            let st = self.inner.state.lock().expect("server state poisoned");
+            if st.jobs.get(id as usize).is_none() {
+                drop(st);
+                writeln!(out, "{}", wire::error_line("request", "no such job"))?;
+                return Ok(());
+            }
+        }
+        let mut cursor = 0usize;
+        loop {
+            let (events, terminal) = {
+                let mut st = self.inner.state.lock().expect("server state poisoned");
+                loop {
+                    let job = &st.jobs[id as usize];
+                    if job.events.len() > cursor || job.record.state.terminal() || st.shutdown {
+                        break (
+                            job.events[cursor..].to_vec(),
+                            job.record.state.terminal() || st.shutdown,
+                        );
+                    }
+                    let (guard, _) = self
+                        .inner
+                        .change
+                        .wait_timeout(st, Duration::from_millis(200))
+                        .expect("server state poisoned");
+                    st = guard;
+                }
+            };
+            for e in &events {
+                writeln!(out, "{}", e.to_json())?;
+            }
+            cursor += events.len();
+            if terminal {
+                writeln!(out, "{}", self.status_line(id))?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Wire/status JSON for a job record.
+pub fn record_json(rec: &JobRecord) -> String {
+    format!(
+        "{{\"ok\": true, \"job\": {}, \"state\": \"{}\", \"priority\": {}, \
+         \"slices\": {}, \"preemptions\": {}, \"result\": {}, \"error\": {}}}",
+        rec.id,
+        rec.state.label(),
+        rec.priority,
+        rec.slices,
+        rec.preemptions,
+        rec.summary
+            .as_ref()
+            .map(ResultSummary::to_json)
+            .unwrap_or_else(|| "null".into()),
+        rec.error
+            .as_ref()
+            .map(JobError::to_json)
+            .unwrap_or_else(|| "null".into()),
+    )
+}
+
+/// The default quantum the `rcc-serve` binary advertises: long enough
+/// that a quick job finishes in one slice, short enough that a
+/// full-scale run yields many times.
+pub const DEFAULT_QUANTUM: u64 = 50_000;
+
+/// Convenience used by the binary and CI smoke: options a direct
+/// driver invocation would use for the same spec (for diffing a service
+/// artifact against `try_simulate`).
+pub fn direct_options(spec: &JobSpec) -> SimOptions {
+    let (_, _, _, opts) = spec.inputs();
+    opts
+}

@@ -1,0 +1,129 @@
+//! Property coverage for the priority-aged FIFO scheduler: no
+//! starvation past the computable bound, FIFO dispatch within a
+//! priority class, and a deterministic schedule for a fixed operation
+//! sequence. The scheduler is pure, so these run over raw operation
+//! streams with no threads involved.
+
+use proptest::prelude::*;
+use rcc_serve::queue::{Sched, CLASSES};
+
+/// One scheduler interaction drawn by the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Admit a new entry at this class.
+    Push(u8),
+    /// Dispatch, and with probability ~1/4 requeue the dispatched
+    /// entry (simulating a quantum preemption).
+    PopAndMaybeRequeue(bool),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..CLASSES).prop_map(Op::Push),
+            any::<bool>().prop_map(Op::PopAndMaybeRequeue),
+        ],
+        1..200,
+    )
+}
+
+/// Replays an op stream, returning the dispatch order as
+/// `(token, class)` pairs and tracking per-token wait counts.
+fn replay(aging: u64, ops: &[Op]) -> Vec<(u64, u8)> {
+    let mut s = Sched::new(aging);
+    let mut class_of: Vec<(u64, u8)> = Vec::new();
+    let mut order = Vec::new();
+    for op in ops {
+        match op {
+            Op::Push(class) => {
+                let tok = s.push(*class);
+                class_of.push((tok, *class));
+            }
+            Op::PopAndMaybeRequeue(requeue) => {
+                if let Some(tok) = s.pop() {
+                    let class = class_of
+                        .iter()
+                        .find(|(t, _)| *t == tok)
+                        .expect("dispatched token was admitted")
+                        .1;
+                    order.push((tok, class));
+                    if *requeue {
+                        let t2 = s.requeue(class);
+                        class_of.push((t2, class));
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Within one class, tokens dispatch in admission order (tokens are
+    /// monotone in admission order, requeues included, so the dispatch
+    /// sequence restricted to any class must be increasing).
+    #[test]
+    fn fifo_within_each_class(ops in arb_ops(), aging in 1u64..6) {
+        let order = replay(aging, &ops);
+        for class in 0..CLASSES {
+            let toks: Vec<u64> = order
+                .iter()
+                .filter(|(_, c)| *c == class)
+                .map(|(t, _)| *t)
+                .collect();
+            for w in toks.windows(2) {
+                prop_assert!(w[0] < w[1], "class {class} dispatched out of order: {toks:?}");
+            }
+        }
+    }
+
+    /// No starvation: every entry waiting in the queue is dispatched
+    /// within `starvation_bound(queue_len_at_admission)` dispatches of
+    /// being admitted, no matter what arrives after it.
+    #[test]
+    fn every_entry_dispatches_within_the_bound(ops in arb_ops(), aging in 1u64..6) {
+        let mut s = Sched::new(aging);
+        // token -> (dispatches remaining before violation)
+        let mut deadline: Vec<(u64, u64)> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Push(class) => {
+                    let bound = s.starvation_bound(s.len());
+                    let tok = s.push(*class);
+                    deadline.push((tok, bound));
+                }
+                Op::PopAndMaybeRequeue(requeue) => {
+                    let Some(tok) = s.pop() else { continue };
+                    deadline.retain(|(t, _)| *t != tok);
+                    for (t, left) in &mut deadline {
+                        prop_assert!(*left > 0, "token {t} starved past its bound");
+                        *left -= 1;
+                    }
+                    if *requeue {
+                        let bound = s.starvation_bound(s.len());
+                        let t2 = s.requeue(CLASSES - 1);
+                        deadline.push((t2, bound));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The schedule is a pure function of the operation sequence.
+    #[test]
+    fn fixed_sequence_fixed_schedule(ops in arb_ops(), aging in 1u64..6) {
+        prop_assert_eq!(replay(aging, &ops), replay(aging, &ops));
+    }
+
+    /// Class 0 always beats a fresh (unaged) entry of a lower class.
+    #[test]
+    fn urgent_beats_fresh_background(bg in 1u8..CLASSES) {
+        let mut s = Sched::new(4);
+        let slow = s.push(bg);
+        let fast = s.push(0);
+        prop_assert_eq!(s.pop(), Some(fast));
+        prop_assert_eq!(s.pop(), Some(slow));
+    }
+}

@@ -1,0 +1,240 @@
+//! The stress/soak suite: a seeded generator floods the service with
+//! over a thousand mixed jobs — every protocol, litmus and benchmark
+//! workloads, chaos on and off, deliberate deadlocks, and a salting of
+//! invalid requests — and asserts the service contract:
+//!
+//! - every accepted job reaches a terminal state (nothing starves),
+//! - every finished job's result is **byte-identical** to a direct
+//!   `try_simulate` of the same resolved spec,
+//! - every failed job carries the same typed error a direct run hits,
+//! - every invalid request is rejected typed, queuing nothing,
+//! - workers survive all of it (no job is ever wedged by another).
+
+use rcc_serve::spec::JobSpec;
+use rcc_serve::store::{JobError, JobState, ResultSummary};
+use rcc_serve::{Server, ServerConfig, Submission};
+use std::collections::HashMap;
+
+/// Deterministic generator seed; bump only with a reason.
+const SEED: u64 = 0x5eed_2026;
+
+/// Jobs the generator emits (acceptance floor is 1000).
+const JOBS: usize = 1_100;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*: plenty for picking test cases.
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() % xs.len() as u64) as usize]
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+const PROTOCOLS: &[&str] = &["mesi", "mesi-wb", "tcs", "tcw", "rcc", "rcc-wo", "ideal"];
+const LITMUS: &[&str] = &[
+    "mp",
+    "mp+fence",
+    "mp+atomic",
+    "sb",
+    "sb+fence",
+    "lb",
+    "wrc",
+    "corr",
+    "iriw",
+];
+const BENCHES: &[&str] = &["dlb", "hsp", "kmn", "lud", "sr"];
+/// Small pools keep the distinct-spec count low, so the direct-twin
+/// memo pays off while every (protocol × workload × chaos) corner is
+/// still hit at 1.1k draws.
+const SEEDS: &[u64] = &[3, 11];
+const CHAOS: &[&str] = &["light", "heavy", "reorder"];
+
+enum Expect {
+    /// Must be accepted; id + canonical spec recorded for verification.
+    Valid,
+    /// Must be rejected with this typed kind.
+    Invalid(&'static str),
+}
+
+/// One generated submission: raw request text plus what must happen.
+fn gen_job(rng: &mut Rng) -> (String, Expect) {
+    // ~10% invalid requests, each a distinct failure layer.
+    if rng.chance(10) {
+        return match rng.next() % 6 {
+            0 => ("{not json at all".into(), Expect::Invalid("schema")),
+            1 => (
+                r#"{"version": 1, "protocol": "moesi", "workload": {"kind": "litmus", "name": "mp"}}"#.into(),
+                Expect::Invalid("schema"), // protocol enum is schema-level
+            ),
+            2 => (
+                r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "bench", "name": "doom"}}"#.into(),
+                Expect::Invalid("workload"),
+            ),
+            3 => (
+                r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus", "name": "mp"}, "surprise": 1}"#.into(),
+                Expect::Invalid("schema"),
+            ),
+            4 => (
+                r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus", "name": "mp"}, "options": {"priority": 9}}"#.into(),
+                Expect::Invalid("schema"), // maximum is schema-level
+            ),
+            _ => (
+                // record_trace without a results dir: a semantically
+                // valid spec the in-memory server cannot honor.
+                r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus", "name": "mp"}, "options": {"record_trace": true}}"#.into(),
+                Expect::Invalid("options"),
+            ),
+        };
+    }
+    let protocol = *rng.pick(PROTOCOLS);
+    let priority = rng.next() % 4;
+    // ~5% deliberate deadlocks.
+    if rng.chance(5) {
+        let spec = format!(
+            r#"{{"version": 1, "protocol": "{protocol}", "workload": {{"kind": "hang"}}, "options": {{"priority": {priority}}}}}"#
+        );
+        return (spec, Expect::Valid);
+    }
+    let seed = *rng.pick(SEEDS);
+    let chaos = if rng.chance(30) {
+        format!(
+            r#", "chaos": {{"profile": "{}", "seed": 5}}"#,
+            rng.pick(CHAOS)
+        )
+    } else {
+        String::new()
+    };
+    // Litmus-heavy mix: benchmarks are ~200× the cost of a litmus test
+    // in a debug build, so they get ~10% of the draws.
+    let workload = if rng.chance(10) {
+        format!(
+            r#"{{"kind": "bench", "name": "{}", "scale": "quick", "seed": {seed}}}"#,
+            rng.pick(BENCHES)
+        )
+    } else {
+        format!(
+            r#"{{"kind": "litmus", "name": "{}", "seed": {seed}}}"#,
+            rng.pick(LITMUS)
+        )
+    };
+    let spec = format!(
+        r#"{{"version": 1, "protocol": "{protocol}", "workload": {workload}, "options": {{"priority": {priority}{chaos}}}}}"#
+    );
+    (spec, Expect::Valid)
+}
+
+/// What a direct run of a canonical spec produces: the summary bytes,
+/// or the typed error kind.
+type Twin = Result<String, &'static str>;
+
+fn direct_twin(spec_text: &str) -> Twin {
+    let spec = JobSpec::parse(spec_text).expect("accepted spec re-validates");
+    let (kind, cfg, wl, opts) = spec.inputs();
+    match rcc_sim::try_simulate(kind, &cfg, &wl, &opts) {
+        Ok(m) => Ok(ResultSummary::from_metrics(&m).to_json()),
+        Err(e) => Err(JobError::from_sim(&e).kind),
+    }
+}
+
+#[test]
+fn thousand_mixed_jobs_all_terminal_and_byte_identical() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        quantum: 10_000,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+
+    let mut rng = Rng(SEED);
+    let mut accepted: Vec<(u64, String)> = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..JOBS {
+        let (text, expect) = gen_job(&mut rng);
+        match (server.submit_json(&text), expect) {
+            (Submission::Accepted { id }, Expect::Valid) => {
+                let canonical = JobSpec::parse(&text)
+                    .expect("accepted implies valid")
+                    .to_canonical_json();
+                accepted.push((id, canonical));
+            }
+            (Submission::Rejected { kind, detail }, Expect::Invalid(want)) => {
+                assert_eq!(kind, want, "typed rejection for {text}: {detail}");
+                rejected += 1;
+            }
+            (sub, Expect::Valid) => panic!("valid spec rejected: {text} -> {sub:?}"),
+            (sub, Expect::Invalid(_)) => panic!("invalid spec accepted: {text} -> {sub:?}"),
+        }
+    }
+    assert!(
+        accepted.len() >= 900,
+        "mix skewed: {} accepted",
+        accepted.len()
+    );
+    assert!(rejected >= 50, "mix skewed: {rejected} rejected");
+
+    // Everything terminal: with the aging scheduler a full drain IS the
+    // no-starvation check — wait_idle returns only once no job is
+    // queued or running.
+    server.wait_idle();
+    let (queued, running, done, failed) = server.counts();
+    assert_eq!((queued, running), (0, 0), "no job starved or wedged");
+    assert_eq!(done + failed, accepted.len());
+
+    // Byte-identity (and typed-failure identity) against direct
+    // simulation, memoized per distinct canonical spec.
+    let mut twins: HashMap<String, Twin> = HashMap::new();
+    let mut preempted = 0usize;
+    let mut deadlocks = 0usize;
+    for (id, canonical) in &accepted {
+        let rec = server.status(*id).expect("job exists");
+        assert!(rec.state.terminal());
+        assert_eq!(&rec.spec_json, canonical, "record keeps the canonical spec");
+        if rec.preemptions > 0 {
+            preempted += 1;
+        }
+        let twin = twins
+            .entry(canonical.clone())
+            .or_insert_with(|| direct_twin(canonical));
+        match (rec.state, &*twin) {
+            (JobState::Done, Ok(expected)) => {
+                let got = rec.summary.expect("done job has a summary").to_json();
+                assert_eq!(&got, expected, "job {id}: service vs direct mismatch");
+            }
+            (JobState::Failed, Err(kind)) => {
+                let err = rec.error.expect("failed job carries its error");
+                assert_eq!(&err.kind, kind, "job {id}: error kind");
+                if err.kind == "deadlock" {
+                    deadlocks += 1;
+                    let dump = err.hang_dump.expect("deadlock carries its hang dump");
+                    rcc_bench::report::check_schema(
+                        "hang dump",
+                        rcc_bench::report::schemas::HANGDUMP,
+                        &dump,
+                    )
+                    .expect("dump validates");
+                }
+            }
+            (state, twin) => panic!(
+                "job {id} ({canonical}): service says {state:?}, direct says {}",
+                if twin.is_ok() { "done" } else { "failed" }
+            ),
+        }
+    }
+    assert!(
+        preempted > 0,
+        "the 10k quantum must preempt some benchmarks"
+    );
+    assert!(deadlocks > 0, "hang jobs must hit the deadlock path");
+    server.shutdown().expect("clean shutdown");
+}

@@ -326,6 +326,9 @@ fn read_opts(r: &mut SnapReader) -> Result<SimOptions, SnapError> {
         // Host-local output path, like `checkpoint`: a resumed run does
         // not re-record (the pre-checkpoint issues are gone).
         record_trace: None,
+        // Host-side scheduling knob: a checkpoint loaded from disk runs
+        // to completion unless the caller re-imposes a quantum.
+        quantum: 0,
     })
 }
 

@@ -39,6 +39,9 @@ pub use checkpoint::Checkpoint;
 pub use error::{HangDump, RunOutcome, SimError};
 pub use metrics::{RunMetrics, SchedStats};
 pub use observe::Observer;
-pub use runner::{resume, simulate, try_simulate, SimOptions};
+pub use runner::{
+    resume, resume_slice, simulate, try_simulate, try_simulate_slice, SimOptions, SliceOutcome,
+    SliceProgress,
+};
 pub use sched::EventQueue;
 pub use system::System;

@@ -69,6 +69,15 @@ pub struct SimOptions {
     /// host-local state that checkpoints do not carry (a resumed run
     /// does not re-record).
     pub record_trace: Option<String>,
+    /// Cooperative-preemption quantum in cycles for the slice entry
+    /// points ([`try_simulate_slice`] / [`resume_slice`]): a slice runs
+    /// at most this many cycles past its starting point, then yields an
+    /// in-memory [`Checkpoint`] instead of finishing. `0` — the default —
+    /// runs to completion. Like `checkpoint_every`, this is host-side
+    /// scheduling state: it cannot affect simulated results (the resumed
+    /// run is digest-verified bit-identical by construction) and is not
+    /// serialized into on-disk checkpoints.
+    pub quantum: u64,
 }
 
 impl SimOptions {
@@ -86,6 +95,7 @@ impl SimOptions {
             checkpoint_every: 0,
             checkpoint: None,
             record_trace: None,
+            quantum: 0,
         }
     }
 
@@ -233,6 +243,178 @@ fn checkpoint_now<P: Protocol>(
         cycle: system.cycle().raw(),
         state_digest: system.state_digest(),
     }
+}
+
+/// Mid-run progress attached to a preempted slice: partial engine
+/// counters plus whatever the observer sampled so far. The observation is
+/// consumed here (the next slice replays from cycle 0 and regenerates it
+/// in full), so carrying it off is free.
+#[derive(Debug)]
+pub struct SliceProgress {
+    /// Cycle the slice was preempted at (== the checkpoint's cycle).
+    pub cycle: u64,
+    /// Instructions issued so far.
+    pub issued: u64,
+    /// Memory operations issued so far.
+    pub mem_ops: u64,
+    /// Partial observation (time-series rows sampled up to the
+    /// preemption point), when the run was armed with sampling/tracing.
+    pub obs: Option<rcc_obs::ObsReport>,
+}
+
+/// What one cooperative slice of a run produced: either the run finished
+/// inside the quantum, or it was preempted at the quantum boundary and
+/// hands back the checkpoint that resumes it bit-identically.
+#[derive(Debug)]
+pub enum SliceOutcome {
+    /// The run completed; full metrics, exactly as [`try_simulate`]
+    /// would have returned them.
+    Finished(Box<RunMetrics>),
+    /// The quantum expired mid-run. `ck` resumes the run (pass it to
+    /// [`resume_slice`]); `progress` reports how far it got.
+    Preempted {
+        /// Checkpoint at the quantum boundary (digest-verified on resume).
+        ck: Box<Checkpoint>,
+        /// Partial counters and observation at the boundary (boxed: the
+        /// observation dwarfs the `Finished` variant otherwise).
+        progress: Box<SliceProgress>,
+    },
+}
+
+fn run_slice<P: Protocol>(
+    protocol: &P,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+    replay: Option<ReplayTo>,
+) -> Result<SliceOutcome, SimError> {
+    let kind = protocol.kind();
+    let check = opts.check_sc && kind.supports_sc();
+    let mut system = System::new(protocol, cfg, workload, check);
+    system.set_fast_forward(opts.fast_forward);
+    if let Some(spec) = &opts.chaos {
+        system.set_chaos(spec);
+    }
+    if opts.sanitize {
+        system.enable_sanitizer();
+    }
+    if opts.sample_every > 0 || opts.trace {
+        system.set_observer(rcc_obs::ObsConfig {
+            sample_every: opts.sample_every,
+            trace: opts.trace,
+            max_trace_events: 1_000_000,
+        });
+    }
+    // Slice mode arms no trace recorder and writes no periodic disk
+    // snapshots: the checkpoint it yields lives in memory, owned by the
+    // caller (e.g. the rcc-serve job table). Trace-recording jobs run
+    // through `try_simulate` in a single slice instead.
+    if let Some(target) = replay {
+        system.run_until(target.cycle)?;
+        let digest = system.state_digest();
+        if digest != target.state_digest {
+            return Err(SimError::Checkpoint(format!(
+                "state digest mismatch after replay to cycle {}: \
+                 checkpoint has {:016x}, replay produced {digest:016x}",
+                target.cycle, target.state_digest
+            )));
+        }
+    }
+    let boundary = system.cycle().raw().saturating_add(opts.quantum);
+    if opts.quantum > 0 && boundary < opts.max_cycles {
+        system.run_until(boundary)?;
+        if !system.done() {
+            let ck = checkpoint_now(&system, kind, cfg, workload, opts);
+            let partial = system.metrics();
+            return Ok(SliceOutcome::Preempted {
+                ck: Box::new(ck),
+                progress: Box::new(SliceProgress {
+                    cycle: partial.cycles,
+                    issued: partial.core.issued,
+                    mem_ops: partial.core.mem_ops,
+                    obs: system.take_observation(),
+                }),
+            });
+        }
+    }
+    let mut metrics = system.run(opts.max_cycles)?;
+    metrics.obs = system.take_observation();
+    Ok(SliceOutcome::Finished(Box::new(metrics)))
+}
+
+fn dispatch_slice(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+    replay: Option<ReplayTo>,
+) -> Result<SliceOutcome, SimError> {
+    match kind {
+        ProtocolKind::Mesi => run_slice(&MesiProtocol::new(cfg), cfg, workload, opts, replay),
+        ProtocolKind::MesiWb => run_slice(&MesiWbProtocol::new(cfg), cfg, workload, opts, replay),
+        ProtocolKind::TcStrong => run_slice(&TcProtocol::strong(cfg), cfg, workload, opts, replay),
+        ProtocolKind::TcWeak => run_slice(&TcProtocol::weak(cfg), cfg, workload, opts, replay),
+        ProtocolKind::RccSc => {
+            run_slice(&RccProtocol::sequential(cfg), cfg, workload, opts, replay)
+        }
+        ProtocolKind::RccWo => run_slice(
+            &RccProtocol::weakly_ordered(cfg),
+            cfg,
+            workload,
+            opts,
+            replay,
+        ),
+        ProtocolKind::IdealSc => run_slice(&IdealProtocol::new(cfg), cfg, workload, opts, replay),
+    }
+}
+
+/// Runs at most one quantum ([`SimOptions::quantum`]) of `workload` under
+/// `kind`, from the beginning of the run. Returns
+/// [`SliceOutcome::Finished`] with full metrics when the run completes
+/// inside the quantum, or [`SliceOutcome::Preempted`] with the in-memory
+/// checkpoint that continues it ([`resume_slice`]). With `quantum == 0`
+/// this is [`try_simulate`] with a boxed result.
+///
+/// The slice chain is bit-identical to an uninterrupted run by
+/// construction: every resume replays to the checkpointed cycle and
+/// verifies the architectural state digest before continuing.
+///
+/// # Errors
+///
+/// Everything [`try_simulate`] can return; the checked-verdict errors
+/// (SC scoreboard / sanitizer) apply only to a finished run.
+pub fn try_simulate_slice(
+    kind: ProtocolKind,
+    cfg: &GpuConfig,
+    workload: &Workload,
+    opts: &SimOptions,
+) -> Result<SliceOutcome, SimError> {
+    let out = dispatch_slice(kind, cfg, workload, opts, None)?;
+    if let SliceOutcome::Finished(metrics) = &out {
+        verify_metrics(kind, workload.name, opts, metrics)?;
+    }
+    Ok(out)
+}
+
+/// Continues a run preempted by [`try_simulate_slice`]: replays to the
+/// checkpointed cycle, verifies the state digest bit-for-bit, then runs
+/// at most one more quantum (the checkpoint's `opts.quantum`).
+///
+/// # Errors
+///
+/// [`SimError::Checkpoint`] when the replayed state digest does not match
+/// the checkpointed one (a corrupted or inapplicable snapshot), plus
+/// everything [`try_simulate_slice`] can return.
+pub fn resume_slice(ck: &Checkpoint) -> Result<SliceOutcome, SimError> {
+    let replay = ReplayTo {
+        cycle: ck.cycle,
+        state_digest: ck.state_digest,
+    };
+    let out = dispatch_slice(ck.kind, &ck.cfg, &ck.workload, &ck.opts, Some(replay))?;
+    if let SliceOutcome::Finished(metrics) = &out {
+        verify_metrics(ck.kind, ck.workload.name, &ck.opts, metrics)?;
+    }
+    Ok(out)
 }
 
 fn dispatch(

@@ -1,0 +1,80 @@
+//! The cooperative slice entry points: a run chopped into checkpoint
+//! quanta is bit-identical to the uninterrupted run, and a corrupted
+//! in-memory snapshot fails typed instead of resuming wrong state.
+
+use rcc_common::GpuConfig;
+use rcc_core::ProtocolKind;
+use rcc_sim::runner::{resume_slice, try_simulate, try_simulate_slice, SimOptions};
+use rcc_sim::{SimError, SliceOutcome};
+use rcc_workloads::{Benchmark, Scale};
+
+const SEED: u64 = 7;
+
+fn sliced_metrics(quantum: u64) -> (rcc_sim::RunMetrics, u64) {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), SEED);
+    let opts = SimOptions {
+        quantum,
+        ..SimOptions::fast()
+    };
+    let mut slices = 0u64;
+    let mut out = try_simulate_slice(ProtocolKind::RccSc, &cfg, &wl, &opts).expect("first slice");
+    loop {
+        slices += 1;
+        match out {
+            SliceOutcome::Finished(m) => return (*m, slices),
+            SliceOutcome::Preempted { ck, progress } => {
+                assert_eq!(ck.cycle, progress.cycle, "checkpoint sits at the yield");
+                assert!(slices < 1000, "slicing must terminate");
+                out = resume_slice(&ck).expect("resume");
+            }
+        }
+    }
+}
+
+#[test]
+fn slice_chain_is_bit_identical_to_uninterrupted_run() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), SEED);
+    let direct =
+        try_simulate(ProtocolKind::RccSc, &cfg, &wl, &SimOptions::fast()).expect("direct run");
+    let (chained, slices) = sliced_metrics(4_000);
+    assert!(slices > 3, "quantum small enough to actually preempt");
+    assert_eq!(chained.cycles, direct.cycles);
+    assert_eq!(chained.digest(SEED), direct.digest(SEED), "full field set");
+}
+
+#[test]
+fn zero_quantum_finishes_in_one_slice() {
+    let (m, slices) = sliced_metrics(0);
+    assert_eq!(slices, 1);
+    assert!(m.cycles > 0);
+}
+
+#[test]
+fn quantum_past_the_run_length_never_yields() {
+    let (m, slices) = sliced_metrics(u64::MAX);
+    assert_eq!(slices, 1);
+    assert!(m.cycles > 0);
+}
+
+#[test]
+fn corrupted_snapshot_is_a_typed_checkpoint_error() {
+    let cfg = GpuConfig::small();
+    let wl = Benchmark::Dlb.generate(&cfg, &Scale::quick(), SEED);
+    let opts = SimOptions {
+        quantum: 4_000,
+        ..SimOptions::fast()
+    };
+    let out = try_simulate_slice(ProtocolKind::RccSc, &cfg, &wl, &opts).expect("first slice");
+    let SliceOutcome::Preempted { mut ck, .. } = out else {
+        panic!("quantum 4000 must preempt dlb-quick");
+    };
+    ck.state_digest ^= 1;
+    match resume_slice(&ck) {
+        Err(SimError::Checkpoint(msg)) => {
+            assert!(msg.contains("digest"), "names the mismatch: {msg}")
+        }
+        other => panic!("corrupted snapshot must fail typed, got {other:?}"),
+    }
+}

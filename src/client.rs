@@ -1,0 +1,140 @@
+//! Client subcommands for the `rcc-serve` batch service: `submit`,
+//! `status`, and `watch` speak the line-delimited JSON protocol over
+//! TCP and print the raw response lines (script-friendly; one JSON
+//! document per line).
+
+use rcc_repro::obs::json::{self, JsonValue};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn get(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn connect(args: &[String]) -> Result<TcpStream, String> {
+    let addr = get(args, "--addr").ok_or("missing --addr HOST:PORT")?;
+    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> Result<(), String> {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut resp = String::new();
+    reader
+        .read_line(&mut resp)
+        .map_err(|e| format!("recv: {e}"))?;
+    if resp.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    Ok(resp.trim_end().to_string())
+}
+
+/// True when the response says `"ok": true`.
+fn is_ok(resp: &str) -> bool {
+    json::parse(resp)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(JsonValue::as_bool))
+        == Some(true)
+}
+
+fn job_arg(args: &[String]) -> Result<u64, String> {
+    get(args, "--job")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "missing --job N".into())
+}
+
+/// Streams watch output for `job` until the final status line; returns
+/// success iff the job finished `done`.
+fn stream_watch(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    job: u64,
+) -> Result<bool, String> {
+    send_line(stream, &format!("{{\"cmd\": \"watch\", \"job\": {job}}}"))?;
+    loop {
+        let line = read_line(reader)?;
+        println!("{line}");
+        let Ok(v) = json::parse(&line) else { continue };
+        match v.get("state").and_then(JsonValue::as_str) {
+            Some("done") => return Ok(true),
+            Some("failed") => return Ok(false),
+            _ if v.get("ok").and_then(JsonValue::as_bool) == Some(false) => return Ok(false),
+            _ => {}
+        }
+    }
+}
+
+/// Entry point for `submit` / `status` / `watch`. `cmd` is the
+/// subcommand name, `args` everything after it.
+pub fn run(cmd: &str, args: &[String]) -> ExitCode {
+    match run_inner(cmd, args) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_inner(cmd: &str, args: &[String]) -> Result<bool, String> {
+    let mut stream = connect(args)?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    match cmd {
+        "submit" => {
+            let spec = match (get(args, "--spec"), get(args, "--file")) {
+                (Some(s), None) => s,
+                (None, Some(path)) => {
+                    std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?
+                }
+                _ => return Err("need exactly one of --spec JSON or --file PATH".into()),
+            };
+            // One request per line: the spec must collapse to one line.
+            let spec: String = spec.split_whitespace().collect::<Vec<_>>().join(" ");
+            send_line(
+                &mut stream,
+                &format!("{{\"cmd\": \"submit\", \"spec\": {spec}}}"),
+            )?;
+            let resp = read_line(&mut reader)?;
+            println!("{resp}");
+            if !is_ok(&resp) {
+                return Ok(false);
+            }
+            if args.iter().any(|a| a == "--watch") {
+                let job = json::parse(&resp)
+                    .ok()
+                    .and_then(|v| v.get("job").and_then(JsonValue::as_u64))
+                    .ok_or("response carried no job id")?;
+                return stream_watch(&mut stream, &mut reader, job);
+            }
+            Ok(true)
+        }
+        "status" => {
+            let job = job_arg(args)?;
+            send_line(
+                &mut stream,
+                &format!("{{\"cmd\": \"status\", \"job\": {job}}}"),
+            )?;
+            let resp = read_line(&mut reader)?;
+            println!("{resp}");
+            Ok(is_ok(&resp))
+        }
+        "watch" => {
+            let job = job_arg(args)?;
+            stream_watch(&mut stream, &mut reader, job)
+        }
+        _ => Err(format!("unknown subcommand {cmd}")),
+    }
+}

@@ -37,6 +37,11 @@
 //!               binary + manifest); under --all, covers --protocol's run
 //!   --replay-trace PATH re-execute a recorded or hand-authored trace
 //!               (binary or text; inspect with the rcc-trace tool)
+//!
+//! SUBCOMMANDS (clients for the rcc-serve batch service):
+//!   rcc-repro submit --addr HOST:PORT (--spec JSON | --file PATH) [--watch]
+//!   rcc-repro status --addr HOST:PORT --job N
+//!   rcc-repro watch  --addr HOST:PORT --job N
 //! ```
 
 use rcc_repro::coherence::ProtocolKind;
@@ -45,6 +50,8 @@ use rcc_repro::sim::runner::{resume, try_simulate, SimOptions};
 use rcc_repro::sim::{RunMetrics, SimError};
 use rcc_repro::workloads::{Benchmark, Scale};
 use std::process::ExitCode;
+
+mod client;
 
 fn parse_protocol(s: &str) -> Option<ProtocolKind> {
     Some(match s {
@@ -191,13 +198,18 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    if let Some(cmd) = args.first() {
+        if matches!(cmd.as_str(), "submit" | "status" | "watch") {
+            return client::run(cmd, &args[1..]);
+        }
+    }
     if has("--help") || has("-h") {
         println!(
             "{}",
             include_str!("main.rs")
                 .lines()
                 .skip(3)
-                .take(36)
+                .take(41)
                 .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
