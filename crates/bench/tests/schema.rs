@@ -292,14 +292,14 @@ fn job_schemas_accept_and_reject() {
                    "issued": 40, "mem_ops": 12, "sc_violations": 0,
                    "metrics_digest": "00c0ffee00c0ffee"},
         "error": null,
-        "service": {"priority": 1, "slices": 3, "preemptions": 2}}"#;
+        "service": {"priority": 1, "slices": 3, "preemptions": 2, "attempts": 1}}"#;
     check_schema("job result done", schemas::JOB_RESULT, done).expect("done artifact validates");
     let failed = r#"{"version": 1, "job_id": 7, "state": "failed",
         "spec": {"protocol": "tcw"},
         "result": null,
         "error": {"kind": "deadlock", "detail": "watchdog fired",
                   "hang_dump": {"any": "shape"}},
-        "service": {"priority": 0, "slices": 1, "preemptions": 0}}"#;
+        "service": {"priority": 0, "slices": 1, "preemptions": 0, "attempts": 2}}"#;
     check_schema("job result failed", schemas::JOB_RESULT, failed)
         .expect("failed artifact validates");
     // Result object missing its digest is rejected.
@@ -308,15 +308,16 @@ fn job_schemas_accept_and_reject() {
         "result": {"protocol": "RCC-SC", "workload": "mp", "cycles": 913,
                    "issued": 40, "mem_ops": 12, "sc_violations": 0},
         "error": null,
-        "service": {"priority": 1, "slices": 1, "preemptions": 0}}"#;
+        "service": {"priority": 1, "slices": 1, "preemptions": 0, "attempts": 1}}"#;
     assert!(check_schema("no digest", schemas::JOB_RESULT, no_digest).is_err());
 
     // The manifest indexes artifacts; a bogus state is rejected.
-    let manifest = r#"{"version": 1, "jobs": 2, "done": 1, "failed": 1,
+    let manifest = r#"{"version": 1, "jobs": 3, "done": 1, "failed": 1, "quarantined": 1,
         "entries": [{"job_id": 0, "state": "done", "path": "job-0.json"},
-                    {"job_id": 1, "state": "failed", "path": "job-1.json"}]}"#;
+                    {"job_id": 1, "state": "failed", "path": "job-1.json"},
+                    {"job_id": 2, "state": "quarantined", "path": "job-2.json"}]}"#;
     check_schema("job manifest", schemas::JOB_MANIFEST, manifest).expect("manifest validates");
-    let bad_state = r#"{"version": 1, "jobs": 1, "done": 0, "failed": 0,
+    let bad_state = r#"{"version": 1, "jobs": 1, "done": 0, "failed": 0, "quarantined": 0,
         "entries": [{"job_id": 0, "state": "queued", "path": "job-0.json"}]}"#;
     assert!(check_schema("bad state", schemas::JOB_MANIFEST, bad_state).is_err());
 }

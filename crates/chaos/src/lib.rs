@@ -31,6 +31,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod service;
+
 use rcc_common::rng::Pcg32;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

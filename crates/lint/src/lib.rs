@@ -66,6 +66,10 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     ("lib-print", "println!/print!/dbg! in library crates"),
     (
+        "unjournaled-write",
+        "raw std::fs mutation in crates/serve outside journal.rs/store.rs",
+    ),
+    (
         "incomplete-match",
         "protocol event never named in a controller's dispatch",
     ),

@@ -16,6 +16,9 @@
 //! |                      | / `.expect()` in `crates/sim` non-test code            |
 //! | `lib-print`          | no `println!` / `print!` / `dbg!` in library crates    |
 //! |                      | (`eprintln!` diagnostics are fine)                     |
+//! | `unjournaled-write`  | no raw `std::fs` writes / `File::create` /             |
+//! |                      | `OpenOptions` in `crates/serve` outside the durable    |
+//! |                      | layer (`journal.rs`, `store.rs`)                       |
 //!
 //! Scoping lives in [`crate::Finding`]'s caller: the driver hands each file
 //! a [`FileCtx`] naming its crate, and every rule declares which crates it
@@ -35,6 +38,13 @@ pub const NO_PANIC: &[&str] = &["sim"];
 /// Crates exempt from `lib-print`: the bench harness reports to the
 /// console by design.
 pub const PRINT_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// The durable layer of `crates/serve`: the write-ahead journal and the
+/// artifact store own the raw filesystem calls (and thread them through
+/// fault injection and the kill switch). Everything else in the crate
+/// must write through them, or crash recovery silently loses state.
+pub const DURABLE_LAYER_FILES: &[&str] =
+    &["crates/serve/src/journal.rs", "crates/serve/src/store.rs"];
 
 /// Per-file context the driver supplies to the rules.
 #[derive(Debug, Clone)]
@@ -64,6 +74,9 @@ pub fn check(src: &Source, ctx: &FileCtx) -> Vec<Finding> {
         || ctx.is_bin;
     if !print_exempt {
         lib_print(src, ctx, &mut out);
+    }
+    if ctx.crate_name == "serve" && !DURABLE_LAYER_FILES.contains(&ctx.rel_path.as_str()) {
+        unjournaled_write(src, ctx, &mut out);
     }
     out
 }
@@ -186,6 +199,54 @@ fn lib_print(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+fn unjournaled_write(src: &Source, ctx: &FileCtx, out: &mut Vec<Finding>) {
+    // Mutating `std::fs` free functions; reads (`fs::read*`, metadata)
+    // are fine anywhere.
+    const FS_WRITES: &[&str] = &[
+        "write",
+        "rename",
+        "copy",
+        "remove_file",
+        "remove_dir_all",
+        "create_dir_all",
+        "create_dir",
+        "hard_link",
+        "set_permissions",
+    ];
+    let toks = &src.toks;
+    for (i, t) in toks.iter().enumerate() {
+        let path_call = |what: &str| {
+            matches!(
+                (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)),
+                (Some(a), Some(b), Some(c)) if a.is(":") && b.is(":") && c.is(what)
+            )
+        };
+        let hit = if t.is("fs") {
+            FS_WRITES
+                .iter()
+                .find(|w| path_call(w))
+                .map(|w| format!("fs::{w}"))
+        } else if t.is("File") && path_call("create") {
+            Some("File::create".to_string())
+        } else if t.is("OpenOptions") {
+            Some("OpenOptions".to_string())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(finding(
+                ctx,
+                "unjournaled-write",
+                t.line,
+                format!("`{what}` mutates the filesystem outside rcc-serve's durable layer"),
+                "route the write through the journal or store (journal.rs / store.rs), so it is \
+                 fault-injected, ordered, and replayed on crash recovery — or annotate a \
+                 genuinely non-durable path with `// rcc-lint: allow(unjournaled-write, why)`",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +334,37 @@ mod tests {
             crate_name: "lint".to_string(),
             rel_path: "crates/lint/src/main.rs".to_string(),
             is_bin: true,
+        };
+        assert!(check(&s, &c).is_empty());
+    }
+
+    #[test]
+    fn unjournaled_write_scoped_to_serve_outside_the_durable_layer() {
+        assert_eq!(
+            rules_fired("fs::write(&path, bytes)?;", "serve"),
+            vec!["unjournaled-write"]
+        );
+        assert_eq!(
+            rules_fired("let f = File::create(&path)?;", "serve"),
+            vec!["unjournaled-write"]
+        );
+        assert_eq!(
+            rules_fired("OpenOptions::new().append(true)", "serve"),
+            vec!["unjournaled-write"]
+        );
+        assert_eq!(
+            rules_fired("fs::rename(&tmp, &path)?;", "serve"),
+            vec!["unjournaled-write"]
+        );
+        // Reads are fine; other crates are out of scope.
+        assert!(rules_fired("let b = fs::read(&path)?;", "serve").is_empty());
+        assert!(rules_fired("fs::write(&path, bytes)?;", "bench").is_empty());
+        // The durable layer itself owns the raw calls.
+        let s = lex("fs::write(&path, bytes)?;");
+        let c = FileCtx {
+            crate_name: "serve".to_string(),
+            rel_path: "crates/serve/src/journal.rs".to_string(),
+            is_bin: false,
         };
         assert!(check(&s, &c).is_empty());
     }

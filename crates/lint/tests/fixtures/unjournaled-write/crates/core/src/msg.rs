@@ -1,0 +1,32 @@
+//! Fixture message enums (mirrors the real `msg.rs` shape).
+
+/// What a warp asks its L1 to do.
+pub enum AccessKind {
+    Load,
+    Store { value: u64 },
+    Atomic,
+}
+
+/// L1-to-L2 requests.
+pub enum ReqPayload {
+    Gets,
+    Write,
+    Atomic,
+    InvAck,
+    FlushAck,
+    GetX,
+    WbData,
+}
+
+/// L2-to-L1 responses.
+pub enum RespPayload {
+    Data,
+    Renew,
+    StoreAck,
+    AtomicResp,
+    Inv,
+    Flush,
+    DataEx,
+    Recall,
+    WbAck,
+}

@@ -1,0 +1,6 @@
+//! Fixture: the durable layer itself owns the raw calls.
+
+pub fn append(path: &str, bytes: &[u8]) {
+    let _ = OpenOptions::new();
+    fs::write(path, bytes).unwrap_or(());
+}

@@ -1,0 +1,12 @@
+//! Fixture: raw filesystem mutation on the service's durable path.
+
+pub fn persist(path: &str, bytes: &[u8]) {
+    fs::write(path, bytes).unwrap_or(());
+    let _ = File::create(path);
+    let _ = OpenOptions::new();
+    // Reads never fire the rule.
+    let _ = fs::read(path);
+    // A deliberate, explained exception is allowed through:
+    // rcc-lint: allow(unjournaled-write, scratch file outside the durable state)
+    fs::remove_file(path).unwrap_or(());
+}

@@ -1,0 +1,1 @@
+//! Fixture workspace root (scanned but clean).

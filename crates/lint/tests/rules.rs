@@ -67,6 +67,27 @@ fn lib_print_fires_but_eprintln_is_fine() {
 }
 
 #[test]
+fn unjournaled_write_fires_outside_the_durable_layer() {
+    let out = lint("unjournaled-write");
+    // fs::write, File::create, OpenOptions fire in server.rs; the
+    // journal's own raw calls and the allowed remove_file do not.
+    assert_eq!(
+        rules_of(&out),
+        [
+            "unjournaled-write",
+            "unjournaled-write",
+            "unjournaled-write"
+        ]
+    );
+    assert!(out
+        .findings
+        .iter()
+        .all(|f| f.file == "crates/serve/src/server.rs"));
+    assert_eq!(out.suppressed, 1, "the annotated exception is honored");
+    assert!(out.findings[0].help.contains("journal"));
+}
+
+#[test]
 fn allow_directive_suppresses_and_counts() {
     let out = lint("allowed");
     assert!(out.findings.is_empty(), "{:?}", out.findings);

@@ -26,6 +26,10 @@
 //!   attached), and the on-disk artifact/manifest writer, all validated
 //!   against `schemas/job_result.schema.json` /
 //!   `schemas/job_manifest.schema.json` before anything is written.
+//! - [`journal`] — the `RCCJ` write-ahead journal: every lifecycle
+//!   transition fsync'd before it takes effect, torn tails tolerated,
+//!   interior corruption failed closed, so a `kill -9` loses at most
+//!   the in-flight quantum and recovery is bit-identical.
 //! - [`server`] — the worker pool, the in-process [`server::Server`]
 //!   API the tests drive, and the line-delimited JSON TCP front end.
 //! - [`wire`] — the fail-closed wire protocol (bounded frames, typed
@@ -38,13 +42,15 @@
 //! driven through the bench pool, which is exactly how the stress suite
 //! cross-checks the service against direct simulation.
 
+pub mod journal;
 pub mod queue;
 pub mod server;
 pub mod spec;
 pub mod store;
 pub mod wire;
 
+pub use journal::{Journal, JournalError, Record, Replay};
 pub use queue::Sched;
-pub use server::{Server, ServerConfig, Submission};
+pub use server::{Counts, Server, ServerConfig, ServiceStats, Submission};
 pub use spec::{JobSpec, SpecError, WorkloadSpec};
 pub use store::{JobError, JobState, ResultSummary};

@@ -2,15 +2,30 @@
 //!
 //! ```text
 //! USAGE: rcc-serve [--addr HOST:PORT] [--workers N] [--quantum CYCLES]
-//!                  [--aging N] [--results-dir PATH]
+//!                  [--aging N] [--results-dir PATH] [--journal PATH]
+//!                  [--max-queue N] [--shed-queue N] [--max-attempts N]
+//!                  [--backoff-ms MS] [--wedge-timeout-ms MS]
+//!                  [--max-conns N] [--no-fsync]
 //!
-//!   --addr         bind address (default 127.0.0.1:0; the chosen
-//!                  port is printed as "listening on HOST:PORT")
-//!   --workers      worker threads (default 2)
-//!   --quantum      preemption quantum in cycles (default 50000;
-//!                  0 disables preemption)
-//!   --aging        scheduler aging rate (default 4)
-//!   --results-dir  persist job artifacts + manifest here
+//!   --addr             bind address (default 127.0.0.1:0; the chosen
+//!                      port is printed as "listening on HOST:PORT")
+//!   --workers          worker threads (default 2)
+//!   --quantum          preemption quantum in cycles (default 50000;
+//!                      0 disables preemption)
+//!   --aging            scheduler aging rate (default 4)
+//!   --results-dir      persist job artifacts + manifest here
+//!   --journal          write-ahead journal path; replayed on start,
+//!                      so a killed service resumes where it left off
+//!   --max-queue        bound on queued jobs (default 0 = unbounded);
+//!                      past it submits get a typed overloaded reply
+//!   --shed-queue       queue depth that sheds priority-3 jobs
+//!                      (default 3/4 of --max-queue)
+//!   --max-attempts     crash retries before quarantine (default 3)
+//!   --backoff-ms       base retry backoff, doubling per attempt (100)
+//!   --wedge-timeout-ms abandon + replace a worker stuck this long on
+//!                      one slice (default 0 = watchdog off)
+//!   --max-conns        concurrent TCP connection cap (default 64)
+//!   --no-fsync         skip per-record journal fsync (tests only)
 //!
 //! Speak line-delimited JSON to the printed address:
 //!   {"cmd": "submit", "spec": {...}}   -> {"ok": true, "job": N}
@@ -20,7 +35,9 @@
 //!   {"cmd": "shutdown"}
 //! ```
 
-use rcc_serve::server::DEFAULT_QUANTUM;
+use rcc_serve::server::{
+    DEFAULT_BACKOFF_MS, DEFAULT_MAX_ATTEMPTS, DEFAULT_MAX_CONNS, DEFAULT_QUANTUM,
+};
 use rcc_serve::{Server, ServerConfig};
 use std::process::ExitCode;
 
@@ -37,7 +54,7 @@ fn main() -> ExitCode {
             include_str!("main.rs")
                 .lines()
                 .skip(2)
-                .take(19)
+                .take(34)
                 .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
@@ -51,6 +68,25 @@ fn main() -> ExitCode {
             .unwrap_or(DEFAULT_QUANTUM),
         aging: get("--aging").and_then(|s| s.parse().ok()).unwrap_or(4),
         results_dir: get("--results-dir").map(Into::into),
+        journal: get("--journal").map(Into::into),
+        fsync: !args.iter().any(|a| a == "--no-fsync"),
+        max_queue: get("--max-queue").and_then(|s| s.parse().ok()).unwrap_or(0),
+        shed_queue: get("--shed-queue")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+        max_attempts: get("--max-attempts")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_MAX_ATTEMPTS),
+        backoff_ms: get("--backoff-ms")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_BACKOFF_MS),
+        wedge_timeout_ms: get("--wedge-timeout-ms")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+        max_conns: get("--max-conns")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_MAX_CONNS),
+        faults: None,
     };
     let addr = get("--addr").unwrap_or_else(|| "127.0.0.1:0".into());
     let server = match Server::start(cfg) {

@@ -137,6 +137,11 @@ pub struct JobSpec {
     pub priority: u8,
     /// Deterministic perturbation injection.
     pub chaos: Option<ChaosSpec>,
+    /// Client-supplied idempotency key: a resubmission carrying the
+    /// same key returns the original job id instead of double-enqueuing
+    /// (the retry-after-dropped-connection safety net). Purely
+    /// host-side; does not affect simulation inputs.
+    pub dedup_key: Option<String>,
 }
 
 fn protocol_by_cli_name(s: &str) -> Option<ProtocolKind> {
@@ -282,6 +287,20 @@ impl JobSpec {
                 Some(ChaosSpec::new(seed, profile))
             }
         };
+        let dedup_key = v
+            .get("dedup_key")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        if let Some(k) = &dedup_key {
+            // The in-repo validator has no minLength/maxLength keyword;
+            // the schema documents the bound, this enforces it.
+            if k.is_empty() || k.len() > 128 {
+                return Err(SpecError::new(
+                    "schema",
+                    format!("dedup_key must be 1..=128 bytes, got {}", k.len()),
+                ));
+            }
+        }
         Ok(JobSpec {
             protocol,
             workload,
@@ -301,6 +320,7 @@ impl JobSpec {
             sample_every: get_u64(opts, "sample_every").unwrap_or(0),
             priority: get_u64(opts, "priority").unwrap_or(1) as u8,
             chaos,
+            dedup_key,
         })
     }
 
@@ -409,8 +429,21 @@ impl JobSpec {
                 chaos.profile.name, chaos.seed
             );
         }
-        s.push_str("}}");
+        s.push('}');
+        if let Some(key) = &self.dedup_key {
+            let _ = write!(s, ", \"dedup_key\": \"{}\"", crate::wire::esc(key));
+        }
+        s.push('}');
         s
+    }
+
+    /// The canonical spec with the host-side idempotency key stripped:
+    /// equal strings ⇒ equal *simulation inputs*, which is the
+    /// memoization key byte-identity suites want.
+    pub fn to_canonical_json_no_dedup(&self) -> String {
+        let mut clone = self.clone();
+        clone.dedup_key = None;
+        clone.to_canonical_json()
     }
 }
 
@@ -429,6 +462,30 @@ mod tests {
         let reparsed = JobSpec::parse(&canon).expect("canonical form re-validates");
         assert_eq!(spec, reparsed);
         assert_eq!(canon, reparsed.to_canonical_json(), "canonical fixpoint");
+    }
+
+    #[test]
+    fn dedup_key_round_trips_and_strips() {
+        let text = r#"{"version": 1, "protocol": "rcc",
+            "workload": {"kind": "litmus", "name": "mp"},
+            "dedup_key": "client-42"}"#;
+        let spec = JobSpec::parse(text).expect("valid spec");
+        assert_eq!(spec.dedup_key.as_deref(), Some("client-42"));
+        let canon = spec.to_canonical_json();
+        let reparsed = JobSpec::parse(&canon).expect("canonical re-validates");
+        assert_eq!(spec, reparsed);
+        assert_eq!(canon, reparsed.to_canonical_json(), "canonical fixpoint");
+        // The stripped form equals the same spec submitted without a key.
+        let bare = JobSpec::parse(
+            r#"{"version": 1, "protocol": "rcc",
+                "workload": {"kind": "litmus", "name": "mp"}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.to_canonical_json_no_dedup(), bare.to_canonical_json());
+        // Schema rejects an empty key.
+        let empty = r#"{"version": 1, "protocol": "rcc",
+            "workload": {"kind": "litmus", "name": "mp"}, "dedup_key": ""}"#;
+        assert_eq!(JobSpec::parse(empty).unwrap_err().kind, "schema");
     }
 
     #[test]

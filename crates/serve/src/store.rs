@@ -14,9 +14,12 @@
 //! live outside it, since they legitimately differ run to run.
 
 use crate::wire::esc;
+use rcc_chaos::service::ServiceInjector;
 use rcc_sim::{RunMetrics, SimError};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Artifact format version.
 pub const RESULT_VERSION: u64 = 1;
@@ -24,8 +27,8 @@ pub const RESULT_VERSION: u64 = 1;
 /// Lifecycle of a job inside the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobState {
-    /// Waiting in the scheduler (fresh, or parked mid-run on a
-    /// checkpoint).
+    /// Waiting in the scheduler (fresh, parked mid-run on a checkpoint,
+    /// or deferred behind a retry backoff).
     Queued,
     /// A worker is running a quantum of it right now.
     Running,
@@ -33,6 +36,10 @@ pub enum JobState {
     Done,
     /// Failed with a typed [`JobError`].
     Failed,
+    /// Crash-looped (panic or wedge) through `max_attempts` retries;
+    /// the supervisor pulled it out of rotation. Terminal, with the
+    /// last panic payload or hang dump on the [`JobError`].
+    Quarantined,
 }
 
 impl JobState {
@@ -43,12 +50,16 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Quarantined => "quarantined",
         }
     }
 
     /// True once the job can never change state again.
     pub fn terminal(self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed)
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Quarantined
+        )
     }
 }
 
@@ -179,9 +190,13 @@ pub struct JobRecord {
     pub slices: u64,
     /// Times the job was parked on a checkpoint and requeued.
     pub preemptions: u64,
+    /// 0-based retry attempts consumed (0 = never crashed).
+    pub attempts: u32,
+    /// Client-supplied idempotency key, if any.
+    pub dedup_key: Option<String>,
     /// Summary, once `Done`.
     pub summary: Option<ResultSummary>,
-    /// Failure, once `Failed`.
+    /// Failure, once `Failed` or `Quarantined`.
     pub error: Option<JobError>,
 }
 
@@ -192,7 +207,8 @@ impl JobRecord {
         format!(
             "{{\"version\": {RESULT_VERSION}, \"job_id\": {}, \"state\": \"{}\", \
              \"spec\": {}, \"result\": {}, \"error\": {}, \
-             \"service\": {{\"priority\": {}, \"slices\": {}, \"preemptions\": {}}}}}",
+             \"service\": {{\"priority\": {}, \"slices\": {}, \"preemptions\": {}, \
+             \"attempts\": {}}}}}",
             self.id,
             self.state.label(),
             self.spec_json,
@@ -206,7 +222,8 @@ impl JobRecord {
                 .unwrap_or_else(|| "null".into()),
             self.priority,
             self.slices,
-            self.preemptions
+            self.preemptions,
+            self.attempts
         )
     }
 }
@@ -216,15 +233,33 @@ impl JobRecord {
 #[derive(Debug)]
 pub struct Store {
     dir: Option<PathBuf>,
+    /// Service-level fault injection for artifact writes.
+    injector: Option<Arc<ServiceInjector>>,
+    /// Kill switch shared with the journal: once set, writes are
+    /// silently dropped (the "process" is dead — see `journal`).
+    killed: Arc<AtomicBool>,
 }
 
 impl Store {
     /// Creates the store, making the directory if needed.
     pub fn new(dir: Option<PathBuf>) -> Result<Store, String> {
+        Store::with_faults(dir, None, Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Creates the store with a fault injector and shared kill switch.
+    pub fn with_faults(
+        dir: Option<PathBuf>,
+        injector: Option<Arc<ServiceInjector>>,
+        killed: Arc<AtomicBool>,
+    ) -> Result<Store, String> {
         if let Some(d) = &dir {
             std::fs::create_dir_all(d).map_err(|e| format!("results dir {}: {e}", d.display()))?;
         }
-        Ok(Store { dir })
+        Ok(Store {
+            dir,
+            injector,
+            killed,
+        })
     }
 
     /// True when artifacts are being persisted.
@@ -247,6 +282,16 @@ impl Store {
         let Some(dir) = &self.dir else {
             return Ok(None);
         };
+        if self.killed.load(Ordering::SeqCst) {
+            // Dead process: nothing lands, nobody is told. Recovery
+            // re-persists terminal artifacts from the journal.
+            return Ok(None);
+        }
+        if let Some(inj) = &self.injector {
+            if inj.store_fault(rec.id) {
+                return Err(format!("injected io error writing job {}", rec.id));
+            }
+        }
         let doc = rec.artifact_json();
         rcc_bench::report::check_schema(
             "job artifact",
@@ -265,16 +310,23 @@ impl Store {
         let Some(dir) = &self.dir else {
             return Ok(None);
         };
+        if self.killed.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
         let terminal: Vec<&JobRecord> = records.iter().filter(|r| r.state.terminal()).collect();
         let done = terminal
             .iter()
             .filter(|r| r.state == JobState::Done)
             .count();
+        let quarantined = terminal
+            .iter()
+            .filter(|r| r.state == JobState::Quarantined)
+            .count();
         let mut doc = format!(
             "{{\"version\": {RESULT_VERSION}, \"jobs\": {}, \"done\": {done}, \
-             \"failed\": {}, \"entries\": [",
+             \"failed\": {}, \"quarantined\": {quarantined}, \"entries\": [",
             terminal.len(),
-            terminal.len() - done
+            terminal.len() - done - quarantined
         );
         for (i, r) in terminal.iter().enumerate() {
             if i > 0 {

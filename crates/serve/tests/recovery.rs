@@ -1,0 +1,372 @@
+//! The crash-recovery soak: "kill -9" the live service at seeded
+//! journal-record indices across a 300-job run, restart it from the
+//! journal alone, and assert the durability contract:
+//!
+//! - every accepted job reaches a terminal state **exactly once**
+//!   across the whole killed-and-restarted history (the final journal
+//!   carries exactly one terminal record per job),
+//! - every finished job's summary is **byte-identical** to a direct
+//!   `try_simulate` of the same canonical spec — preemption, crashes,
+//!   and restarts are invisible in the results,
+//! - resubmits with the same `dedup_key` are idempotent across
+//!   restarts (same id back, nothing double-run),
+//! - a graceful drain journals every in-flight checkpoint, writes the
+//!   manifest, and closes the journal with a `Drained` marker.
+//!
+//! The kill switch lives in the durable layer ([`rcc_chaos::service`]):
+//! at the seeded record index the journal writes a torn prefix of the
+//! frame and every later durable write is silently dropped, so recovery
+//! can only rely on what a real `kill -9` would have left on disk.
+
+use rcc_chaos::service::{ServiceFaultSpec, StrideRule};
+use rcc_serve::journal::{replay_bytes, Record};
+use rcc_serve::spec::JobSpec;
+use rcc_serve::store::{JobError, JobState, ResultSummary};
+use rcc_serve::{Server, ServerConfig, Submission};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const JOBS: usize = 300;
+const SEED: u64 = 0x0dd5_eed5;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcc-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The 300-job soak mix: litmus-heavy (cheap), every protocol, a few
+/// deliberate deadlocks, all four priorities, every job dedup-keyed.
+fn soak_spec(i: usize) -> String {
+    const PROTOCOLS: &[&str] = &["mesi", "mesi-wb", "tcs", "tcw", "rcc", "rcc-wo", "ideal"];
+    const LITMUS: &[&str] = &[
+        "mp", "mp+fence", "sb", "sb+fence", "lb", "wrc", "corr", "iriw",
+    ];
+    let protocol = PROTOCOLS[i % PROTOCOLS.len()];
+    let priority = i % 4;
+    let workload = if i % 29 == 7 {
+        // Deliberate deadlocks: typed failures must also be exactly-once.
+        r#"{"kind": "hang"}"#.to_string()
+    } else {
+        format!(
+            r#"{{"kind": "litmus", "name": "{}", "seed": {}}}"#,
+            LITMUS[i % LITMUS.len()],
+            3 + (i / 97) as u64
+        )
+    };
+    format!(
+        r#"{{"version": 1, "protocol": "{protocol}", "workload": {workload}, "options": {{"priority": {priority}}}, "dedup_key": "soak-{i}"}}"#
+    )
+}
+
+/// What a direct run of a canonical spec produces: the summary bytes,
+/// or the typed error kind.
+fn direct_twin(canonical: &str) -> Result<String, &'static str> {
+    let spec = JobSpec::parse(canonical).expect("canonical spec re-validates");
+    let (kind, cfg, wl, opts) = spec.inputs();
+    match rcc_sim::try_simulate(kind, &cfg, &wl, &opts) {
+        Ok(m) => Ok(ResultSummary::from_metrics(&m).to_json()),
+        Err(e) => Err(JobError::from_sim(&e).kind),
+    }
+}
+
+fn base_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        workers: 3,
+        quantum: 3_000,
+        results_dir: Some(dir.join("results")),
+        journal: Some(dir.join("soak.rccj")),
+        // The kill switch emulates the dead process; data integrity
+        // comes from the codec, so skipping fsync just speeds the soak.
+        fsync: false,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn kill9_soak_300_jobs_exactly_once_and_byte_identical() {
+    let dir = temp_dir("soak");
+    let journal_path = dir.join("soak.rccj");
+    let specs: Vec<String> = (0..JOBS).map(soak_spec).collect();
+
+    let mut kills = 0usize;
+    let mut phases = 0usize;
+    loop {
+        phases += 1;
+        assert!(phases <= 200, "soak did not converge");
+        // Seed the next kill ~80 records past what is durable now, so
+        // every phase dies mid-run until the work is done.
+        let durable_records = std::fs::read(&journal_path)
+            .map(|b| replay_bytes(&b).expect("journal replays").records)
+            .unwrap_or_default();
+        let durable = durable_records.len();
+        // Submits are journaled in id order, so the durable ones are
+        // exactly ids 0..durable_submits.
+        let durable_submits = durable_records
+            .iter()
+            .filter(|r| matches!(r, Record::Submitted { .. }))
+            .count();
+        let mut cfg = base_config(&dir);
+        cfg.backoff_ms = 1;
+        cfg.faults = Some(ServiceFaultSpec {
+            seed: SEED + phases as u64,
+            kill_at: vec![durable as u64 + 80],
+            // Ids 13, 114, 215 panic on every attempt (crash-loop →
+            // quarantine, persisting across kills via Started records);
+            // ids 11, 108, 205 panic once and recover on retry.
+            panic_jobs: StrideRule {
+                stride: 101,
+                residue: 13,
+            },
+            transient_panic_jobs: StrideRule {
+                stride: 97,
+                residue: 11,
+            },
+            ..ServiceFaultSpec::default()
+        });
+        let server = Server::start(cfg).expect("recovery from journal succeeds");
+
+        // Idempotent (re)submission of the whole batch, every phase.
+        for (i, text) in specs.iter().enumerate() {
+            match server.submit_json(text) {
+                Submission::Accepted { id, duplicate } => {
+                    assert_eq!(id, i as u64, "dedup key maps back to the original id");
+                    // A job whose Submitted record survived the last kill
+                    // MUST come back as a duplicate; one whose record the
+                    // kill swallowed is legitimately admitted fresh (and
+                    // gets the same dense id, since we resubmit in order).
+                    assert_eq!(
+                        duplicate,
+                        i < durable_submits,
+                        "job {i}: durable_submits={durable_submits}"
+                    );
+                }
+                other => panic!("job {i} not accepted: {other:?}"),
+            }
+        }
+        // Invalid specs ride along every phase: typed rejection before
+        // anything touches the queue or the journal.
+        match server.submit_json("{not json at all") {
+            Submission::Rejected { kind, .. } => assert_eq!(kind, "schema"),
+            other => panic!("garbage accepted: {other:?}"),
+        }
+        match server.submit_json(
+            r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "bench", "name": "doom"}}"#,
+        ) {
+            Submission::Rejected { kind, .. } => assert_eq!(kind, "workload"),
+            other => panic!("unknown bench accepted: {other:?}"),
+        }
+
+        // Run until the kill point fires or the batch drains.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let killed = loop {
+            assert!(Instant::now() < deadline, "phase {phases} wedged");
+            if server.stats().killed {
+                break true;
+            }
+            let c = server.counts();
+            if c.queued + c.running == 0 {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        server.request_shutdown();
+        let _ = server.shutdown();
+        if killed {
+            kills += 1;
+        } else {
+            break;
+        }
+    }
+    assert!(
+        kills >= 8,
+        "soak must die at least 8 times to mean anything (died {kills} across {phases} phases)"
+    );
+
+    // The final process exited cleanly: drain one more server to get
+    // the clean manifest + Drained marker.
+    let server = Server::start(base_config(&dir)).expect("final recovery");
+    server.wait_idle();
+    server.shutdown().expect("graceful drain");
+
+    // --- Exactly-once, from the journal alone. ---
+    let bytes = std::fs::read(&journal_path).expect("journal exists");
+    let replay = replay_bytes(&bytes).expect("final journal replays clean");
+    let mut terminal_per_job: HashMap<u64, usize> = HashMap::new();
+    for rec in &replay.records {
+        if rec.is_terminal() {
+            *terminal_per_job.entry(rec.job_id().unwrap()).or_insert(0) += 1;
+        }
+    }
+    assert_eq!(
+        terminal_per_job.len(),
+        JOBS,
+        "every job reached a terminal state"
+    );
+    for (id, n) in &terminal_per_job {
+        assert_eq!(*n, 1, "job {id} must be terminal exactly once, saw {n}");
+    }
+    assert_eq!(
+        replay
+            .records
+            .iter()
+            .filter(|r| matches!(r, Record::Submitted { .. }))
+            .count(),
+        JOBS,
+        "dedup admitted each job exactly once across every resubmission"
+    );
+    assert!(
+        matches!(replay.records.last(), Some(Record::Drained)),
+        "clean shutdown closes the journal with a Drained marker"
+    );
+
+    // --- Byte-identity against direct simulation. ---
+    let mut twins: HashMap<String, Result<String, &'static str>> = HashMap::new();
+    let server = Server::start(base_config(&dir)).expect("replay for verification");
+    let mut preempted = 0usize;
+    for i in 0..JOBS {
+        let rec = server.status(i as u64).expect("job recovered");
+        assert!(rec.state.terminal());
+        if i % 101 == 13 {
+            // Crash-looping jobs quarantine with their forensics, and
+            // the attempt count survives the kills via Started records.
+            assert_eq!(rec.state, JobState::Quarantined, "job {i}");
+            assert_eq!(rec.attempts, 3, "job {i}");
+            let err = rec.error.expect("quarantined job carries its error");
+            assert_eq!(err.kind, "panic");
+            assert!(err.detail.contains("injected worker panic"), "{err:?}");
+            continue;
+        }
+        if i % 97 == 11 {
+            assert!(rec.attempts >= 1, "job {i} recovered from its panic");
+        }
+        if rec.preemptions > 0 {
+            preempted += 1;
+        }
+        let twin = twins
+            .entry(rec.spec_json.clone())
+            .or_insert_with(|| direct_twin(&rec.spec_json));
+        match (rec.state, &*twin) {
+            (JobState::Done, Ok(expect)) => {
+                let got = rec.summary.expect("done has summary").to_json();
+                assert_eq!(&got, expect, "job {i} diverged across kills");
+            }
+            (JobState::Failed, Err(kind)) => {
+                assert_eq!(rec.error.expect("failed has error").kind, *kind, "job {i}");
+            }
+            (state, twin) => panic!("job {i}: state {state:?} vs twin {twin:?}"),
+        }
+        // The artifact a crash swallowed was re-persisted on recovery.
+        let artifact = dir.join("results").join(format!("job-{i}.json"));
+        assert!(artifact.exists(), "job {i} artifact missing after recovery");
+    }
+    assert!(
+        preempted > 0,
+        "quantum too large: nothing exercised resume-from-checkpoint"
+    );
+    let _ = server.shutdown();
+    assert!(dir.join("results").join("manifest.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dedup_key_is_idempotent_across_restart_and_conflicts_are_typed() {
+    let dir = temp_dir("dedup");
+    let cfg = || ServerConfig {
+        workers: 1,
+        journal: Some(dir.join("dedup.rccj")),
+        fsync: false,
+        ..ServerConfig::default()
+    };
+    let spec = r#"{"version": 1, "protocol": "rcc", "workload": {"kind": "litmus", "name": "mp", "seed": 3}, "dedup_key": "the-one"}"#;
+    let server = Server::start(cfg()).expect("start");
+    let id = match server.submit_json(spec) {
+        Submission::Accepted { id, duplicate } => {
+            assert!(!duplicate);
+            id
+        }
+        other => panic!("{other:?}"),
+    };
+    // Same key, same spec, same server: duplicate, same id.
+    assert_eq!(
+        server.submit_json(spec),
+        Submission::Accepted {
+            id,
+            duplicate: true
+        }
+    );
+    server.wait_idle();
+    let summary = server.wait(id).unwrap().summary.expect("done").to_json();
+    server.shutdown().expect("drain");
+
+    // Across a restart the key still resolves — without re-running.
+    let server = Server::start(cfg()).expect("recovery");
+    assert_eq!(
+        server.submit_json(spec),
+        Submission::Accepted {
+            id,
+            duplicate: true
+        }
+    );
+    let rec = server.status(id).unwrap();
+    assert_eq!(rec.state, JobState::Done);
+    assert_eq!(
+        rec.summary.unwrap().to_json(),
+        summary,
+        "recovered result is the original"
+    );
+    // Same key with a different spec: typed conflict, nothing queued.
+    let conflicting = spec.replace("\"seed\": 3", "\"seed\": 11");
+    match server.submit_json(&conflicting) {
+        Submission::Rejected { kind, .. } => assert_eq!(kind, "dedup"),
+        other => panic!("conflicting spec not rejected: {other:?}"),
+    }
+    assert_eq!(server.counts().total(), 1);
+    server.shutdown().expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_parks_inflight_work_on_journaled_checkpoints() {
+    let dir = temp_dir("drain");
+    let cfg = || ServerConfig {
+        workers: 2,
+        quantum: 2_000,
+        journal: Some(dir.join("drain.rccj")),
+        fsync: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg()).expect("start");
+    for i in 0..6 {
+        let spec = format!(
+            r#"{{"version": 1, "protocol": "rcc", "workload": {{"kind": "bench", "name": "dlb", "scale": "quick", "seed": 3}}, "options": {{"priority": {}}}, "dedup_key": "drain-{i}"}}"#,
+            i % 4
+        );
+        assert!(matches!(
+            server.submit_json(&spec),
+            Submission::Accepted { .. }
+        ));
+    }
+    // Drain immediately: whatever was mid-quantum parks at its next
+    // checkpoint and the journal carries it.
+    server.shutdown().expect("drain");
+    let replay = replay_bytes(&std::fs::read(dir.join("drain.rccj")).unwrap()).unwrap();
+    assert!(matches!(replay.records.last(), Some(Record::Drained)));
+
+    // Restart: the batch finishes from journaled state, bit-identical.
+    let server = Server::start(cfg()).expect("recovery");
+    server.wait_idle();
+    let mut twins: HashMap<String, Result<String, &'static str>> = HashMap::new();
+    for i in 0..6u64 {
+        let rec = server.wait(i).unwrap();
+        assert_eq!(rec.state, JobState::Done, "job {i}: {:?}", rec.error);
+        let twin = twins
+            .entry(rec.spec_json.clone())
+            .or_insert_with(|| direct_twin(&rec.spec_json));
+        assert_eq!(&rec.summary.unwrap().to_json(), twin.as_ref().unwrap());
+    }
+    server.shutdown().expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

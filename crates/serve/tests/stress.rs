@@ -162,7 +162,7 @@ fn thousand_mixed_jobs_all_terminal_and_byte_identical() {
     for _ in 0..JOBS {
         let (text, expect) = gen_job(&mut rng);
         match (server.submit_json(&text), expect) {
-            (Submission::Accepted { id }, Expect::Valid) => {
+            (Submission::Accepted { id, .. }, Expect::Valid) => {
                 let canonical = JobSpec::parse(&text)
                     .expect("accepted implies valid")
                     .to_canonical_json();
@@ -187,9 +187,10 @@ fn thousand_mixed_jobs_all_terminal_and_byte_identical() {
     // no-starvation check — wait_idle returns only once no job is
     // queued or running.
     server.wait_idle();
-    let (queued, running, done, failed) = server.counts();
-    assert_eq!((queued, running), (0, 0), "no job starved or wedged");
-    assert_eq!(done + failed, accepted.len());
+    let c = server.counts();
+    assert_eq!((c.queued, c.running), (0, 0), "no job starved or wedged");
+    assert_eq!(c.quarantined, 0, "no job crash-looped");
+    assert_eq!(c.done + c.failed, accepted.len());
 
     // Byte-identity (and typed-failure identity) against direct
     // simulation, memoized per distinct canonical spec.

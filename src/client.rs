@@ -2,11 +2,23 @@
 //! `status`, and `watch` speak the line-delimited JSON protocol over
 //! TCP and print the raw response lines (script-friendly; one JSON
 //! document per line).
+//!
+//! The client is built for a service that may crash and restart under
+//! it: connects retry with exponential backoff (`--retries`, default
+//! 5), a typed `overloaded`/`shed` reply is retried after the server's
+//! `retry_after_ms` hint, a dropped connection mid-`watch` reconnects
+//! and re-issues the watch, and a dropped `submit` is retried only when
+//! the spec carries a `dedup_key` — the key makes resubmission
+//! idempotent, so a reconnect can never double-run a job.
 
 use rcc_repro::obs::json::{self, JsonValue};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
+
+const RETRY_BASE_MS: u64 = 100;
+const RETRY_CAP_MS: u64 = 5_000;
 
 fn get(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -14,26 +26,65 @@ fn get(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn connect(args: &[String]) -> Result<TcpStream, String> {
-    let addr = get(args, "--addr").ok_or("missing --addr HOST:PORT")?;
-    TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))
+fn retries(args: &[String]) -> u32 {
+    get(args, "--retries")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
 }
 
-fn send_line(stream: &mut TcpStream, line: &str) -> Result<(), String> {
-    stream
-        .write_all(format!("{line}\n").as_bytes())
-        .map_err(|e| format!("send: {e}"))
+/// Deterministic exponential backoff, capped: 100, 200, 400, ... 5000.
+fn backoff_ms(attempt: u32) -> u64 {
+    (RETRY_BASE_MS << attempt.min(6)).min(RETRY_CAP_MS)
 }
 
-fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
-    let mut resp = String::new();
-    reader
-        .read_line(&mut resp)
-        .map_err(|e| format!("recv: {e}"))?;
-    if resp.is_empty() {
-        return Err("server closed the connection".into());
+/// One TCP connection plus its line reader.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Conn { stream, reader })
     }
-    Ok(resp.trim_end().to_string())
+
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    fn read_line(&mut self) -> Result<String, String> {
+        let mut resp = String::new();
+        self.reader
+            .read_line(&mut resp)
+            .map_err(|e| format!("recv: {e}"))?;
+        if resp.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// Connect, retrying with backoff — the service may be mid-restart.
+fn connect_with_backoff(args: &[String]) -> Result<Conn, String> {
+    let addr = get(args, "--addr").ok_or("missing --addr HOST:PORT")?;
+    let max = retries(args);
+    let mut attempt = 0u32;
+    loop {
+        match Conn::open(&addr) {
+            Ok(conn) => return Ok(conn),
+            Err(e) if attempt < max => {
+                let wait = backoff_ms(attempt);
+                eprintln!("{e}; retrying in {wait}ms");
+                std::thread::sleep(Duration::from_millis(wait));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// True when the response says `"ok": true`.
@@ -44,6 +95,21 @@ fn is_ok(resp: &str) -> bool {
         == Some(true)
 }
 
+/// The `retry_after_ms` hint, when the reply is a typed
+/// `overloaded`/`shed` rejection (bounded admission, load shedding).
+fn overload_hint(resp: &str) -> Option<u64> {
+    let v = json::parse(resp).ok()?;
+    let err = v.get("error")?;
+    match err.get("kind").and_then(JsonValue::as_str) {
+        Some("overloaded") | Some("shed") => Some(
+            err.get("retry_after_ms")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(RETRY_BASE_MS),
+        ),
+        _ => None,
+    }
+}
+
 fn job_arg(args: &[String]) -> Result<u64, String> {
     get(args, "--job")
         .and_then(|s| s.parse().ok())
@@ -51,23 +117,72 @@ fn job_arg(args: &[String]) -> Result<u64, String> {
 }
 
 /// Streams watch output for `job` until the final status line; returns
-/// success iff the job finished `done`.
-fn stream_watch(
-    stream: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    job: u64,
-) -> Result<bool, String> {
-    send_line(stream, &format!("{{\"cmd\": \"watch\", \"job\": {job}}}"))?;
+/// success iff the job finished `done`. A dropped connection (the
+/// service crashed or was restarted under us) reconnects with backoff
+/// and re-issues the watch — recovery replays terminal state from the
+/// journal, so the answer survives the crash.
+fn stream_watch(conn: &mut Conn, args: &[String], job: u64) -> Result<bool, String> {
+    let max = retries(args);
+    let mut attempt = 0u32;
+    conn.send_line(&format!("{{\"cmd\": \"watch\", \"job\": {job}}}"))?;
     loop {
-        let line = read_line(reader)?;
+        let line = match conn.read_line() {
+            Ok(line) => line,
+            Err(e) if attempt < max => {
+                let wait = backoff_ms(attempt);
+                eprintln!("{e}; re-watching job {job} in {wait}ms");
+                std::thread::sleep(Duration::from_millis(wait));
+                attempt += 1;
+                *conn = connect_with_backoff(args)?;
+                conn.send_line(&format!("{{\"cmd\": \"watch\", \"job\": {job}}}"))?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         println!("{line}");
         let Ok(v) = json::parse(&line) else { continue };
         match v.get("state").and_then(JsonValue::as_str) {
             Some("done") => return Ok(true),
-            Some("failed") => return Ok(false),
+            // Quarantined is terminal failure: the job crash-looped and
+            // the service gave up on it.
+            Some("failed") | Some("quarantined") => return Ok(false),
             _ if v.get("ok").and_then(JsonValue::as_bool) == Some(false) => return Ok(false),
             _ => {}
         }
+    }
+}
+
+/// Submits `spec`, honoring overload retry-after hints and — when the
+/// spec carries a `dedup_key` — retrying dropped connections, since the
+/// key makes resubmission idempotent. Returns `(conn, response)` so a
+/// follow-up watch reuses the connection that got the accept.
+fn submit_with_retry(args: &[String], spec: &str) -> Result<(Conn, String), String> {
+    let idempotent = spec.contains("dedup_key");
+    let line = format!("{{\"cmd\": \"submit\", \"spec\": {spec}}}");
+    let max = retries(args);
+    let mut attempt = 0u32;
+    loop {
+        let mut conn = connect_with_backoff(args)?;
+        let resp = match conn.send_line(&line).and_then(|()| conn.read_line()) {
+            Ok(resp) => resp,
+            Err(e) if idempotent && attempt < max => {
+                let wait = backoff_ms(attempt);
+                eprintln!("{e}; resubmitting (dedup_key makes it safe) in {wait}ms");
+                std::thread::sleep(Duration::from_millis(wait));
+                attempt += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if let Some(hint) = overload_hint(&resp) {
+            if attempt < max {
+                eprintln!("server overloaded; retrying in {hint}ms");
+                std::thread::sleep(Duration::from_millis(hint));
+                attempt += 1;
+                continue;
+            }
+        }
+        return Ok((conn, resp));
     }
 }
 
@@ -90,8 +205,6 @@ pub fn run(cmd: &str, args: &[String]) -> ExitCode {
 }
 
 fn run_inner(cmd: &str, args: &[String]) -> Result<bool, String> {
-    let mut stream = connect(args)?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     match cmd {
         "submit" => {
             let spec = match (get(args, "--spec"), get(args, "--file")) {
@@ -103,11 +216,7 @@ fn run_inner(cmd: &str, args: &[String]) -> Result<bool, String> {
             };
             // One request per line: the spec must collapse to one line.
             let spec: String = spec.split_whitespace().collect::<Vec<_>>().join(" ");
-            send_line(
-                &mut stream,
-                &format!("{{\"cmd\": \"submit\", \"spec\": {spec}}}"),
-            )?;
-            let resp = read_line(&mut reader)?;
+            let (mut conn, resp) = submit_with_retry(args, &spec)?;
             println!("{resp}");
             if !is_ok(&resp) {
                 return Ok(false);
@@ -117,23 +226,22 @@ fn run_inner(cmd: &str, args: &[String]) -> Result<bool, String> {
                     .ok()
                     .and_then(|v| v.get("job").and_then(JsonValue::as_u64))
                     .ok_or("response carried no job id")?;
-                return stream_watch(&mut stream, &mut reader, job);
+                return stream_watch(&mut conn, args, job);
             }
             Ok(true)
         }
         "status" => {
             let job = job_arg(args)?;
-            send_line(
-                &mut stream,
-                &format!("{{\"cmd\": \"status\", \"job\": {job}}}"),
-            )?;
-            let resp = read_line(&mut reader)?;
+            let mut conn = connect_with_backoff(args)?;
+            conn.send_line(&format!("{{\"cmd\": \"status\", \"job\": {job}}}"))?;
+            let resp = conn.read_line()?;
             println!("{resp}");
             Ok(is_ok(&resp))
         }
         "watch" => {
             let job = job_arg(args)?;
-            stream_watch(&mut stream, &mut reader, job)
+            let mut conn = connect_with_backoff(args)?;
+            stream_watch(&mut conn, args, job)
         }
         _ => Err(format!("unknown subcommand {cmd}")),
     }

@@ -42,6 +42,11 @@
 //!   rcc-repro submit --addr HOST:PORT (--spec JSON | --file PATH) [--watch]
 //!   rcc-repro status --addr HOST:PORT --job N
 //!   rcc-repro watch  --addr HOST:PORT --job N
+//!
+//! All subcommands take --retries N (default 5): connects and dropped
+//! watches retry with exponential backoff, overloaded replies honor the
+//! server's retry-after hint, and a submit whose spec carries a
+//! dedup_key is resubmitted safely after a dropped connection.
 //! ```
 
 use rcc_repro::coherence::ProtocolKind;
@@ -209,7 +214,7 @@ fn main() -> ExitCode {
             include_str!("main.rs")
                 .lines()
                 .skip(3)
-                .take(41)
+                .take(46)
                 .map(|l| l.trim_start_matches("//!").strip_prefix(' ').unwrap_or(""))
                 .collect::<Vec<_>>()
                 .join("\n")
